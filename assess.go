@@ -1,0 +1,187 @@
+// Package assess is a Go implementation of the assess operator of
+// Francia, Golfarelli, Marcel, Rizzi, and Vassiliadis, "Assess Queries
+// for Interactive Analysis of Data Cubes" (EDBT 2021): an OLAP querying
+// operator that compares a cube query's result (the target cube) against
+// a benchmark — a constant KPI, an external golden-standard cube, a
+// sibling slice, or a prediction from past time slices — and labels every
+// cell with the outcome of the comparison.
+//
+// The entry point is a Session: register detailed cubes (fact tables over
+// multidimensional schemas), then execute SQL-like assess statements:
+//
+//	s := assess.NewSession()
+//	s.RegisterCube("SALES", fact)
+//	res, err := s.Exec(`
+//	    with SALES
+//	    for type = 'Fresh Fruit', country = 'Italy'
+//	    by product, country
+//	    assess quantity against country = 'France'
+//	    using percOfTotal(difference(quantity, benchmark.quantity))
+//	    labels {[-inf, -0.2): bad, [-0.2, 0.2]: ok, (0.2, inf]: good}`)
+//
+// Statements are parsed, validated against the cube's hierarchies and
+// measures, planned with the fastest feasible strategy of the paper's
+// Section 5 (Naive, Join-Optimized, or Pivot-Optimized plan), and
+// executed against the in-memory columnar star-schema engine. Every
+// result cell carries its coordinate, the assessed measure, the benchmark
+// value, the comparison value, and the label.
+package assess
+
+import (
+	"github.com/assess-olap/assess/internal/core"
+	"github.com/assess-olap/assess/internal/exec"
+	"github.com/assess-olap/assess/internal/funcs"
+	"github.com/assess-olap/assess/internal/labeling"
+	"github.com/assess-olap/assess/internal/mdm"
+	"github.com/assess-olap/assess/internal/parser"
+	"github.com/assess-olap/assess/internal/plan"
+	"github.com/assess-olap/assess/internal/storage"
+)
+
+// Re-exported model types: build hierarchies and cube schemas with
+// NewHierarchy and NewSchema, populate a FactTable, and register it on a
+// Session.
+type (
+	// Hierarchy is a linear hierarchy: a roll-up total order of levels and
+	// a part-of partial order of members (Definition 2.1).
+	Hierarchy = mdm.Hierarchy
+	// Schema is a cube schema: hierarchies plus measures with aggregation
+	// operators.
+	Schema = mdm.Schema
+	// Measure couples a measure name with its aggregation operator.
+	Measure = mdm.Measure
+	// AggOp is a measure's aggregation operator.
+	AggOp = mdm.AggOp
+	// FactTable is a detailed cube: one row per business event.
+	FactTable = storage.FactTable
+	// Session executes assess statements against registered cubes.
+	Session = core.Session
+	// Result is the outcome of one statement: the labeled cube plus the
+	// per-phase execution-time breakdown.
+	Result = exec.Result
+	// Row is one result cell: coordinate, measure, benchmark, comparison
+	// value, and label.
+	Row = exec.Row
+	// Breakdown is the per-phase execution time of a plan run (Figure 4).
+	Breakdown = exec.Breakdown
+	// Plan is an executable strategy for a statement.
+	Plan = plan.Plan
+	// Strategy selects among the Naive (NP), Join-Optimized (JOP), and
+	// Pivot-Optimized (POP) plans of Section 5.
+	Strategy = plan.Strategy
+	// Phase is one bucket of the execution-time breakdown.
+	Phase = plan.Phase
+	// BenchmarkKind classifies the against clause: constant, external,
+	// sibling, or past.
+	BenchmarkKind = parser.BenchmarkKind
+	// Func is a user-registrable comparison/transformation function.
+	Func = funcs.Func
+	// Labeler is a labeling function λ : R → L.
+	Labeler = labeling.Labeler
+	// Interval is one rule of a range-based labeler.
+	Interval = labeling.Interval
+	// SyntaxError reports a lexical or grammatical statement error.
+	SyntaxError = parser.SyntaxError
+	// Suggestion is one ranked completion of a partial statement
+	// (Session.Suggest).
+	Suggestion = core.Suggestion
+	// Highlight is one anomalous cell of a result (Result.Highlights),
+	// the IAM-style annotation of interesting data subsets.
+	Highlight = exec.Highlight
+	// QueryResult is the outcome of a plain cube query (get statement,
+	// Session.Query).
+	QueryResult = core.QueryResult
+)
+
+// IsGetStatement reports whether the statement is a plain cube query
+// ("with C by G get m1, m2") to be executed with Session.Query.
+func IsGetStatement(stmt string) bool { return core.IsGetStatement(stmt) }
+
+// Aggregation operators for measures.
+const (
+	Sum   = mdm.AggSum
+	Avg   = mdm.AggAvg
+	Min   = mdm.AggMin
+	Max   = mdm.AggMax
+	Count = mdm.AggCount
+)
+
+// Plan strategies (Section 5.2).
+const (
+	NP  = plan.NP
+	JOP = plan.JOP
+	POP = plan.POP
+)
+
+// Benchmark kinds (Section 3.1, plus the roll-up benchmark of the
+// paper's future work).
+const (
+	Constant = parser.BenchConstant
+	External = parser.BenchExternal
+	Sibling  = parser.BenchSibling
+	Past     = parser.BenchPast
+	Ancestor = parser.BenchAncestor
+)
+
+// Execution-time breakdown phases (Figure 4).
+const (
+	PhaseGetC      = plan.PhaseGetC
+	PhaseGetB      = plan.PhaseGetB
+	PhaseGetCB     = plan.PhaseGetCB
+	PhaseTransform = plan.PhaseTransform
+	PhaseJoin      = plan.PhaseJoin
+	PhaseCompare   = plan.PhaseCompare
+	PhaseLabel     = plan.PhaseLabel
+)
+
+// Function kinds for RegisterFunc.
+const (
+	// CellFunc functions compute a derived value from one cell's
+	// arguments.
+	CellFunc = funcs.Cell
+	// HolisticFunc functions need a scan of the whole cube.
+	HolisticFunc = funcs.Holistic
+	// Variadic marks a function accepting any positive argument count.
+	Variadic = funcs.Variadic
+)
+
+// NewSession returns an empty session with the paper's library of
+// comparison functions (difference, ratio, minMaxNorm, percOfTotal,
+// zScore, …) and labelers (quartiles, 5stars, zscore, clusters, …).
+func NewSession() *Session { return core.NewSession() }
+
+// NewHierarchy creates a hierarchy with levels listed from finest to
+// coarsest, e.g. NewHierarchy("Date", "date", "month", "year").
+func NewHierarchy(name string, levels ...string) *Hierarchy {
+	return mdm.NewHierarchy(name, levels...)
+}
+
+// NewSchema creates a cube schema from hierarchies and measures.
+func NewSchema(name string, hiers []*Hierarchy, measures []Measure) *Schema {
+	return mdm.NewSchema(name, hiers, measures)
+}
+
+// NewFactTable creates an empty detailed cube for a schema.
+func NewFactTable(s *Schema) *FactTable { return storage.NewFactTable(s) }
+
+// NewRangeLabeler builds a predeclared range-based labeling function
+// (like the paper's 5stars) that can be registered on a session.
+func NewRangeLabeler(name string, intervals []Interval) (Labeler, error) {
+	return labeling.NewRanges(name, intervals)
+}
+
+// NewQuantileLabeler builds a k-quantile (equi-depth) labeler with
+// optional custom group names (nil for top-1 … top-k).
+func NewQuantileLabeler(name string, k int, labels []string) (Labeler, error) {
+	return labeling.NewQuantiles(name, k, labels)
+}
+
+// BestStrategy returns the fastest feasible strategy for a benchmark
+// kind (POP ≻ JOP ≻ NP, per the paper's Section 6).
+func BestStrategy(kind BenchmarkKind) Strategy { return core.BestStrategy(kind) }
+
+// FeasibleStrategies lists the strategies applicable to a benchmark kind.
+func FeasibleStrategies(kind BenchmarkKind) []Strategy { return core.FeasibleStrategies(kind) }
+
+// Inf returns ±infinity for unbounded labeling intervals.
+func Inf(sign int) float64 { return labeling.Inf(sign) }

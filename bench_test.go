@@ -1,0 +1,160 @@
+// Benchmarks regenerating the paper's evaluation (one per table and
+// figure, backed by internal/experiments) plus engine micro-benchmarks.
+// The experiment benches default to a small scale factor so `go test
+// -bench .` completes quickly; set ASSESS_BENCH_SF to raise it (e.g.
+// ASSESS_BENCH_SF=0.1). The full three-scale sweep with paper-style
+// output is produced by cmd/assessbench.
+package assess_test
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	assess "github.com/assess-olap/assess"
+	"github.com/assess-olap/assess/internal/experiments"
+	"github.com/assess-olap/assess/internal/plan"
+)
+
+func benchScale() experiments.Scale {
+	sf := 0.01
+	if s := os.Getenv("ASSESS_BENCH_SF"); s != "" {
+		if v, err := strconv.ParseFloat(s, 64); err == nil && v > 0 {
+			sf = v
+		}
+	}
+	return experiments.Scale{Label: fmt.Sprintf("SF%g", sf), SF: sf}
+}
+
+var (
+	benchEnvOnce sync.Once
+	benchEnv     *experiments.Env
+	benchEnvErr  error
+)
+
+func env(b *testing.B) *experiments.Env {
+	b.Helper()
+	benchEnvOnce.Do(func() {
+		benchEnv, benchEnvErr = experiments.Setup(benchScale(), 42)
+	})
+	if benchEnvErr != nil {
+		b.Fatal(benchEnvErr)
+	}
+	return benchEnv
+}
+
+// BenchmarkTable1FormulationEffort measures generating the SQL+Python
+// equivalent of the four intentions and reports the effort ratio of
+// Table 1 (generated characters per assess character).
+func BenchmarkTable1FormulationEffort(b *testing.B) {
+	e := env(b)
+	var rows []experiments.EffortRow
+	var err error
+	for i := 0; i < b.N; i++ {
+		rows, err = experiments.Table1(e)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	var total, assessLen int
+	for _, r := range rows {
+		total += r.Total
+		assessLen += r.Assess
+	}
+	b.ReportMetric(float64(total)/float64(assessLen), "effort-ratio")
+}
+
+// BenchmarkTable2Cardinalities measures computing |C| for the four
+// intentions (Table 2).
+func BenchmarkTable2Cardinalities(b *testing.B) {
+	e := env(b)
+	cells := 0
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Table2([]*experiments.Env{e})
+		if err != nil {
+			b.Fatal(err)
+		}
+		cells = 0
+		for _, r := range rows {
+			cells += r.Cells[0]
+		}
+	}
+	b.ReportMetric(float64(cells), "cells")
+}
+
+// BenchmarkTable3MinTimes runs each intention under its best feasible
+// plan (the Table 3 headline numbers).
+func BenchmarkTable3MinTimes(b *testing.B) {
+	e := env(b)
+	for _, in := range experiments.Intentions() {
+		b.Run(in.Name, func(b *testing.B) {
+			best := assess.BestStrategy(in.Kind)
+			for i := 0; i < b.N; i++ {
+				if _, err := e.Session.ExecWith(in.Statement, best); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig3PlanSweep runs every (intention, feasible plan) pair —
+// the full Figure 3 series at one scale.
+func BenchmarkFig3PlanSweep(b *testing.B) {
+	e := env(b)
+	for _, in := range experiments.Intentions() {
+		for _, strat := range plan.Strategies() {
+			if !plan.Feasible(strat, in.Kind) {
+				continue
+			}
+			b.Run(in.Name+"/"+strat.String(), func(b *testing.B) {
+				cells := 0
+				for i := 0; i < b.N; i++ {
+					res, err := e.Session.ExecWith(in.Statement, strat)
+					if err != nil {
+						b.Fatal(err)
+					}
+					cells = res.Cube.Len()
+				}
+				b.ReportMetric(float64(cells), "cells")
+			})
+		}
+	}
+}
+
+// BenchmarkFig4PastBreakdown runs the Past intention under each plan and
+// reports the per-phase share of its execution time (Figure 4).
+func BenchmarkFig4PastBreakdown(b *testing.B) {
+	e := env(b)
+	past := experiments.Intentions()[3]
+	if past.Name != "Past" {
+		b.Fatal("intention order changed")
+	}
+	for _, strat := range plan.Strategies() {
+		b.Run(strat.String(), func(b *testing.B) {
+			var bd [plan.NumPhases]float64
+			for i := 0; i < b.N; i++ {
+				res, err := e.Session.ExecWith(past.Statement, strat)
+				if err != nil {
+					b.Fatal(err)
+				}
+				for p, d := range res.Breakdown {
+					bd[p] += d.Seconds()
+				}
+			}
+			var total float64
+			for _, s := range bd {
+				total += s
+			}
+			for p, s := range bd {
+				if s > 0 {
+					unit := strings.NewReplacer(" ", "", ".", "", "+", "").Replace(plan.Phase(p).String())
+					b.ReportMetric(s/total, "share"+unit)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,201 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// captureStdout redirects os.Stdout around fn.
+func captureStdout(t *testing.T, fn func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	runErr := fn()
+	w.Close()
+	os.Stdout = old
+	var sb strings.Builder
+	buf := make([]byte, 4096)
+	for {
+		n, err := r.Read(buf)
+		sb.Write(buf[:n])
+		if err != nil {
+			break
+		}
+	}
+	return sb.String(), runErr
+}
+
+const exampleStatement = `with SALES
+	for type = 'Fresh Fruit', country = 'Italy'
+	by product, country
+	assess quantity against country = 'France'
+	using percOfTotal(difference(quantity, benchmark.quantity))
+	labels {[-inf, -0.2): bad, [-0.2, 0.2]: ok, (0.2, inf]: good}`
+
+func TestOpenSessionDatasets(t *testing.T) {
+	for _, data := range []string{"figure1", "sales", "ssb"} {
+		s, banner, err := openSession(data, 500, 0.0005, 1, "")
+		if err != nil {
+			t.Fatalf("%s: %v", data, err)
+		}
+		if s == nil || banner == "" {
+			t.Errorf("%s: empty session or banner", data)
+		}
+	}
+	if _, _, err := openSession("nope", 0, 0, 0, ""); err == nil {
+		t.Error("unknown dataset accepted")
+	}
+}
+
+func TestRunOnePlansAndExplain(t *testing.T) {
+	s, _, err := openSession("figure1", 0, 0, 0, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, planName := range []string{"best", "cost", "np", "jop", "pop"} {
+		out, err := captureStdout(t, func() error {
+			return runOne(s, exampleStatement, planName, false, true)
+		})
+		if err != nil {
+			t.Fatalf("plan %s: %v", planName, err)
+		}
+		if !strings.Contains(out, "bad") || !strings.Contains(out, "breakdown:") {
+			t.Errorf("plan %s output:\n%s", planName, out)
+		}
+	}
+	out, err := captureStdout(t, func() error {
+		return runOne(s, exampleStatement, "best", true, false)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "POP plan") {
+		t.Errorf("explain output:\n%s", out)
+	}
+	if err := runOne(s, exampleStatement, "warp", false, false); err == nil {
+		t.Error("unknown plan accepted")
+	}
+	if err := runOne(s, "garbage", "best", false, false); err == nil {
+		t.Error("garbage statement accepted")
+	}
+}
+
+func TestRunOneDeclaration(t *testing.T) {
+	s, _, err := openSession("figure1", 0, 0, 0, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := captureStdout(t, func() error {
+		return runOne(s, `declare labels signs as {[-inf, 0): down, [0, inf]: up}`, "best", false, false)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "declared") {
+		t.Errorf("declaration output: %s", out)
+	}
+}
+
+func TestRunScriptAndHighlights(t *testing.T) {
+	s, _, err := openSession("figure1", 0, 0, 0, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "s.assess")
+	script := `-- comment line
+declare labels signs as {[-inf, 0): down, [0, inf]: up};
+
+with SALES by product assess quantity against 80
+using difference(quantity, benchmark.quantity)
+labels signs`
+	if err := os.WriteFile(path, []byte(script), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	showHighlights = true
+	defer func() { showHighlights = false }()
+	out, err := captureStdout(t, func() error {
+		return runScript(s, path, "best", false)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"declared", "down", "up"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("script output lacks %q:\n%s", want, out)
+		}
+	}
+	if err := runScript(s, filepath.Join(t.TempDir(), "missing"), "best", false); err == nil {
+		t.Error("missing script accepted")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.assess")
+	if err := os.WriteFile(bad, []byte("with NOPE by x assess y labels q"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := runScript(s, bad, "best", false); err == nil {
+		t.Error("failing script accepted")
+	}
+}
+
+func TestRunSuggestOutput(t *testing.T) {
+	s, _, err := openSession("figure1", 0, 0, 0, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := captureStdout(t, func() error {
+		return runSuggest(s, `with SALES for country = 'Italy' by product, country assess quantity`, 2)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "interest") {
+		t.Errorf("suggest output:\n%s", out)
+	}
+}
+
+func TestSaveAndLoadRoundTrip(t *testing.T) {
+	s, _, err := openSession("figure1", 0, 0, 0, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "c.cube")
+	out, err := captureStdout(t, func() error { return saveCube(s, path) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "saved cube SALES") {
+		t.Errorf("save output: %s", out)
+	}
+	s2, banner, err := openSession("", 0, 0, 0, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(banner, "loaded cube SALES") {
+		t.Errorf("banner: %s", banner)
+	}
+	if _, err := captureStdout(t, func() error {
+		return runOne(s2, exampleStatement, "np", false, false)
+	}); err != nil {
+		t.Errorf("statement over loaded cube: %v", err)
+	}
+	// Saving a session with no known cube fails.
+	empty, _, _ := openSession("figure1", 0, 0, 0, "")
+	_ = empty
+	if err := saveCube(s2, filepath.Join(t.TempDir(), "x.cube")); err != nil {
+		t.Errorf("saving loaded cube: %v", err)
+	}
+}
+
+func TestFirstLine(t *testing.T) {
+	if got := firstLine("one\ntwo"); got != "one …" {
+		t.Errorf("firstLine = %q", got)
+	}
+	if got := firstLine("single"); got != "single" {
+		t.Errorf("firstLine = %q", got)
+	}
+}

@@ -1,0 +1,74 @@
+// Command assessd serves assess statements over HTTP/JSON for
+// interactive analysis:
+//
+//	POST /assess   {"statement": "...", "plan": "best|cost|np|jop|pop"}
+//	POST /explain  {"statement": "..."}
+//	POST /validate {"statement": "..."}
+//	POST /suggest  {"statement": "<partial>", "max": 3}
+//	GET  /cubes
+//	GET  /healthz
+//
+// Usage:
+//
+//	assessd [-addr :8080] [-data sales|ssb] [-rows 50000] [-sf 0.01]
+//	        [-seed 42] [-load cube.bin] [-parallel 0]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"time"
+
+	assess "github.com/assess-olap/assess"
+	"github.com/assess-olap/assess/internal/server"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8080", "listen address")
+		data     = flag.String("data", "sales", "dataset: sales or ssb")
+		rows     = flag.Int("rows", 50_000, "fact rows for the sales dataset")
+		sf       = flag.Float64("sf", 0.01, "scale factor for the ssb dataset")
+		seed     = flag.Int64("seed", 42, "generator seed")
+		load     = flag.String("load", "", "serve a cube loaded from a file instead of generating one")
+		parallel = flag.Int("parallel", 1, "fact-scan parallelism (0 = all cores)")
+	)
+	flag.Parse()
+
+	session, err := open(*data, *rows, *sf, *seed, *load)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *parallel != 1 {
+		session.Engine.SetParallelism(*parallel)
+	}
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           server.New(session).Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	log.Printf("assessd listening on %s (cubes: %v)", *addr, session.Engine.Facts())
+	log.Fatal(srv.ListenAndServe())
+}
+
+func open(data string, rows int, sf float64, seed int64, load string) (*assess.Session, error) {
+	if load != "" {
+		f, err := assess.LoadCubeFile(load)
+		if err != nil {
+			return nil, err
+		}
+		s := assess.NewSession()
+		return s, s.RegisterCube(f.Schema.Name, f)
+	}
+	switch data {
+	case "sales":
+		s, _, err := assess.NewSalesSession(rows, seed)
+		return s, err
+	case "ssb":
+		s, _, err := assess.NewSSBSession(sf, seed)
+		return s, err
+	}
+	return nil, fmt.Errorf("unknown dataset %q", data)
+}

@@ -1,0 +1,92 @@
+package assess
+
+import (
+	"github.com/assess-olap/assess/internal/sales"
+	"github.com/assess-olap/assess/internal/ssb"
+)
+
+// SalesDataset is the FoodMart-like SALES working-example cube of the
+// paper (Example 2.2), with a reconciled external-benchmark cube.
+type SalesDataset struct {
+	Schema *Schema
+	// Fact is the SALES detailed cube (quantity, storeSales, storeCost).
+	Fact *FactTable
+	// External is the SALES_TARGET external-benchmark cube
+	// (expectedSales) over the same hierarchies; nil for FigureOneDataset.
+	External       *FactTable
+	ExternalSchema *Schema
+}
+
+// GenerateSales builds a deterministic synthetic SALES dataset with the
+// given number of fact rows. Register both cubes on a session with
+// RegisterCube("SALES", ds.Fact) and, for external benchmarks,
+// RegisterCube("SALES_TARGET", ds.External).
+func GenerateSales(rows int, seed int64) *SalesDataset {
+	ds := sales.Generate(rows, seed)
+	return &SalesDataset{
+		Schema:         ds.Schema,
+		Fact:           ds.Fact,
+		External:       ds.External,
+		ExternalSchema: ds.ExternalSchema,
+	}
+}
+
+// FigureOneDataset builds the miniature SALES dataset whose aggregates
+// reproduce the running example of the paper's Figures 1 and 2 (fresh
+// fruit quantities for Italy and France).
+func FigureOneDataset() *SalesDataset {
+	ds := sales.FigureOne()
+	return &SalesDataset{Schema: ds.Schema, Fact: ds.Fact}
+}
+
+// SSBDataset is a Star Schema Benchmark cube (LINEORDER) with its
+// reconciled external-benchmark cube (LINEORDER_BUDGET), as used by the
+// paper's evaluation.
+type SSBDataset struct {
+	Schema       *Schema
+	Fact         *FactTable
+	Budget       *FactTable
+	BudgetSchema *Schema
+	SF           float64
+}
+
+// GenerateSSB builds a deterministic SSB dataset at the given scale
+// factor: 6,000,000·sf fact rows with SSB dimension cardinalities.
+func GenerateSSB(sf float64, seed int64) *SSBDataset {
+	ds := ssb.Generate(sf, seed)
+	return &SSBDataset{
+		Schema:       ds.Schema,
+		Fact:         ds.Fact,
+		Budget:       ds.Budget,
+		BudgetSchema: ds.BudgetSchema,
+		SF:           sf,
+	}
+}
+
+// NewSSBSession generates an SSB dataset and returns a session with
+// LINEORDER and LINEORDER_BUDGET registered.
+func NewSSBSession(sf float64, seed int64) (*Session, *SSBDataset, error) {
+	ds := GenerateSSB(sf, seed)
+	s := NewSession()
+	if err := s.RegisterCube("LINEORDER", ds.Fact); err != nil {
+		return nil, nil, err
+	}
+	if err := s.RegisterCube("LINEORDER_BUDGET", ds.Budget); err != nil {
+		return nil, nil, err
+	}
+	return s, ds, nil
+}
+
+// NewSalesSession generates a SALES dataset and returns a session with
+// SALES and SALES_TARGET registered.
+func NewSalesSession(rows int, seed int64) (*Session, *SalesDataset, error) {
+	ds := GenerateSales(rows, seed)
+	s := NewSession()
+	if err := s.RegisterCube("SALES", ds.Fact); err != nil {
+		return nil, nil, err
+	}
+	if err := s.RegisterCube("SALES_TARGET", ds.External); err != nil {
+		return nil, nil, err
+	}
+	return s, ds, nil
+}

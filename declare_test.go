@@ -1,0 +1,62 @@
+package assess_test
+
+import "testing"
+
+// TestDeclareLabels exercises the predeclared range-based labeling
+// functions of Section 4.1: declare once, reference by name afterwards.
+func TestDeclareLabels(t *testing.T) {
+	s := figureOneSession(t)
+	res, err := s.Exec(`declare labels shareBands as
+		{[-inf, -0.2): bad, [-0.2, 0.2]: ok, (0.2, inf]: good}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res != nil {
+		t.Fatal("declaration produced a result cube")
+	}
+	out, err := s.Exec(`
+		with SALES
+		for type = 'Fresh Fruit', country = 'Italy'
+		by product, country
+		assess quantity against country = 'France'
+		using percOfTotal(difference(quantity, benchmark.quantity))
+		labels shareBands`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := out.Rows()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]string{"Apple": "bad", "Pear": "ok", "Lemon": "ok"}
+	for _, r := range rows {
+		if r.Label != want[r.Coordinate[0]] {
+			t.Errorf("%s: label %q, want %q", r.Coordinate[0], r.Label, want[r.Coordinate[0]])
+		}
+	}
+	// Redeclaration under the same name is rejected.
+	if _, err := s.Exec(`declare labels shareBands as {[0, 1]: x}`); err == nil {
+		t.Error("redeclaration accepted")
+	}
+}
+
+func TestDeclareErrors(t *testing.T) {
+	s := figureOneSession(t)
+	bad := []string{
+		`declare labels`,                          // missing name
+		`declare labels broken as {[2, 1]: x}`,    // empty interval
+		`declare labels broken as quartiles`,      // not an inline set
+		`declare labels broken as {[0,1]: x} y`,   // trailing input
+		`declare broken as {[0,1]: x}`,            // missing labels keyword
+		`declare labels b as {[0,1]: x} within c`, // within not allowed
+	}
+	for _, stmt := range bad {
+		if _, err := s.Exec(stmt); err == nil {
+			t.Errorf("accepted: %s", stmt)
+		}
+	}
+	// The "as" keyword is optional.
+	if _, err := s.Exec(`declare labels tight {[0, 1]: in, (1, inf): out}`); err != nil {
+		t.Errorf("declaration without 'as' rejected: %v", err)
+	}
+}

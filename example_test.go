@@ -1,0 +1,111 @@
+package assess_test
+
+import (
+	"fmt"
+	"log"
+
+	assess "github.com/assess-olap/assess"
+)
+
+// The paper's running example (Figures 1 and 2): assess Italian
+// fresh-fruit quantities against the sibling France slice, labeling each
+// product by its share of the difference.
+func ExampleSession_Exec() {
+	ds := assess.FigureOneDataset()
+	s := assess.NewSession()
+	if err := s.RegisterCube("SALES", ds.Fact); err != nil {
+		log.Fatal(err)
+	}
+	res, err := s.Exec(`
+		with SALES
+		for type = 'Fresh Fruit', country = 'Italy'
+		by product, country
+		assess quantity against country = 'France'
+		using percOfTotal(difference(quantity, benchmark.quantity))
+		labels {[-inf, -0.2): bad, [-0.2, 0.2]: ok, (0.2, inf]: good}`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rows, err := res.Rows()
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, r := range rows {
+		fmt.Printf("%s: %.0f vs %.0f → %s\n",
+			r.Coordinate[0], r.Measure, r.Benchmark, r.Label)
+	}
+	// Output:
+	// Apple: 100 vs 150 → bad
+	// Lemon: 30 vs 20 → ok
+	// Pear: 90 vs 110 → ok
+}
+
+// Explain shows the logical plan the optimizer picked: the sibling
+// benchmark is answered by a Pivot-Optimized Plan.
+func ExampleSession_Explain() {
+	ds := assess.FigureOneDataset()
+	s := assess.NewSession()
+	if err := s.RegisterCube("SALES", ds.Fact); err != nil {
+		log.Fatal(err)
+	}
+	out, err := s.Explain(`
+		with SALES for country = 'Italy' by product, country
+		assess quantity against country = 'France'
+		using difference(quantity, benchmark.quantity)
+		labels quartiles`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(out[:len("POP plan for Sibling benchmark:")])
+	// Output:
+	// POP plan for Sibling benchmark:
+}
+
+// Declared labelers are reusable across statements (Section 4.1).
+func ExampleSession_Declare() {
+	ds := assess.FigureOneDataset()
+	s := assess.NewSession()
+	if err := s.RegisterCube("SALES", ds.Fact); err != nil {
+		log.Fatal(err)
+	}
+	if err := s.Declare(`declare labels signs as
+		{[-inf, 0): down, [0, inf]: up}`); err != nil {
+		log.Fatal(err)
+	}
+	res, err := s.Exec(`with SALES by product assess quantity against 95
+		using difference(quantity, benchmark.quantity) labels signs`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rows, err := res.Rows()
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, r := range rows {
+		fmt.Printf("%s: %s\n", r.Coordinate[0], r.Label)
+	}
+	// Output:
+	// Apple: up
+	// Lemon: down
+	// Pear: up
+}
+
+// Suggest completes a partial statement and ranks the candidates by the
+// information content of their labelings (the paper's Section 8).
+func ExampleSession_Suggest() {
+	ds := assess.FigureOneDataset()
+	s := assess.NewSession()
+	if err := s.RegisterCube("SALES", ds.Fact); err != nil {
+		log.Fatal(err)
+	}
+	sugs, err := s.Suggest(`with SALES
+		for type = 'Fresh Fruit', country = 'Italy'
+		by product, country
+		assess quantity`, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(sugs[0].Note)
+	// Output:
+	// against sibling country = 'France'; labels quartiles
+}

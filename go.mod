@@ -1,0 +1,3 @@
+module github.com/assess-olap/assess
+
+go 1.22

@@ -1,0 +1,285 @@
+// Package core implements the paper's primary contribution end-to-end:
+// it wires the assess language (parser), the semantic binder, the plan
+// builder, and the executor into a session against the query engine. A
+// statement submitted to a session is parsed, bound, planned with the
+// best feasible strategy (POP when applicable, else JOP, else NP — the
+// ordering established by the paper's Section 6 experiments), and
+// executed.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/assess-olap/assess/internal/cube"
+	"github.com/assess-olap/assess/internal/engine"
+	"github.com/assess-olap/assess/internal/exec"
+	"github.com/assess-olap/assess/internal/funcs"
+	"github.com/assess-olap/assess/internal/labeling"
+	"github.com/assess-olap/assess/internal/mdm"
+	"github.com/assess-olap/assess/internal/parser"
+	"github.com/assess-olap/assess/internal/plan"
+	"github.com/assess-olap/assess/internal/semantic"
+	"github.com/assess-olap/assess/internal/storage"
+)
+
+// Session holds the engine catalog and the function and labeler
+// registries for a sequence of assess statements.
+type Session struct {
+	Engine *engine.Engine
+	Binder *semantic.Binder
+}
+
+// NewSession returns an empty session with the default library functions
+// and labelers.
+func NewSession() *Session {
+	e := engine.New()
+	return &Session{Engine: e, Binder: semantic.NewBinder(e)}
+}
+
+// RegisterCube adds a detailed cube (fact table) to the catalog.
+func (s *Session) RegisterCube(name string, f *storage.FactTable) error {
+	return s.Engine.Register(name, f)
+}
+
+// Materialize pre-aggregates a registered cube at the given group-by
+// levels, like the materialized views of the paper's Oracle setup
+// (Section 6): later statements grouped exactly by those levels are
+// answered from the view.
+func (s *Session) Materialize(cubeName string, levels ...string) error {
+	f, ok := s.Engine.Fact(cubeName)
+	if !ok {
+		return fmt.Errorf("assess: unknown cube %q", cubeName)
+	}
+	g, err := mdm.NewGroupBy(f.Schema, levels...)
+	if err != nil {
+		return err
+	}
+	return s.Engine.Materialize(cubeName, g)
+}
+
+// RegisterFunc adds a comparison/transformation function to the library.
+func (s *Session) RegisterFunc(f *funcs.Func) error {
+	return s.Binder.Funcs.Register(f)
+}
+
+// RegisterLabeler adds a predeclared labeling function to the library.
+func (s *Session) RegisterLabeler(l labeling.Labeler) error {
+	return s.Binder.Labelers.Register(l)
+}
+
+// Prepare parses, binds, and plans a statement with the best feasible
+// strategy without executing it.
+func (s *Session) Prepare(stmt string) (*plan.Plan, error) {
+	b, err := s.bind(stmt)
+	if err != nil {
+		return nil, err
+	}
+	return plan.Build(b, BestStrategy(b.Bench.Kind))
+}
+
+// PrepareWith parses, binds, and plans a statement with an explicit
+// strategy.
+func (s *Session) PrepareWith(stmt string, strategy plan.Strategy) (*plan.Plan, error) {
+	b, err := s.bind(stmt)
+	if err != nil {
+		return nil, err
+	}
+	return plan.Build(b, strategy)
+}
+
+func (s *Session) bind(stmt string) (*semantic.Bound, error) {
+	st, err := parser.Parse(stmt)
+	if err != nil {
+		return nil, err
+	}
+	return s.Binder.Bind(st)
+}
+
+// PrepareCostBased plans a statement by choosing the feasible strategy
+// with the lowest estimated cost (the cost-based optimization of the
+// paper's future work, Section 8), using the engine's statistics:
+// fact-table cardinalities, dictionary sizes, and materialized views.
+func (s *Session) PrepareCostBased(stmt string) (*plan.Plan, error) {
+	b, err := s.bind(stmt)
+	if err != nil {
+		return nil, err
+	}
+	return plan.ChooseByCost(b, s.Engine)
+}
+
+// ExecCostBased runs a statement with the cheapest plan according to the
+// cost model.
+func (s *Session) ExecCostBased(stmt string) (*exec.Result, error) {
+	p, err := s.PrepareCostBased(stmt)
+	if err != nil {
+		return nil, err
+	}
+	return exec.Run(s.Engine, p)
+}
+
+// ExplainCosts renders the estimated cost of every feasible plan for a
+// statement.
+func (s *Session) ExplainCosts(stmt string) (string, error) {
+	b, err := s.bind(stmt)
+	if err != nil {
+		return "", err
+	}
+	return plan.ExplainCosts(b, s.Engine), nil
+}
+
+// Exec runs a statement with the best feasible strategy. A declare
+// statement ("declare labels <name> {ranges}") registers a named
+// labeling function instead of producing a result, and returns (nil,
+// nil).
+func (s *Session) Exec(stmt string) (*exec.Result, error) {
+	if parser.IsDeclaration(stmt) {
+		return nil, s.Declare(stmt)
+	}
+	p, err := s.Prepare(stmt)
+	if err != nil {
+		return nil, err
+	}
+	return exec.Run(s.Engine, p)
+}
+
+// QueryResult is the outcome of a plain cube query (get statement).
+type QueryResult struct {
+	Cube  *cube.Cube
+	Total time.Duration
+}
+
+// Render formats the derived cube as a text table.
+func (r *QueryResult) Render() string { return r.Cube.String() }
+
+// Query executes a plain cube query written with the get operator:
+// "with C0 [for P] by G get m1, m2". The result is the derived cube of
+// Definition 2.6, sorted by coordinate.
+func (s *Session) Query(stmt string) (*QueryResult, error) {
+	st, err := parser.Parse(stmt)
+	if err != nil {
+		return nil, err
+	}
+	if !st.IsGet() {
+		return nil, fmt.Errorf("assess: not a get statement; execute assessments with Exec")
+	}
+	q, err := s.Binder.BindGet(st)
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	c, err := s.Engine.Get(q)
+	if err != nil {
+		return nil, err
+	}
+	c.SortByCoordinate()
+	return &QueryResult{Cube: c, Total: time.Since(start)}, nil
+}
+
+// IsGetStatement reports whether the statement is a plain cube query.
+func IsGetStatement(stmt string) bool {
+	st, err := parser.Parse(stmt)
+	return err == nil && st.IsGet()
+}
+
+// Declare executes a declare statement, predeclaring a named range-based
+// labeling function (Section 4.1).
+func (s *Session) Declare(stmt string) error {
+	d, err := parser.ParseDeclaration(stmt)
+	if err != nil {
+		return err
+	}
+	intervals := make([]labeling.Interval, len(d.Ranges))
+	for i, r := range d.Ranges {
+		intervals[i] = labeling.Interval{
+			Lo: r.Lo, Hi: r.Hi, LoOpen: r.LoOpen, HiOpen: r.HiOpen, Label: r.Label,
+		}
+	}
+	l, err := labeling.NewRanges(d.Name, intervals)
+	if err != nil {
+		return fmt.Errorf("assess: invalid declaration: %w", err)
+	}
+	return s.RegisterLabeler(l)
+}
+
+// ExecWith runs a statement with an explicit strategy.
+func (s *Session) ExecWith(stmt string, strategy plan.Strategy) (*exec.Result, error) {
+	p, err := s.PrepareWith(stmt, strategy)
+	if err != nil {
+		return nil, err
+	}
+	return exec.Run(s.Engine, p)
+}
+
+// Explain returns the plan description for a statement under the best
+// feasible strategy.
+func (s *Session) Explain(stmt string) (string, error) {
+	p, err := s.Prepare(stmt)
+	if err != nil {
+		return "", err
+	}
+	return p.Explain(), nil
+}
+
+// BestStrategy returns the fastest feasible strategy for a benchmark
+// kind, following the experimental conclusion of Section 6: "JOP, when
+// applicable, outperforms NP, and POP, when applicable, outperforms JOP
+// and NP".
+func BestStrategy(kind parser.BenchmarkKind) plan.Strategy {
+	switch {
+	case plan.Feasible(plan.POP, kind):
+		return plan.POP
+	case plan.Feasible(plan.JOP, kind):
+		return plan.JOP
+	}
+	return plan.NP
+}
+
+// FeasibleStrategies lists the strategies applicable to a benchmark kind
+// in paper order.
+func FeasibleStrategies(kind parser.BenchmarkKind) []plan.Strategy {
+	var out []plan.Strategy
+	for _, s := range plan.Strategies() {
+		if plan.Feasible(s, kind) {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// BenchmarkKind parses a statement far enough to report its benchmark
+// kind (useful to the experiment harness).
+func (s *Session) BenchmarkKind(stmt string) (parser.BenchmarkKind, error) {
+	b, err := s.bind(stmt)
+	if err != nil {
+		return 0, err
+	}
+	return b.Bench.Kind, nil
+}
+
+// Cardinality returns |C|, the number of cells of the target cube of the
+// statement (Table 2 of the paper).
+func (s *Session) Cardinality(stmt string) (int, error) {
+	b, err := s.bind(stmt)
+	if err != nil {
+		return 0, err
+	}
+	return s.Engine.Cardinality(engine.Query{
+		Fact: b.Fact, Group: b.Group, Preds: b.Preds, Measures: b.Fetch,
+	})
+}
+
+// Validate parses and binds a statement, returning the first error.
+func (s *Session) Validate(stmt string) error {
+	_, err := s.bind(stmt)
+	return err
+}
+
+// MustExec is Exec that panics on error; intended for examples.
+func (s *Session) MustExec(stmt string) *exec.Result {
+	r, err := s.Exec(stmt)
+	if err != nil {
+		panic(fmt.Errorf("assess: %w", err))
+	}
+	return r
+}

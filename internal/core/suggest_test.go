@@ -1,0 +1,102 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"github.com/assess-olap/assess/internal/sales"
+)
+
+func TestLabelEntropy(t *testing.T) {
+	cases := []struct {
+		labels []string
+		want   float64
+	}{
+		{nil, 0},
+		{[]string{"a", "a", "a"}, 0},
+		{[]string{"a", "b"}, 1},
+		{[]string{"a", "b", "c", "d"}, 2},
+	}
+	for _, c := range cases {
+		if got := labelEntropy(c.labels); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("entropy(%v) = %g, want %g", c.labels, got, c.want)
+		}
+	}
+	// Null labels carry no assessment information: a half-null result is
+	// less interesting than a fully-labeled balanced one.
+	full := labelEntropy([]string{"a", "b", "a", "b"})
+	nulls := labelEntropy([]string{"a", "b", "null", "null"})
+	if nulls >= full {
+		t.Errorf("null-heavy entropy %g not below full %g", nulls, full)
+	}
+}
+
+func TestBenchmarkCandidatesShapes(t *testing.T) {
+	ds := sales.Generate(1000, 3)
+	s := NewSession()
+	if err := s.RegisterCube("SALES", ds.Fact); err != nil {
+		t.Fatal(err)
+	}
+	sugs, err := s.Suggest(`with SALES for country = 'Italy' by product, country assess quantity`, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sugs) == 0 {
+		t.Fatal("no suggestions")
+	}
+	kinds := map[string]bool{}
+	for _, sg := range sugs {
+		k, err := s.BenchmarkKind(sg.Statement)
+		if err != nil {
+			t.Fatalf("%s: %v", sg.Statement, err)
+		}
+		kinds[k.String()] = true
+	}
+	for _, want := range []string{"Sibling", "Constant", "Ancestor"} {
+		if !kinds[want] {
+			t.Errorf("no %s candidate among the suggestions (%v)", want, kinds)
+		}
+	}
+}
+
+func TestSuggestCapsSiblingCandidates(t *testing.T) {
+	// The SALES country level has 4 siblings of Italy; all fit under the
+	// cap, but the total candidate count must respect max.
+	ds := sales.Generate(2000, 5)
+	s := NewSession()
+	if err := s.RegisterCube("SALES", ds.Fact); err != nil {
+		t.Fatal(err)
+	}
+	sugs, err := s.Suggest(`with SALES for country = 'Italy' by product, country assess quantity`, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sugs) > 2 {
+		t.Errorf("%d suggestions, want ≤ 2", len(sugs))
+	}
+}
+
+func TestSuggestPastCandidateForTemporalSlice(t *testing.T) {
+	ds := sales.Generate(30_000, 7)
+	s := NewSession()
+	if err := s.RegisterCube("SALES", ds.Fact); err != nil {
+		t.Fatal(err)
+	}
+	sugs, err := s.Suggest(`with SALES for month = '1997-06' by month, store assess storeSales`, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawPast := false
+	for _, sg := range sugs {
+		k, err := s.BenchmarkKind(sg.Statement)
+		if err != nil {
+			continue
+		}
+		if k.String() == "Past" {
+			sawPast = true
+		}
+	}
+	if !sawPast {
+		t.Error("no past-benchmark candidate for a temporal slice")
+	}
+}

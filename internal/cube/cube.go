@@ -1,0 +1,350 @@
+// Package cube implements derived cubes (Definition 2.6) and the logical
+// operators of Section 4.2 that manipulate them at the client layer: the
+// natural join ⋈, the partial join ⋈_{l1..lm}, the left-outer join used by
+// the assess* variant, and the pivot ⊞. Cubes respect the closure
+// property: every operator takes cubes and produces cubes.
+package cube
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"github.com/assess-olap/assess/internal/mdm"
+)
+
+// Cube is a derived cube: a sparse partial function from the coordinates
+// of a group-by set to tuples of measure values, stored column-wise.
+// Derived (transformed, compared) measures are appended as extra columns;
+// the label column, being categorical, is kept separately in Labels.
+type Cube struct {
+	Schema *mdm.Schema
+	Group  mdm.GroupBy
+	Names  []string // measure column names, e.g. "quantity", "benchmark.quantity", "diff"
+	Coords []mdm.Coordinate
+	Cols   [][]float64 // Cols[j][i] = value of measure j in cell i
+	Labels []string    // optional, len == len(Coords) when present
+
+	index map[string]int // coordinate key → cell position
+}
+
+// New creates an empty derived cube with the given measure columns.
+func New(s *mdm.Schema, g mdm.GroupBy, names ...string) *Cube {
+	c := &Cube{Schema: s, Group: g, Names: append([]string(nil), names...)}
+	c.Cols = make([][]float64, len(c.Names))
+	c.index = make(map[string]int)
+	return c
+}
+
+// Len returns the number of cells, |C|.
+func (c *Cube) Len() int { return len(c.Coords) }
+
+// MeasureIndex returns the column position of the named measure.
+func (c *Cube) MeasureIndex(name string) (int, bool) {
+	for j, n := range c.Names {
+		if n == name {
+			return j, true
+		}
+	}
+	return 0, false
+}
+
+// AddCell appends one cell. Coordinates must be unique; vals must have one
+// value per measure column.
+func (c *Cube) AddCell(coord mdm.Coordinate, vals []float64) error {
+	if len(vals) != len(c.Cols) {
+		return fmt.Errorf("cube: cell has %d values, cube has %d measures", len(vals), len(c.Cols))
+	}
+	key := coord.Key()
+	if _, dup := c.index[key]; dup {
+		return fmt.Errorf("cube: duplicate coordinate %s", coord.Format(c.Schema, c.Group))
+	}
+	c.index[key] = len(c.Coords)
+	c.Coords = append(c.Coords, coord)
+	for j, v := range vals {
+		c.Cols[j] = append(c.Cols[j], v)
+	}
+	return nil
+}
+
+// MustAddCell is AddCell that panics on error.
+func (c *Cube) MustAddCell(coord mdm.Coordinate, vals ...float64) {
+	if err := c.AddCell(coord, vals); err != nil {
+		panic(err)
+	}
+}
+
+// Lookup returns the cell position of the coordinate.
+func (c *Cube) Lookup(coord mdm.Coordinate) (int, bool) {
+	i, ok := c.index[coord.Key()]
+	return i, ok
+}
+
+// Column returns the values of measure column j across all cells. The
+// slice is shared with the cube.
+func (c *Cube) Column(j int) []float64 { return c.Cols[j] }
+
+// AppendMeasure adds a derived measure column (the output of a ⊟ or ⊡
+// transformation). col must have one value per cell.
+func (c *Cube) AppendMeasure(name string, col []float64) error {
+	if len(col) != c.Len() {
+		return fmt.Errorf("cube: column %s has %d values for %d cells", name, len(col), c.Len())
+	}
+	if _, dup := c.MeasureIndex(name); dup {
+		return fmt.Errorf("cube: measure %s already exists", name)
+	}
+	c.Names = append(c.Names, name)
+	c.Cols = append(c.Cols, col)
+	return nil
+}
+
+// SetLabels attaches the label column.
+func (c *Cube) SetLabels(labels []string) error {
+	if len(labels) != c.Len() {
+		return fmt.Errorf("cube: %d labels for %d cells", len(labels), c.Len())
+	}
+	c.Labels = labels
+	return nil
+}
+
+// positions of the on-levels within a group-by set.
+func joinPositions(g mdm.GroupBy, on []mdm.LevelRef) ([]int, error) {
+	pos := make([]int, len(on))
+	for i, ref := range on {
+		p := g.PosOf(ref)
+		if p < 0 {
+			return nil, fmt.Errorf("cube: join level %d.%d not in group-by set", ref.Hier, ref.Level)
+		}
+		pos[i] = p
+	}
+	return pos, nil
+}
+
+// Join computes the natural join (drill-across) of two joinable cubes:
+// cells with equal coordinates are concatenated; non-matching cells are
+// dropped (or kept with NaN right measures when outer is true, which is
+// the left-outer join of the assess* variant). The right cube's measures
+// are renamed with the alias prefix (e.g. "benchmark.").
+func Join(left, right *Cube, alias string, outer bool) (*Cube, error) {
+	if !left.Group.Equal(right.Group) {
+		return nil, fmt.Errorf("cube: cubes are not joinable (different group-by sets)")
+	}
+	on := make([]mdm.LevelRef, len(left.Group))
+	copy(on, left.Group)
+	return PartialJoin(left, right, on, alias, outer)
+}
+
+// PartialJoin computes left ⋈_{on} right: cells match when their
+// coordinates agree on the given levels. Each left cell must match at most
+// one right cell (the assess plans guarantee this: the right cube is a
+// single slice); multiple matches are an error. Non-matching left cells
+// are dropped, or kept with NaN right measures when outer is true.
+func PartialJoin(left, right *Cube, on []mdm.LevelRef, alias string, outer bool) (*Cube, error) {
+	lpos, err := joinPositions(left.Group, on)
+	if err != nil {
+		return nil, err
+	}
+	rpos, err := joinPositions(right.Group, on)
+	if err != nil {
+		return nil, err
+	}
+	names := append([]string(nil), left.Names...)
+	for _, n := range right.Names {
+		names = append(names, alias+n)
+	}
+	out := New(left.Schema, left.Group, names...)
+
+	// Hash the right side on the join key, rejecting duplicates.
+	rindex := make(map[string]int, right.Len())
+	for i, coord := range right.Coords {
+		key := coord.KeyOn(rpos)
+		if _, dup := rindex[key]; dup {
+			return nil, fmt.Errorf("cube: partial join is ambiguous: right cube has several cells for key of %s",
+				coord.Format(right.Schema, right.Group))
+		}
+		rindex[key] = i
+	}
+	vals := make([]float64, len(names))
+	for i, coord := range left.Coords {
+		ri, ok := rindex[coord.KeyOn(lpos)]
+		if !ok && !outer {
+			continue
+		}
+		for j := range left.Cols {
+			vals[j] = left.Cols[j][i]
+		}
+		for j := range right.Cols {
+			if ok {
+				vals[len(left.Cols)+j] = right.Cols[j][ri]
+			} else {
+				vals[len(left.Cols)+j] = math.NaN()
+			}
+		}
+		if err := out.AddCell(coord.Clone(), append([]float64(nil), vals...)); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// Pivot computes ⊞_{⟨m→name⟩, l, ref}(C): it keeps only the slice of level
+// l on member ref and, for each kept cell, appends the measures of its
+// neighbor cells (same coordinate except for l) as new measures. Each
+// neighbor contributes one renamed copy of every measure, in the order of
+// the neighbors slice; when neighbors is nil the members present in the
+// cube are used, ordered by member name (chronological for ISO-formatted
+// temporal members). When strict is true, cells missing any neighbor are
+// dropped (the paper's "is not null" filter); otherwise missing neighbor
+// measures are NaN. rename maps a (measure, neighbor member) pair to the
+// new column name; by default names are "m@member".
+func Pivot(c *Cube, level mdm.LevelRef, ref int32, neighbors []int32, strict bool, rename func(measure, member string) string) (*Cube, error) {
+	lp := c.Group.PosOf(level)
+	if lp < 0 {
+		return nil, fmt.Errorf("cube: pivot level not in group-by set")
+	}
+	if rename == nil {
+		rename = func(measure, member string) string { return measure + "@" + member }
+	}
+	dict := c.Schema.Dict(level)
+
+	if neighbors == nil {
+		// Collect the neighbor members present in the cube, ordered by name.
+		memberSet := make(map[int32]bool)
+		for _, coord := range c.Coords {
+			memberSet[coord[lp]] = true
+		}
+		neighbors = make([]int32, 0, len(memberSet))
+		for id := range memberSet {
+			if id != ref {
+				neighbors = append(neighbors, id)
+			}
+		}
+		sort.Slice(neighbors, func(i, j int) bool { return dict.Name(neighbors[i]) < dict.Name(neighbors[j]) })
+	}
+
+	names := append([]string(nil), c.Names...)
+	for _, id := range neighbors {
+		for _, m := range c.Names {
+			names = append(names, rename(m, dict.Name(id)))
+		}
+	}
+	out := New(c.Schema, c.Group, names...)
+
+	// Index all cells by (neighbor-member, other-coordinates) key.
+	others := make([]int, 0, len(c.Group)-1)
+	for p := range c.Group {
+		if p != lp {
+			others = append(others, p)
+		}
+	}
+	type sliceKey struct {
+		member int32
+		key    string
+	}
+	byKey := make(map[sliceKey]int, c.Len())
+	for i, coord := range c.Coords {
+		byKey[sliceKey{coord[lp], coord.KeyOn(others)}] = i
+	}
+
+	vals := make([]float64, len(names))
+cells:
+	for i, coord := range c.Coords {
+		if coord[lp] != ref {
+			continue
+		}
+		for j := range c.Cols {
+			vals[j] = c.Cols[j][i]
+		}
+		okey := coord.KeyOn(others)
+		w := len(c.Cols)
+		for _, id := range neighbors {
+			ni, ok := byKey[sliceKey{id, okey}]
+			for j := range c.Cols {
+				if ok {
+					vals[w] = c.Cols[j][ni]
+				} else {
+					if strict {
+						continue cells
+					}
+					vals[w] = math.NaN()
+				}
+				w++
+			}
+		}
+		if err := out.AddCell(coord.Clone(), append([]float64(nil), vals...)); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// SortByCoordinate orders cells lexicographically by member names, for
+// deterministic rendering. It rebuilds the coordinate index.
+func (c *Cube) SortByCoordinate() {
+	order := make([]int, c.Len())
+	for i := range order {
+		order[i] = i
+	}
+	name := func(i, p int) string { return c.Schema.Dict(c.Group[p]).Name(c.Coords[i][p]) }
+	sort.SliceStable(order, func(a, b int) bool {
+		for p := range c.Group {
+			na, nb := name(order[a], p), name(order[b], p)
+			if na != nb {
+				return na < nb
+			}
+		}
+		return false
+	})
+	coords := make([]mdm.Coordinate, c.Len())
+	cols := make([][]float64, len(c.Cols))
+	for j := range cols {
+		cols[j] = make([]float64, c.Len())
+	}
+	var labels []string
+	if c.Labels != nil {
+		labels = make([]string, c.Len())
+	}
+	for dst, src := range order {
+		coords[dst] = c.Coords[src]
+		for j := range cols {
+			cols[j][dst] = c.Cols[j][src]
+		}
+		if labels != nil {
+			labels[dst] = c.Labels[src]
+		}
+	}
+	c.Coords, c.Cols, c.Labels = coords, cols, labels
+	c.index = make(map[string]int, len(coords))
+	for i, coord := range coords {
+		c.index[coord.Key()] = i
+	}
+}
+
+// String renders the cube as a small table, for debugging and examples.
+func (c *Cube) String() string {
+	var b strings.Builder
+	for p := range c.Group {
+		fmt.Fprintf(&b, "%s\t", c.Schema.LevelName(c.Group[p]))
+	}
+	for _, n := range c.Names {
+		fmt.Fprintf(&b, "%s\t", n)
+	}
+	if c.Labels != nil {
+		b.WriteString("label")
+	}
+	b.WriteByte('\n')
+	for i, coord := range c.Coords {
+		for p, id := range coord {
+			fmt.Fprintf(&b, "%s\t", c.Schema.Dict(c.Group[p]).Name(id))
+		}
+		for j := range c.Cols {
+			fmt.Fprintf(&b, "%g\t", c.Cols[j][i])
+		}
+		if c.Labels != nil {
+			b.WriteString(c.Labels[i])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,324 @@
+package cube
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"github.com/assess-olap/assess/internal/mdm"
+)
+
+// fixture builds a product×country schema and the Figure 1 target (C) and
+// benchmark (B) cubes of the paper.
+func fixture(t *testing.T) (*mdm.Schema, mdm.GroupBy, *Cube, *Cube) {
+	t.Helper()
+	hp := mdm.NewHierarchy("Product", "product", "type")
+	hp.MustAddMember("Apple", "Fresh Fruit")
+	hp.MustAddMember("Pear", "Fresh Fruit")
+	hp.MustAddMember("Lemon", "Fresh Fruit")
+	hp.MustAddMember("Banana", "Fresh Fruit")
+	hc := mdm.NewHierarchy("Store", "country")
+	hc.MustAddMember("Italy")
+	hc.MustAddMember("France")
+	s := mdm.NewSchema("SALES", []*mdm.Hierarchy{hp, hc},
+		[]mdm.Measure{{Name: "quantity", Op: mdm.AggSum}})
+	g := mdm.MustGroupBy(s, "product", "country")
+
+	member := func(h int, lvl int, name string) int32 {
+		id, ok := s.Hiers[h].Dict(lvl).Lookup(name)
+		if !ok {
+			t.Fatalf("member %s missing", name)
+		}
+		return id
+	}
+	coord := func(prod, country string) mdm.Coordinate {
+		return mdm.Coordinate{member(0, 0, prod), member(1, 0, country)}
+	}
+	c := New(s, g, "quantity")
+	c.MustAddCell(coord("Apple", "Italy"), 100)
+	c.MustAddCell(coord("Pear", "Italy"), 90)
+	c.MustAddCell(coord("Lemon", "Italy"), 30)
+	b := New(s, g, "quantity")
+	b.MustAddCell(coord("Apple", "France"), 150)
+	b.MustAddCell(coord("Pear", "France"), 110)
+	b.MustAddCell(coord("Lemon", "France"), 20)
+	return s, g, c, b
+}
+
+func TestAddCellDuplicate(t *testing.T) {
+	_, _, c, _ := fixture(t)
+	if err := c.AddCell(c.Coords[0].Clone(), []float64{1}); err == nil {
+		t.Fatal("duplicate coordinate accepted")
+	}
+	if err := c.AddCell(mdm.Coordinate{3, 0}, []float64{1, 2}); err == nil {
+		t.Fatal("wrong measure arity accepted")
+	}
+}
+
+func TestPartialJoinFigureOne(t *testing.T) {
+	s, _, c, b := fixture(t)
+	product, _ := s.FindLevel("product")
+	d, err := PartialJoin(c, b, []mdm.LevelRef{product}, "benchmark.", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 3 {
+		t.Fatalf("|D| = %d, want 3", d.Len())
+	}
+	qj, ok := d.MeasureIndex("benchmark.quantity")
+	if !ok {
+		t.Fatal("benchmark.quantity column missing")
+	}
+	// Paper Figure 1: ⟨Apple, Italy⟩ maps onto ⟨Apple, France⟩ = 150.
+	for i, coord := range d.Coords {
+		prod := s.Dict(d.Group[0]).Name(coord[0])
+		country := s.Dict(d.Group[1]).Name(coord[1])
+		if country != "Italy" {
+			t.Errorf("joined cell kept benchmark coordinate %s", country)
+		}
+		want := map[string]float64{"Apple": 150, "Pear": 110, "Lemon": 20}[prod]
+		if got := d.Cols[qj][i]; got != want {
+			t.Errorf("%s: benchmark.quantity = %g, want %g", prod, got, want)
+		}
+	}
+}
+
+func TestNaturalJoinRequiresSameGroupBy(t *testing.T) {
+	s, _, c, _ := fixture(t)
+	g2 := mdm.MustGroupBy(s, "product")
+	other := New(s, g2, "quantity")
+	if _, err := Join(c, other, "b.", false); err == nil {
+		t.Fatal("join of non-joinable cubes accepted (Definition 3.1)")
+	}
+}
+
+func TestNaturalJoinMatchesOnFullCoordinate(t *testing.T) {
+	s, g, c, _ := fixture(t)
+	// A benchmark with identical coordinates (external-benchmark shape).
+	b2 := New(s, g, "expected")
+	for i, coord := range c.Coords {
+		b2.MustAddCell(coord.Clone(), c.Cols[0][i]*2)
+	}
+	j, err := Join(c, b2, "benchmark.", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.Len() != 3 {
+		t.Fatalf("|J| = %d, want 3", j.Len())
+	}
+	ej, _ := j.MeasureIndex("benchmark.expected")
+	for i := range j.Coords {
+		if j.Cols[ej][i] != 2*j.Cols[0][i] {
+			t.Errorf("cell %d: expected %g, got %g", i, 2*j.Cols[0][i], j.Cols[ej][i])
+		}
+	}
+}
+
+func TestLeftOuterJoinKeepsUnmatched(t *testing.T) {
+	s, _, c, b := fixture(t)
+	// Remove Lemon from the benchmark by rebuilding it.
+	b2 := New(s, b.Group, "quantity")
+	for i, coord := range b.Coords {
+		if s.Dict(b.Group[0]).Name(coord[0]) == "Lemon" {
+			continue
+		}
+		b2.MustAddCell(coord.Clone(), b.Cols[0][i])
+	}
+	product, _ := s.FindLevel("product")
+	inner, err := PartialJoin(c, b2, []mdm.LevelRef{product}, "benchmark.", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inner.Len() != 2 {
+		t.Fatalf("inner |D| = %d, want 2", inner.Len())
+	}
+	outer, err := PartialJoin(c, b2, []mdm.LevelRef{product}, "benchmark.", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if outer.Len() != 3 {
+		t.Fatalf("outer |D| = %d, want 3 (assess* keeps all target cells)", outer.Len())
+	}
+	qj, _ := outer.MeasureIndex("benchmark.quantity")
+	var sawNaN bool
+	for i := range outer.Coords {
+		if math.IsNaN(outer.Cols[qj][i]) {
+			sawNaN = true
+		}
+	}
+	if !sawNaN {
+		t.Error("unmatched cell has no NaN benchmark value")
+	}
+}
+
+func TestPartialJoinAmbiguous(t *testing.T) {
+	s, g, c, b := fixture(t)
+	// Add a second France-side slice member so two cells share the product key.
+	b2 := New(s, g, "quantity")
+	for i, coord := range b.Coords {
+		b2.MustAddCell(coord.Clone(), b.Cols[0][i])
+	}
+	italy, _ := s.Hiers[1].Dict(0).Lookup("Italy")
+	apple, _ := s.Hiers[0].Dict(0).Lookup("Apple")
+	b2.MustAddCell(mdm.Coordinate{apple, italy}, 1)
+	product, _ := s.FindLevel("product")
+	if _, err := PartialJoin(c, b2, []mdm.LevelRef{product}, "b.", false); err == nil {
+		t.Fatal("ambiguous partial join accepted")
+	}
+}
+
+func TestPivotFigureTwo(t *testing.T) {
+	s, g, c, b := fixture(t)
+	// C' = both slices in one cube (the POP get of Example 4.4).
+	cp := New(s, g, "quantity")
+	for i, coord := range c.Coords {
+		cp.MustAddCell(coord.Clone(), c.Cols[0][i])
+	}
+	for i, coord := range b.Coords {
+		cp.MustAddCell(coord.Clone(), b.Cols[0][i])
+	}
+	country, _ := s.FindLevel("country")
+	italy, _ := s.Hiers[1].Dict(0).Lookup("Italy")
+	d, err := Pivot(cp, country, italy, nil, true, func(m, member string) string { return "qtyFrance" })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 3 {
+		t.Fatalf("|D'| = %d, want 3", d.Len())
+	}
+	qf, ok := d.MeasureIndex("qtyFrance")
+	if !ok {
+		t.Fatal("qtyFrance column missing")
+	}
+	want := map[string]float64{"Apple": 150, "Pear": 110, "Lemon": 20}
+	for i, coord := range d.Coords {
+		prod := s.Dict(d.Group[0]).Name(coord[0])
+		if got := d.Cols[qf][i]; got != want[prod] {
+			t.Errorf("%s: qtyFrance = %g, want %g", prod, got, want[prod])
+		}
+		if country := s.Dict(d.Group[1]).Name(coord[1]); country != "Italy" {
+			t.Errorf("pivot kept non-reference slice %s", country)
+		}
+	}
+}
+
+func TestPivotStrictDropsIncomplete(t *testing.T) {
+	s, g, c, b := fixture(t)
+	cp := New(s, g, "quantity")
+	for i, coord := range c.Coords {
+		cp.MustAddCell(coord.Clone(), c.Cols[0][i])
+	}
+	for i, coord := range b.Coords {
+		if s.Dict(g[0]).Name(coord[0]) == "Lemon" {
+			continue // France has no Lemon cell
+		}
+		cp.MustAddCell(coord.Clone(), b.Cols[0][i])
+	}
+	country, _ := s.FindLevel("country")
+	italy, _ := s.Hiers[1].Dict(0).Lookup("Italy")
+	strict, err := Pivot(cp, country, italy, nil, true, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strict.Len() != 2 {
+		t.Fatalf("strict |D| = %d, want 2 (Listing 5 filters nulls)", strict.Len())
+	}
+	loose, err := Pivot(cp, country, italy, nil, false, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loose.Len() != 3 {
+		t.Fatalf("non-strict |D| = %d, want 3", loose.Len())
+	}
+}
+
+func TestPivotNeighborOrderChronological(t *testing.T) {
+	// Months pivot: neighbors must be ordered by member name, so ISO months
+	// come out chronologically (required by the regression transform).
+	hd := mdm.NewHierarchy("Date", "month")
+	for _, m := range []string{"1997-07", "1997-03", "1997-05", "1997-04", "1997-06"} {
+		hd.MustAddMember(m)
+	}
+	hs := mdm.NewHierarchy("Store", "store")
+	hs.MustAddMember("SmartMart")
+	s := mdm.NewSchema("SALES", []*mdm.Hierarchy{hd, hs},
+		[]mdm.Measure{{Name: "storeSales", Op: mdm.AggSum}})
+	g := mdm.MustGroupBy(s, "month", "store")
+	c := New(s, g, "storeSales")
+	store, _ := hs.Dict(0).Lookup("SmartMart")
+	for i, m := range []string{"1997-03", "1997-04", "1997-05", "1997-06", "1997-07"} {
+		id, _ := hd.Dict(0).Lookup(m)
+		c.MustAddCell(mdm.Coordinate{id, store}, float64(100+10*i))
+	}
+	month, _ := s.FindLevel("month")
+	ref, _ := hd.Dict(0).Lookup("1997-07")
+	p, err := Pivot(c, month, ref, nil, true, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantNames := []string{"storeSales", "storeSales@1997-03", "storeSales@1997-04", "storeSales@1997-05", "storeSales@1997-06"}
+	if strings.Join(p.Names, ",") != strings.Join(wantNames, ",") {
+		t.Fatalf("pivot columns = %v, want %v", p.Names, wantNames)
+	}
+	for j, want := range []float64{140, 100, 110, 120, 130} {
+		if got := p.Cols[j][0]; got != want {
+			t.Errorf("column %s = %g, want %g", p.Names[j], got, want)
+		}
+	}
+}
+
+func TestPivotEmptyReferenceSlice(t *testing.T) {
+	s, g, _, b := fixture(t)
+	country, _ := s.FindLevel("country")
+	italy, _ := s.Hiers[1].Dict(0).Lookup("Italy")
+	p, err := Pivot(b, country, italy, nil, true, nil) // b has only France cells
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Len() != 0 {
+		t.Fatalf("pivot of empty reference slice has %d cells", p.Len())
+	}
+	_ = g
+}
+
+func TestAppendMeasureAndLabels(t *testing.T) {
+	_, _, c, _ := fixture(t)
+	if err := c.AppendMeasure("diff", []float64{1, 2}); err == nil {
+		t.Fatal("short column accepted")
+	}
+	if err := c.AppendMeasure("diff", []float64{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AppendMeasure("diff", []float64{1, 2, 3}); err == nil {
+		t.Fatal("duplicate measure name accepted")
+	}
+	if err := c.SetLabels([]string{"a"}); err == nil {
+		t.Fatal("short label column accepted")
+	}
+	if err := c.SetLabels([]string{"a", "b", "c"}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(c.String(), "label") {
+		t.Error("String() does not render the label column")
+	}
+}
+
+func TestSortByCoordinate(t *testing.T) {
+	s, _, c, _ := fixture(t)
+	c.MustAddCell(mdm.Coordinate{3, 0}, 5) // Banana, Italy
+	c.SortByCoordinate()
+	names := make([]string, c.Len())
+	for i, coord := range c.Coords {
+		names[i] = s.Dict(c.Group[0]).Name(coord[0])
+	}
+	want := "Apple,Banana,Lemon,Pear"
+	if got := strings.Join(names, ","); got != want {
+		t.Errorf("sorted products = %s, want %s", got, want)
+	}
+	// Index must be rebuilt: lookups still work.
+	for i, coord := range c.Coords {
+		if j, ok := c.Lookup(coord); !ok || j != i {
+			t.Fatalf("index stale after sort at cell %d", i)
+		}
+	}
+}

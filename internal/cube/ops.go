@@ -1,0 +1,163 @@
+package cube
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/assess-olap/assess/internal/mdm"
+)
+
+// MultiplyJoin computes the one-to-many partial join used by
+// Join-Optimized Plans over past benchmarks (Example 5.3): each left
+// (target) cell is joined with the right (benchmark) cells of every slice
+// member in members, producing one output row per (cell, member) pair —
+// exactly what the SQL join of the pushed subexpression C ⋈ B returns
+// when B holds several time slices. Output coordinates are the left
+// coordinate with the slice level replaced by the member. When outer is
+// true every (cell, member) pair is emitted, with NaN right measures
+// where no match exists (the assess* variant); otherwise only actual
+// matches are emitted.
+func MultiplyJoin(left, right *Cube, level mdm.LevelRef, members []int32, alias string, outer bool) (*Cube, error) {
+	lp := left.Group.PosOf(level)
+	rp := right.Group.PosOf(level)
+	if lp < 0 || rp < 0 {
+		return nil, fmt.Errorf("cube: multiply-join level not in both group-by sets")
+	}
+	if !left.Group.Equal(right.Group) {
+		return nil, fmt.Errorf("cube: cubes are not joinable (different group-by sets)")
+	}
+	names := append([]string(nil), left.Names...)
+	for _, n := range right.Names {
+		names = append(names, alias+n)
+	}
+	out := New(left.Schema, left.Group, names...)
+	vals := make([]float64, len(names))
+	key := make(mdm.Coordinate, len(left.Group))
+	for i, coord := range left.Coords {
+		copy(key, coord)
+		for _, member := range members {
+			key[lp] = member
+			ri, ok := right.Lookup(key)
+			if !ok && !outer {
+				continue
+			}
+			for j := range left.Cols {
+				vals[j] = left.Cols[j][i]
+			}
+			for j := range right.Cols {
+				if ok {
+					vals[len(left.Cols)+j] = right.Cols[j][ri]
+				} else {
+					vals[len(left.Cols)+j] = math.NaN()
+				}
+			}
+			if err := out.AddCell(key.Clone(), append([]float64(nil), vals...)); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return out, nil
+}
+
+// RollupJoin joins each cell of the target cube with the benchmark cell
+// its coordinate rolls up to: the cell-to-cell mapping of ancestor
+// benchmarks (assessing milk against its category). The benchmark's
+// group-by set must be the target's with the child level replaced by a
+// coarser level of the same hierarchy. Unmatched target cells are
+// dropped, or kept with NaN benchmark measures when outer is true.
+func RollupJoin(target, bench *Cube, alias string, outer bool) (*Cube, error) {
+	if !target.Group.RollsUpTo(bench.Group) {
+		return nil, fmt.Errorf("cube: target group-by does not roll up to the benchmark's")
+	}
+	names := append([]string(nil), target.Names...)
+	for _, n := range bench.Names {
+		names = append(names, alias+n)
+	}
+	out := New(target.Schema, target.Group, names...)
+	vals := make([]float64, len(names))
+	for i, coord := range target.Coords {
+		up := coord.Rollup(target.Schema, target.Group, bench.Group)
+		bi, ok := bench.Lookup(up)
+		if !ok && !outer {
+			continue
+		}
+		for j := range target.Cols {
+			vals[j] = target.Cols[j][i]
+		}
+		for j := range bench.Cols {
+			if ok {
+				vals[len(target.Cols)+j] = bench.Cols[j][bi]
+			} else {
+				vals[len(target.Cols)+j] = math.NaN()
+			}
+		}
+		if err := out.AddCell(coord.Clone(), append([]float64(nil), vals...)); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// Project returns a cube keeping only the named measure columns, renamed
+// through rename (old name → new name; identity when absent). Column
+// slices are shared with the source cube.
+func (c *Cube) Project(keep []string, rename map[string]string) (*Cube, error) {
+	names := make([]string, len(keep))
+	cols := make([][]float64, len(keep))
+	for i, name := range keep {
+		j, ok := c.MeasureIndex(name)
+		if !ok {
+			return nil, fmt.Errorf("cube: no measure %q to project", name)
+		}
+		out := name
+		if nn, ok := rename[name]; ok {
+			out = nn
+		}
+		names[i] = out
+		cols[i] = c.Cols[j]
+	}
+	seen := make(map[string]bool, len(names))
+	for _, n := range names {
+		if seen[n] {
+			return nil, fmt.Errorf("cube: projection produces duplicate column %q", n)
+		}
+		seen[n] = true
+	}
+	out := &Cube{
+		Schema: c.Schema,
+		Group:  c.Group,
+		Names:  names,
+		Coords: c.Coords,
+		Cols:   cols,
+		Labels: c.Labels,
+		index:  c.index,
+	}
+	return out, nil
+}
+
+// ReplaceSlice returns a cube whose coordinates carry member at the given
+// level: the cell-to-cell mapping of sibling and past benchmarks
+// ("replacing u with u_sib", Section 3.1). All cells must belong to a
+// single slice of the level, otherwise coordinates would collide.
+func (c *Cube) ReplaceSlice(level mdm.LevelRef, member int32) (*Cube, error) {
+	lp := c.Group.PosOf(level)
+	if lp < 0 {
+		return nil, fmt.Errorf("cube: slice level not in group-by set")
+	}
+	out := New(c.Schema, c.Group, c.Names...)
+	vals := make([]float64, len(c.Cols))
+	for i, coord := range c.Coords {
+		nc := coord.Clone()
+		nc[lp] = member
+		for j := range c.Cols {
+			vals[j] = c.Cols[j][i]
+		}
+		if err := out.AddCell(nc, append([]float64(nil), vals...)); err != nil {
+			return nil, err
+		}
+	}
+	if c.Labels != nil {
+		out.Labels = append([]string(nil), c.Labels...)
+	}
+	return out, nil
+}

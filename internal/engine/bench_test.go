@@ -1,0 +1,76 @@
+package engine
+
+import (
+	"testing"
+
+	"github.com/assess-olap/assess/internal/mdm"
+	"github.com/assess-olap/assess/internal/ssb"
+)
+
+// Engine micro-benchmarks: the fact scan, the view filter, the cursor
+// transfer, and parallel scaling.
+
+func benchDataset(b *testing.B) (*Engine, *mdm.Schema, Query) {
+	b.Helper()
+	ds := ssb.Generate(0.05, 42) // 300k rows
+	e := New()
+	if err := e.Register("LINEORDER", ds.Fact); err != nil {
+		b.Fatal(err)
+	}
+	ri, _ := ds.Schema.MeasureIndex("revenue")
+	q := Query{
+		Fact:     "LINEORDER",
+		Group:    mdm.MustGroupBy(ds.Schema, "customer", "year"),
+		Measures: []int{ri},
+	}
+	return e, ds.Schema, q
+}
+
+func BenchmarkScanAggregate(b *testing.B) {
+	e, _, q := benchDataset(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Get(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkScanAggregateParallel(b *testing.B) {
+	e, _, q := benchDataset(b)
+	e.SetParallelism(0) // all cores
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Get(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkViewAggregate(b *testing.B) {
+	e, _, q := benchDataset(b)
+	if err := e.Materialize("LINEORDER", q.Group); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Get(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCursorTransfer(b *testing.B) {
+	e, _, q := benchDataset(b)
+	c, err := e.aggregate(q)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := transfer(c); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(c.Len()), "cells")
+}

@@ -1,0 +1,324 @@
+// Package engine is the query engine standing in for the Oracle DBMS of
+// the paper's prototype (Section 6). It evaluates cube queries (the
+// logical get operator) over columnar star-schema fact tables and, like a
+// DBMS accepting richer SQL, can additionally evaluate drill-across joins
+// (Listing 4, used by JOP plans) and pivots (Listing 5, used by POP plans)
+// engine-side before results cross to the client.
+//
+// The engine/client boundary is explicit: every result set is serialized
+// into a binary row format and decoded into a client cube, exactly like a
+// DBMS cursor. This is what differentiates the plans of Section 5: a
+// Naive Plan transfers the target and benchmark cubes separately
+// (including tuples that will not join) and joins them in client memory,
+// while JOP and POP transfer only the joined (or pivoted) rows once.
+package engine
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/assess-olap/assess/internal/cube"
+	"github.com/assess-olap/assess/internal/mdm"
+	"github.com/assess-olap/assess/internal/storage"
+)
+
+// Predicate is one selection predicate over one level of a hierarchy
+// (Definition 2.6): level = member, or level ∈ {members} for the member
+// lists used by sibling and past benchmarks.
+type Predicate struct {
+	Level   mdm.LevelRef
+	Members []int32 // member ids at Level; a single id is an equality
+}
+
+// Query is a cube query q = (C0, G, P, M) (Definition 2.6): the named
+// detailed cube, a group-by set, selection predicates, and the indices of
+// the requested measures.
+type Query struct {
+	Fact     string
+	Group    mdm.GroupBy
+	Preds    []Predicate
+	Measures []int
+}
+
+// Engine holds the registered detailed cubes (fact tables) and any
+// materialized views. Queries may run concurrently (e.g. from the HTTP
+// server); catalog mutations (Register, Materialize, the knob setters)
+// must happen before queries start.
+type Engine struct {
+	facts map[string]*storage.FactTable
+	views map[viewKey]*cube.Cube
+	// memoized roll-up maps: base member id → member id at a coarser
+	// level. Queries populate this lazily, so it has its own lock.
+	rollupMu sync.RWMutex
+	rollups  map[rollupKey][]int32
+	// noFusion disables the pipelined view→pivot path (ablation knob).
+	noFusion bool
+	// workers is the fact-scan parallelism (1 = serial, the default).
+	workers int
+}
+
+type rollupKey struct {
+	fact  string
+	level mdm.LevelRef
+}
+
+// New returns an empty engine.
+func New() *Engine {
+	return &Engine{
+		facts:   make(map[string]*storage.FactTable),
+		views:   make(map[viewKey]*cube.Cube),
+		rollups: make(map[rollupKey][]int32),
+	}
+}
+
+// Register adds a detailed cube under its name.
+func (e *Engine) Register(name string, f *storage.FactTable) error {
+	if _, dup := e.facts[name]; dup {
+		return fmt.Errorf("engine: cube %s already registered", name)
+	}
+	e.facts[name] = f
+	return nil
+}
+
+// Fact returns the registered detailed cube.
+func (e *Engine) Fact(name string) (*storage.FactTable, bool) {
+	f, ok := e.facts[name]
+	return f, ok
+}
+
+// SetPivotFusion toggles the pipelined view→pivot evaluation of POP
+// plans (enabled by default). Disabling it makes GetPivoted materialize
+// the aggregate before pivoting — the ablation measured by
+// BenchmarkAblationPivotFusion.
+func (e *Engine) SetPivotFusion(enabled bool) { e.noFusion = !enabled }
+
+// Facts returns the names of the registered detailed cubes.
+func (e *Engine) Facts() []string {
+	out := make([]string, 0, len(e.facts))
+	for n := range e.facts {
+		out = append(out, n)
+	}
+	return out
+}
+
+// rollupMap returns (building and caching on first use) the map from
+// base-level member ids of the level's hierarchy to member ids at the
+// level itself.
+func (e *Engine) rollupMap(fact string, f *storage.FactTable, ref mdm.LevelRef) []int32 {
+	key := rollupKey{fact, ref}
+	e.rollupMu.RLock()
+	m, ok := e.rollups[key]
+	e.rollupMu.RUnlock()
+	if ok {
+		return m
+	}
+	h := f.Schema.Hiers[ref.Hier]
+	n := h.Dict(0).Len()
+	m = make([]int32, n)
+	for id := int32(0); int(id) < n; id++ {
+		m[id] = h.Rollup(id, 0, ref.Level)
+	}
+	e.rollupMu.Lock()
+	e.rollups[key] = m
+	e.rollupMu.Unlock()
+	return m
+}
+
+// aggState accumulates one result cell.
+type aggState struct {
+	coord mdm.Coordinate
+	vals  []float64
+	cnt   []int64
+}
+
+// aggregate evaluates the get operator engine-side, before any transfer:
+// from a materialized view when one covers the query, otherwise by a
+// fact-table scan.
+func (e *Engine) aggregate(q Query) (*cube.Cube, error) {
+	if v := e.viewFor(q); v != nil {
+		return aggregateFromView(v, q)
+	}
+	return e.scanAggregate(q)
+}
+
+// scanAggregate scans the fact table (serially, or partitioned across
+// workers when parallelism is enabled), filters rows through the
+// predicates, and aggregates the requested measures by the group-by
+// coordinates.
+func (e *Engine) scanAggregate(q Query) (*cube.Cube, error) {
+	f, ok := e.facts[q.Fact]
+	if !ok {
+		return nil, fmt.Errorf("engine: unknown cube %s", q.Fact)
+	}
+	s := f.Schema
+	for _, mi := range q.Measures {
+		if mi < 0 || mi >= len(s.Measures) {
+			return nil, fmt.Errorf("engine: measure index %d out of range for %s", mi, q.Fact)
+		}
+	}
+	// Per-hierarchy acceptance vectors over base member ids.
+	accepts := make([][]bool, len(s.Hiers))
+	for _, p := range q.Preds {
+		if p.Level.Hier < 0 || p.Level.Hier >= len(s.Hiers) {
+			return nil, fmt.Errorf("engine: predicate hierarchy out of range for %s", q.Fact)
+		}
+		h := s.Hiers[p.Level.Hier]
+		if p.Level.Level < 0 || p.Level.Level >= h.Depth() {
+			return nil, fmt.Errorf("engine: predicate level out of range for hierarchy %s", h.Name())
+		}
+		want := make(map[int32]bool, len(p.Members))
+		for _, m := range p.Members {
+			want[m] = true
+		}
+		rm := e.rollupMap(q.Fact, f, p.Level)
+		acc := accepts[p.Level.Hier]
+		if acc == nil {
+			acc = make([]bool, h.Dict(0).Len())
+			for i := range acc {
+				acc[i] = true
+			}
+			accepts[p.Level.Hier] = acc
+		}
+		for base := range acc {
+			if acc[base] && !want[rm[base]] {
+				acc[base] = false
+			}
+		}
+	}
+	// Per-group-level roll-up maps.
+	gmaps := make([][]int32, len(q.Group))
+	for gi, ref := range q.Group {
+		if ref.Hier < 0 || ref.Hier >= len(s.Hiers) {
+			return nil, fmt.Errorf("engine: group-by hierarchy out of range for %s", q.Fact)
+		}
+		gmaps[gi] = e.rollupMap(q.Fact, f, ref)
+	}
+	ops := make([]mdm.AggOp, len(q.Measures))
+	names := make([]string, len(q.Measures))
+	for j, mi := range q.Measures {
+		ops[j] = s.Measures[mi].Op
+		names[j] = s.Measures[mi].Name
+	}
+	prep := &preparedScan{
+		q:       q,
+		f:       factColumns{keys: f.Keys, meas: f.Meas, rows: f.Rows()},
+		accepts: accepts,
+		gmaps:   gmaps,
+		ops:     ops,
+	}
+	var st scanState
+	if e.workers > 1 {
+		st = prep.runParallel(e.workers)
+	} else {
+		st = prep.run(0, prep.f.rows)
+	}
+	return prep.finalize(cube.New(s, q.Group, names...), st)
+}
+
+// Get evaluates a cube query and transfers the derived cube to the client
+// (the only operation pushed to SQL in a Naive Plan).
+func (e *Engine) Get(q Query) (*cube.Cube, error) {
+	c, err := e.aggregate(q)
+	if err != nil {
+		return nil, err
+	}
+	return transfer(c)
+}
+
+// GetJoined evaluates two cube queries and their (partial, possibly
+// left-outer) join engine-side, transferring only the joined rows: the
+// subexpression C ⋈ B pushed to SQL by a Join-Optimized Plan (Listing 4).
+// The right cube's measures are prefixed with alias.
+func (e *Engine) GetJoined(qc, qb Query, on []mdm.LevelRef, alias string, outer bool) (*cube.Cube, error) {
+	c, err := e.aggregate(qc)
+	if err != nil {
+		return nil, err
+	}
+	b, err := e.aggregate(qb)
+	if err != nil {
+		return nil, err
+	}
+	j, err := cube.PartialJoin(c, b, on, alias, outer)
+	if err != nil {
+		return nil, err
+	}
+	return transfer(j)
+}
+
+// GetPivoted evaluates one cube query covering all slices and pivots it
+// engine-side on the reference member: the get+pivot subexpression pushed
+// to SQL by a Pivot-Optimized Plan (Listing 5). neighbors fixes the
+// benchmark slice columns (nil infers them from the data). When strict is
+// true, cells missing any neighbor slice are filtered out (the "is not
+// null" clauses); the assess* variant keeps them with nulls.
+func (e *Engine) GetPivoted(q Query, level mdm.LevelRef, ref int32, neighbors []int32, strict bool, rename func(measure, member string) string) (*cube.Cube, error) {
+	// When a materialized view covers the query, the get and the pivot
+	// are evaluated in one pipelined pass, as a DBMS would (Listing 5).
+	if v := e.viewFor(q); v != nil && neighbors != nil && !e.noFusion {
+		p, err := e.pivotFromView(v, q, level, ref, neighbors, strict, rename)
+		if err != nil {
+			return nil, err
+		}
+		return transfer(p)
+	}
+	c, err := e.aggregate(q)
+	if err != nil {
+		return nil, err
+	}
+	p, err := cube.Pivot(c, level, ref, neighbors, strict, rename)
+	if err != nil {
+		return nil, err
+	}
+	return transfer(p)
+}
+
+// GetMultiplied evaluates two cube queries and their one-to-many partial
+// join engine-side (the pushed C ⋈ B of a Join-Optimized Plan over a past
+// benchmark, Example 5.3): one output row per (target cell, slice member)
+// pair, transferred once.
+func (e *Engine) GetMultiplied(qc, qb Query, level mdm.LevelRef, members []int32, alias string, outer bool) (*cube.Cube, error) {
+	c, err := e.aggregate(qc)
+	if err != nil {
+		return nil, err
+	}
+	b, err := e.aggregate(qb)
+	if err != nil {
+		return nil, err
+	}
+	m, err := cube.MultiplyJoin(c, b, level, members, alias, outer)
+	if err != nil {
+		return nil, err
+	}
+	return transfer(m)
+}
+
+// GetRollupJoined evaluates the target query and its ancestor benchmark
+// engine-side: the benchmark is the target query re-grouped at the
+// coarser group-by set, and each target cell is joined with the
+// benchmark cell its coordinate rolls up to. Only the joined rows cross
+// to the client (the JOP form of an ancestor benchmark).
+func (e *Engine) GetRollupJoined(qc, qb Query, alias string, outer bool) (*cube.Cube, error) {
+	c, err := e.aggregate(qc)
+	if err != nil {
+		return nil, err
+	}
+	b, err := e.aggregate(qb)
+	if err != nil {
+		return nil, err
+	}
+	j, err := cube.RollupJoin(c, b, alias, outer)
+	if err != nil {
+		return nil, err
+	}
+	return transfer(j)
+}
+
+// Cardinality returns |C| for a cube query without transferring the
+// result (used by the Table 2 experiment).
+func (e *Engine) Cardinality(q Query) (int, error) {
+	c, err := e.aggregate(q)
+	if err != nil {
+		return 0, err
+	}
+	return c.Len(), nil
+}

@@ -1,0 +1,160 @@
+package engine
+
+import (
+	"math"
+	"testing"
+
+	"github.com/assess-olap/assess/internal/mdm"
+	"github.com/assess-olap/assess/internal/sales"
+)
+
+// TestFusedPivotMatchesUnfused: the pipelined view→pivot path and the
+// materialize-then-pivot path produce identical cubes, for sibling- and
+// past-shaped pivots, strict and non-strict.
+func TestFusedPivotMatchesUnfused(t *testing.T) {
+	ds := sales.Generate(20_000, 61)
+	s := ds.Schema
+	fused := New()
+	unfused := New()
+	unfused.SetPivotFusion(false)
+	for _, e := range []*Engine{fused, unfused} {
+		if err := e.Register("SALES", ds.Fact); err != nil {
+			t.Fatal(err)
+		}
+		for _, levels := range [][]string{{"product", "country"}, {"month", "store"}} {
+			if err := e.Materialize("SALES", mdm.MustGroupBy(s, levels...)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	qi, _ := s.MeasureIndex("quantity")
+	countryRef, _ := s.FindLevel("country")
+	italy, _ := s.Dict(countryRef).Lookup("Italy")
+	france, _ := s.Dict(countryRef).Lookup("France")
+	greece, _ := s.Dict(countryRef).Lookup("Greece")
+
+	monthRef, _ := s.FindLevel("month")
+	var months []int32
+	for _, m := range []string{"1997-03", "1997-04", "1997-05", "1997-06", "1997-07"} {
+		id, _ := s.Dict(monthRef).Lookup(m)
+		months = append(months, id)
+	}
+	si, _ := s.MeasureIndex("storeSales")
+
+	cases := []struct {
+		name      string
+		q         Query
+		level     mdm.LevelRef
+		ref       int32
+		neighbors []int32
+	}{
+		{
+			name: "sibling",
+			q: Query{Fact: "SALES", Group: mdm.MustGroupBy(s, "product", "country"),
+				Preds:    []Predicate{{Level: countryRef, Members: []int32{italy, france}}},
+				Measures: []int{qi}},
+			level: countryRef, ref: italy, neighbors: []int32{france},
+		},
+		{
+			name: "sibling-sparse",
+			q: Query{Fact: "SALES", Group: mdm.MustGroupBy(s, "product", "country"),
+				Preds:    []Predicate{{Level: countryRef, Members: []int32{italy, greece}}},
+				Measures: []int{qi}},
+			level: countryRef, ref: italy, neighbors: []int32{greece},
+		},
+		{
+			name: "past",
+			q: Query{Fact: "SALES", Group: mdm.MustGroupBy(s, "month", "store"),
+				Preds:    []Predicate{{Level: monthRef, Members: months}},
+				Measures: []int{si}},
+			level: monthRef, ref: months[4], neighbors: months[:4],
+		},
+	}
+	for _, c := range cases {
+		for _, strict := range []bool{true, false} {
+			a, err := fused.GetPivoted(c.q, c.level, c.ref, c.neighbors, strict, nil)
+			if err != nil {
+				t.Fatalf("%s fused: %v", c.name, err)
+			}
+			b, err := unfused.GetPivoted(c.q, c.level, c.ref, c.neighbors, strict, nil)
+			if err != nil {
+				t.Fatalf("%s unfused: %v", c.name, err)
+			}
+			if a.Len() != b.Len() {
+				t.Fatalf("%s strict=%v: fused %d cells, unfused %d", c.name, strict, a.Len(), b.Len())
+			}
+			if len(a.Names) != len(b.Names) {
+				t.Fatalf("%s: columns differ: %v vs %v", c.name, a.Names, b.Names)
+			}
+			for i, coord := range a.Coords {
+				bi, ok := b.Lookup(coord)
+				if !ok {
+					t.Fatalf("%s strict=%v: coordinate missing from unfused result", c.name, strict)
+				}
+				for j := range a.Cols {
+					x, y := a.Cols[j][i], b.Cols[j][bi]
+					if x != y && !(math.IsNaN(x) && math.IsNaN(y)) {
+						t.Errorf("%s strict=%v %s: fused %g unfused %g",
+							c.name, strict, a.Names[j], x, y)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestGetMultipliedValidation(t *testing.T) {
+	ds := sales.FigureOne()
+	e := New()
+	if err := e.Register("SALES", ds.Fact); err != nil {
+		t.Fatal(err)
+	}
+	s := ds.Schema
+	qi, _ := s.MeasureIndex("quantity")
+	countryRef, _ := s.FindLevel("country")
+	q := Query{Fact: "SALES", Group: mdm.MustGroupBy(s, "product", "country"), Measures: []int{qi}}
+	bad := q
+	bad.Fact = "NOPE"
+	if _, err := e.GetMultiplied(bad, q, countryRef, nil, "b.", false); err == nil {
+		t.Error("unknown left fact accepted")
+	}
+	if _, err := e.GetMultiplied(q, bad, countryRef, nil, "b.", false); err == nil {
+		t.Error("unknown right fact accepted")
+	}
+	monthRef, _ := s.FindLevel("month")
+	if _, err := e.GetMultiplied(q, q, monthRef, nil, "b.", false); err == nil {
+		t.Error("multiply level outside the group-by accepted")
+	}
+}
+
+func TestGetRollupJoinedValidation(t *testing.T) {
+	ds := sales.FigureOne()
+	e := New()
+	if err := e.Register("SALES", ds.Fact); err != nil {
+		t.Fatal(err)
+	}
+	s := ds.Schema
+	qi, _ := s.MeasureIndex("quantity")
+	qc := Query{Fact: "SALES", Group: mdm.MustGroupBy(s, "product"), Measures: []int{qi}}
+	qb := Query{Fact: "SALES", Group: mdm.MustGroupBy(s, "type"), Measures: []int{qi}}
+	j, err := e.GetRollupJoined(qc, qb, "benchmark.", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.Len() == 0 {
+		t.Error("roll-up join empty")
+	}
+	// Benchmark group that the target does not roll up to.
+	qbad := Query{Fact: "SALES", Group: mdm.MustGroupBy(s, "month"), Measures: []int{qi}}
+	if _, err := e.GetRollupJoined(qc, qbad, "benchmark.", false); err == nil {
+		t.Error("non-rollup benchmark group accepted")
+	}
+	bad := qc
+	bad.Fact = "NOPE"
+	if _, err := e.GetRollupJoined(bad, qb, "b.", false); err == nil {
+		t.Error("unknown target fact accepted")
+	}
+	if _, err := e.GetRollupJoined(qc, bad, "b.", false); err == nil {
+		t.Error("unknown benchmark fact accepted")
+	}
+}

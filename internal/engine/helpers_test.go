@@ -1,0 +1,21 @@
+package engine
+
+import (
+	"testing"
+
+	"github.com/assess-olap/assess/internal/mdm"
+	"github.com/assess-olap/assess/internal/storage"
+)
+
+// newFact builds a single-hierarchy fact table: row r has key keys[r] and
+// measure values vals[r].
+func newFact(t *testing.T, s *mdm.Schema, vals [][]float64, keys []int32) *storage.FactTable {
+	t.Helper()
+	f := storage.NewFactTable(s)
+	for r := range vals {
+		if err := f.Append([]int32{keys[r]}, vals[r]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return f
+}

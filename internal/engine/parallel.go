@@ -1,0 +1,173 @@
+package engine
+
+import (
+	"math"
+	"runtime"
+	"sync"
+
+	"github.com/assess-olap/assess/internal/cube"
+	"github.com/assess-olap/assess/internal/mdm"
+)
+
+// Parallel fact scans. Aggregation partitions the fact table across
+// workers; each worker builds a private hash table over its row range,
+// and the partial states are merged respecting each measure's
+// aggregation operator (partial sums add, partial minima take the
+// minimum, averages carry sums and counts until finalization).
+// Parallelism is opt-in — the evaluation of EXPERIMENTS.md runs serial,
+// matching the paper's single-client prototype — and only engages on
+// scans large enough to amortize the merge.
+
+// parallelThreshold is the minimum row count per worker.
+const parallelThreshold = 65536
+
+// SetParallelism sets the number of workers used by fact scans. Values
+// below 1 select runtime.NumCPU(); 1 (the default) is serial.
+func (e *Engine) SetParallelism(n int) {
+	if n < 1 {
+		n = runtime.NumCPU()
+	}
+	e.workers = n
+}
+
+// scanPartition aggregates the half-open row range [lo, hi) of a
+// prepared scan into a private state table.
+type scanState struct {
+	cells map[string]*aggState
+	order []*aggState
+}
+
+// preparedScan is the predicate/roll-up machinery shared by all
+// partitions of one scan.
+type preparedScan struct {
+	q       Query
+	f       factColumns
+	accepts [][]bool
+	gmaps   [][]int32
+	ops     []mdm.AggOp
+}
+
+type factColumns struct {
+	keys [][]int32
+	meas [][]float64
+	rows int
+}
+
+func (p *preparedScan) run(lo, hi int) scanState {
+	st := scanState{cells: make(map[string]*aggState)}
+	coord := make(mdm.Coordinate, len(p.q.Group))
+	nm := len(p.q.Measures)
+rows:
+	for r := lo; r < hi; r++ {
+		for h, acc := range p.accepts {
+			if acc != nil && !acc[p.f.keys[h][r]] {
+				continue rows
+			}
+		}
+		for gi, ref := range p.q.Group {
+			coord[gi] = p.gmaps[gi][p.f.keys[ref.Hier][r]]
+		}
+		key := coord.Key()
+		cell := st.cells[key]
+		if cell == nil {
+			cell = &aggState{coord: coord.Clone(), vals: make([]float64, nm), cnt: make([]int64, nm)}
+			for j := range p.q.Measures {
+				switch p.ops[j] {
+				case mdm.AggMin:
+					cell.vals[j] = math.Inf(1)
+				case mdm.AggMax:
+					cell.vals[j] = math.Inf(-1)
+				}
+			}
+			st.cells[key] = cell
+			st.order = append(st.order, cell)
+		}
+		for j, mi := range p.q.Measures {
+			v := p.f.meas[mi][r]
+			switch p.ops[j] {
+			case mdm.AggSum, mdm.AggAvg:
+				cell.vals[j] += v
+			case mdm.AggMin:
+				cell.vals[j] = math.Min(cell.vals[j], v)
+			case mdm.AggMax:
+				cell.vals[j] = math.Max(cell.vals[j], v)
+			}
+			cell.cnt[j]++
+		}
+	}
+	return st
+}
+
+// merge folds src into dst.
+func (p *preparedScan) merge(dst, src scanState) scanState {
+	for key, cell := range src.cells {
+		base := dst.cells[key]
+		if base == nil {
+			dst.cells[key] = cell
+			dst.order = append(dst.order, cell)
+			continue
+		}
+		for j := range p.q.Measures {
+			switch p.ops[j] {
+			case mdm.AggSum, mdm.AggAvg:
+				base.vals[j] += cell.vals[j]
+			case mdm.AggMin:
+				base.vals[j] = math.Min(base.vals[j], cell.vals[j])
+			case mdm.AggMax:
+				base.vals[j] = math.Max(base.vals[j], cell.vals[j])
+			}
+			base.cnt[j] += cell.cnt[j]
+		}
+	}
+	return dst
+}
+
+// finalize materializes the merged state as a derived cube.
+func (p *preparedScan) finalize(schema *cube.Cube, st scanState) (*cube.Cube, error) {
+	for _, cell := range st.order {
+		for j := range p.q.Measures {
+			switch p.ops[j] {
+			case mdm.AggAvg:
+				cell.vals[j] /= float64(cell.cnt[j])
+			case mdm.AggCount:
+				cell.vals[j] = float64(cell.cnt[j])
+			}
+		}
+		if err := schema.AddCell(cell.coord, cell.vals); err != nil {
+			return nil, err
+		}
+	}
+	return schema, nil
+}
+
+// runParallel executes a prepared scan across the workers and merges the
+// partitions pairwise.
+func (p *preparedScan) runParallel(workers int) scanState {
+	if workers > p.f.rows/parallelThreshold {
+		workers = p.f.rows / parallelThreshold
+	}
+	if workers < 2 {
+		return p.run(0, p.f.rows)
+	}
+	parts := make([]scanState, workers)
+	var wg sync.WaitGroup
+	chunk := (p.f.rows + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > p.f.rows {
+			hi = p.f.rows
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			parts[w] = p.run(lo, hi)
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	out := parts[0]
+	for _, part := range parts[1:] {
+		out = p.merge(out, part)
+	}
+	return out
+}

@@ -1,0 +1,130 @@
+package engine
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/assess-olap/assess/internal/mdm"
+	"github.com/assess-olap/assess/internal/ssb"
+	"github.com/assess-olap/assess/internal/storage"
+)
+
+// TestParallelScanMatchesSerial verifies that the partitioned scan with
+// partial-state merging produces exactly the serial result for every
+// aggregation operator.
+func TestParallelScanMatchesSerial(t *testing.T) {
+	// A schema exercising every operator over enough rows to cross the
+	// parallel threshold.
+	h := mdm.NewHierarchy("K", "k", "g")
+	for i := 0; i < 500; i++ {
+		h.MustAddMember(memberName(i), memberName(i%7))
+	}
+	s := mdm.NewSchema("T", []*mdm.Hierarchy{h}, []mdm.Measure{
+		{Name: "s", Op: mdm.AggSum},
+		{Name: "a", Op: mdm.AggAvg},
+		{Name: "lo", Op: mdm.AggMin},
+		{Name: "hi", Op: mdm.AggMax},
+		{Name: "n", Op: mdm.AggCount},
+	})
+	serial := New()
+	parallel := New()
+	parallel.SetParallelism(4)
+	fact := buildRandomFact(t, s, 4*parallelThreshold)
+	if err := serial.Register("T", fact); err != nil {
+		t.Fatal(err)
+	}
+	if err := parallel.Register("T", fact); err != nil {
+		t.Fatal(err)
+	}
+	for _, group := range [][]string{{"k"}, {"g"}, {}} {
+		q := Query{Fact: "T", Group: mdm.MustGroupBy(s, group...), Measures: []int{0, 1, 2, 3, 4}}
+		a, err := serial.Get(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := parallel.Get(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Len() != b.Len() {
+			t.Fatalf("group %v: serial %d cells, parallel %d", group, a.Len(), b.Len())
+		}
+		for i, coord := range a.Coords {
+			bi, ok := b.Lookup(coord)
+			if !ok {
+				t.Fatalf("group %v: coordinate missing from parallel result", group)
+			}
+			for j := range a.Cols {
+				x, y := a.Cols[j][i], b.Cols[j][bi]
+				// Partitioned sums reorder float additions; sum and avg may
+				// differ by rounding noise. Min, max, and count are exact.
+				switch a.Names[j] {
+				case "s", "a":
+					if diff := x - y; diff > 1e-9*(1+abs(x)) || diff < -1e-9*(1+abs(x)) {
+						t.Errorf("group %v measure %s: serial %g parallel %g",
+							group, a.Names[j], x, y)
+					}
+				default:
+					if x != y {
+						t.Errorf("group %v measure %s: serial %g parallel %g",
+							group, a.Names[j], x, y)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestSetParallelismDefaults(t *testing.T) {
+	e := New()
+	e.SetParallelism(0) // selects NumCPU
+	if e.workers < 1 {
+		t.Errorf("workers = %d", e.workers)
+	}
+	e.SetParallelism(3)
+	if e.workers != 3 {
+		t.Errorf("workers = %d", e.workers)
+	}
+}
+
+func TestParallelSmallScanFallsBack(t *testing.T) {
+	// Tiny inputs run serial even with parallelism enabled (threshold).
+	ds := ssb.Generate(0.0001, 3)
+	e := New()
+	e.SetParallelism(8)
+	if err := e.Register("LINEORDER", ds.Fact); err != nil {
+		t.Fatal(err)
+	}
+	q := Query{Fact: "LINEORDER", Group: nil, Measures: []int{0}}
+	c, err := e.Get(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("grand total has %d cells", c.Len())
+	}
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+func memberName(i int) string {
+	return string([]byte{byte('a' + i%26), byte('a' + (i/26)%26), byte('0' + (i/676)%10)})
+}
+
+func buildRandomFact(t *testing.T, s *mdm.Schema, rows int) *storage.FactTable {
+	t.Helper()
+	f := storage.NewFactTable(s)
+	f.Reserve(rows)
+	rng := rand.New(rand.NewSource(99))
+	n := s.Hiers[0].Dict(0).Len()
+	for r := 0; r < rows; r++ {
+		v := rng.Float64()*200 - 100
+		f.MustAppend([]int32{int32(rng.Intn(n))}, []float64{v, v, v, v, 0})
+	}
+	return f
+}

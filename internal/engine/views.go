@@ -1,0 +1,276 @@
+package engine
+
+import (
+	"math"
+
+	"fmt"
+
+	"github.com/assess-olap/assess/internal/cube"
+	"github.com/assess-olap/assess/internal/mdm"
+)
+
+// Materialized views. The paper's prototype runs over Oracle with
+// materialized views "created to improve performances" (Section 6), so
+// repeated cube queries cost on the order of the aggregate's size, not
+// of the fact table's. Materialize pre-aggregates a fact table at a
+// group-by set; any later query with exactly that group-by set whose
+// predicates can be evaluated by rolling the view's coordinates up is
+// answered from the view (a filter over |view| cells) instead of a fact
+// scan.
+
+type viewKey struct {
+	fact string
+	gkey string
+}
+
+func groupKey(g mdm.GroupBy) string {
+	buf := make([]byte, 0, 8*len(g))
+	for _, r := range g {
+		buf = append(buf, byte(r.Hier), byte(r.Level))
+	}
+	return string(buf)
+}
+
+// Materialize pre-aggregates the named fact table at the group-by set
+// (all measures, no predicates) and registers the result as a view.
+// Re-materializing the same view is an error.
+func (e *Engine) Materialize(fact string, g mdm.GroupBy) error {
+	f, ok := e.facts[fact]
+	if !ok {
+		return fmt.Errorf("engine: unknown cube %s", fact)
+	}
+	key := viewKey{fact, groupKey(g)}
+	if _, dup := e.views[key]; dup {
+		return fmt.Errorf("engine: view on %s %s already materialized", fact, g.String(f.Schema))
+	}
+	measures := make([]int, len(f.Schema.Measures))
+	for i := range measures {
+		measures[i] = i
+	}
+	v, err := e.scanAggregate(Query{Fact: fact, Group: g, Measures: measures})
+	if err != nil {
+		return err
+	}
+	e.views[key] = v
+	return nil
+}
+
+// Views reports how many views are materialized (for tests and tools).
+func (e *Engine) Views() int { return len(e.views) }
+
+// FactRows implements the cost model's statistics interface: the
+// cardinality of a detailed cube, or 0 if unknown.
+func (e *Engine) FactRows(fact string) int {
+	f, ok := e.facts[fact]
+	if !ok {
+		return 0
+	}
+	return f.Rows()
+}
+
+// ViewCells returns the cardinality of the materialized view at the
+// group-by set, if one exists.
+func (e *Engine) ViewCells(fact string, g mdm.GroupBy) (int, bool) {
+	v, ok := e.views[viewKey{fact, groupKey(g)}]
+	if !ok {
+		return 0, false
+	}
+	return v.Len(), true
+}
+
+// LevelCardinality returns |Dom(l)| for a level of the cube's schema, or
+// 0 if unknown.
+func (e *Engine) LevelCardinality(fact string, ref mdm.LevelRef) int {
+	f, ok := e.facts[fact]
+	if !ok || ref.Hier < 0 || ref.Hier >= len(f.Schema.Hiers) {
+		return 0
+	}
+	h := f.Schema.Hiers[ref.Hier]
+	if ref.Level < 0 || ref.Level >= h.Depth() {
+		return 0
+	}
+	return h.Dict(ref.Level).Len()
+}
+
+// viewFor returns the materialized view answering the query, if any: the
+// group-by sets must be identical and every predicate level must be
+// reachable by roll-up from the view's level of the same hierarchy.
+func (e *Engine) viewFor(q Query) *cube.Cube {
+	v, ok := e.views[viewKey{q.Fact, groupKey(q.Group)}]
+	if !ok {
+		return nil
+	}
+	for _, p := range q.Preds {
+		pos := q.Group.Pos(p.Level.Hier)
+		if pos < 0 || q.Group[pos].Level > p.Level.Level {
+			return nil // predicate not derivable from the view's coordinates
+		}
+	}
+	return v
+}
+
+// viewChecks compiles the predicate checks of a view-covered query.
+func viewChecks(v *cube.Cube, q Query) ([]predCheck, error) {
+	s := v.Schema
+	checks := make([]predCheck, 0, len(q.Preds))
+	for _, p := range q.Preds {
+		pos := q.Group.Pos(p.Level.Hier)
+		if pos < 0 || q.Group[pos].Level > p.Level.Level {
+			return nil, fmt.Errorf("engine: predicate on %s not derivable from the view", s.LevelName(p.Level))
+		}
+		want := make(map[int32]bool, len(p.Members))
+		for _, m := range p.Members {
+			want[m] = true
+		}
+		checks = append(checks, predCheck{pos: pos, from: q.Group[pos].Level, to: p.Level.Level, want: want})
+	}
+	return checks, nil
+}
+
+type predCheck struct {
+	pos  int // coordinate position in the view's group-by
+	from int // the view level
+	to   int // the predicate level
+	want map[int32]bool
+}
+
+func (c predCheck) pass(s *mdm.Schema, g mdm.GroupBy, coord mdm.Coordinate) bool {
+	h := s.Hiers[g[c.pos].Hier]
+	return c.want[h.Rollup(coord[c.pos], c.from, c.to)]
+}
+
+// pivotFromView evaluates the pushed get+pivot of a POP plan in one
+// pipelined pass over the view, the way a DBMS executes Listing 5: no
+// intermediate aggregate is materialized; each view cell flows straight
+// into its output row. This single-pass evaluation is what makes POP
+// retrieve "the target cube and the benchmark at once" (Section 6.2).
+func (e *Engine) pivotFromView(v *cube.Cube, q Query, level mdm.LevelRef, ref int32, neighbors []int32, strict bool, rename func(measure, member string) string) (*cube.Cube, error) {
+	checks, err := viewChecks(v, q)
+	if err != nil {
+		return nil, err
+	}
+	s := v.Schema
+	if rename == nil {
+		rename = func(measure, member string) string { return measure + "@" + member }
+	}
+	lp := q.Group.PosOf(level)
+	if lp < 0 {
+		return nil, fmt.Errorf("engine: pivot level not in group-by set")
+	}
+	dict := s.Dict(level)
+	baseNames := make([]string, len(q.Measures))
+	for j, mi := range q.Measures {
+		if mi < 0 || mi >= len(s.Measures) {
+			return nil, fmt.Errorf("engine: measure index %d out of range for %s", mi, q.Fact)
+		}
+		baseNames[j] = s.Measures[mi].Name
+	}
+	names := append([]string(nil), baseNames...)
+	for _, id := range neighbors {
+		for _, m := range baseNames {
+			names = append(names, rename(m, dict.Name(id)))
+		}
+	}
+	slicePos := make(map[int32]int, len(neighbors)+1) // member → block index (0 = ref)
+	slicePos[ref] = 0
+	for i, id := range neighbors {
+		slicePos[id] = i + 1
+	}
+	others := make([]int, 0, len(q.Group)-1)
+	for p := range q.Group {
+		if p != lp {
+			others = append(others, p)
+		}
+	}
+	nm := len(q.Measures)
+	type row struct {
+		coord  mdm.Coordinate
+		vals   []float64
+		filled []bool // per slice block
+	}
+	rows := make(map[string]*row)
+	order := make([]*row, 0, 1024)
+cells:
+	for i, coord := range v.Coords {
+		block, wanted := slicePos[coord[lp]]
+		if !wanted {
+			continue
+		}
+		for _, c := range checks {
+			if !c.pass(s, q.Group, coord) {
+				continue cells
+			}
+		}
+		key := coord.KeyOn(others)
+		r := rows[key]
+		if r == nil {
+			vals := make([]float64, len(names))
+			for j := range vals {
+				vals[j] = nan
+			}
+			rc := coord.Clone()
+			rc[lp] = ref
+			r = &row{coord: rc, vals: vals, filled: make([]bool, len(neighbors)+1)}
+			rows[key] = r
+			order = append(order, r)
+		}
+		for j, mi := range q.Measures {
+			r.vals[block*nm+j] = v.Cols[mi][i]
+		}
+		r.filled[block] = true
+	}
+	out := cube.New(s, q.Group, names...)
+rowsLoop:
+	for _, r := range order {
+		if !r.filled[0] {
+			continue // no reference-slice cell: not a target cell
+		}
+		if strict {
+			for _, f := range r.filled {
+				if !f {
+					continue rowsLoop
+				}
+			}
+		}
+		if err := out.AddCell(r.coord, r.vals); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// aggregateFromView filters the view's cells through the predicates and
+// projects the requested measures: O(|view|) instead of a fact scan.
+func aggregateFromView(v *cube.Cube, q Query) (*cube.Cube, error) {
+	s := v.Schema
+	names := make([]string, len(q.Measures))
+	for j, mi := range q.Measures {
+		if mi < 0 || mi >= len(s.Measures) {
+			return nil, fmt.Errorf("engine: measure index %d out of range for %s", mi, q.Fact)
+		}
+		names[j] = s.Measures[mi].Name
+	}
+	checks, err := viewChecks(v, q)
+	if err != nil {
+		return nil, err
+	}
+	out := cube.New(s, q.Group, names...)
+	vals := make([]float64, len(q.Measures))
+cells:
+	for i, coord := range v.Coords {
+		for _, c := range checks {
+			if !c.pass(s, q.Group, coord) {
+				continue cells
+			}
+		}
+		for j, mi := range q.Measures {
+			vals[j] = v.Cols[mi][i]
+		}
+		if err := out.AddCell(coord.Clone(), append([]float64(nil), vals...)); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+var nan = math.NaN()

@@ -1,0 +1,129 @@
+package engine
+
+import (
+	"testing"
+
+	"github.com/assess-olap/assess/internal/mdm"
+	"github.com/assess-olap/assess/internal/sales"
+)
+
+func TestViewAnswersMatchScan(t *testing.T) {
+	ds := sales.Generate(8000, 31)
+	withView := New()
+	if err := withView.Register("SALES", ds.Fact); err != nil {
+		t.Fatal(err)
+	}
+	noView := New()
+	if err := noView.Register("SALES", ds.Fact); err != nil {
+		t.Fatal(err)
+	}
+	s := ds.Schema
+	g := mdm.MustGroupBy(s, "product", "country")
+	if err := withView.Materialize("SALES", g); err != nil {
+		t.Fatal(err)
+	}
+	if withView.Views() != 1 {
+		t.Fatalf("Views() = %d", withView.Views())
+	}
+
+	// Predicates at the group levels and at coarser levels of the same
+	// hierarchies are derivable from the view.
+	typeRef, ff := member(t, s, "type", "Fresh Fruit")
+	countryRef, italy := member(t, s, "country", "Italy")
+	qi, _ := s.MeasureIndex("quantity")
+	q := Query{
+		Fact:  "SALES",
+		Group: g,
+		Preds: []Predicate{
+			{Level: typeRef, Members: []int32{ff}},
+			{Level: countryRef, Members: []int32{italy}},
+		},
+		Measures: []int{qi},
+	}
+	a, err := withView.Get(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := noView.Get(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Len() != b.Len() || a.Len() == 0 {
+		t.Fatalf("view answer has %d cells, scan %d", a.Len(), b.Len())
+	}
+	for i, coord := range a.Coords {
+		bi, ok := b.Lookup(coord)
+		if !ok {
+			t.Fatalf("cell %s missing from scan answer", coord.Format(s, g))
+		}
+		if a.Cols[0][i] != b.Cols[0][bi] {
+			t.Errorf("cell %s: view %g scan %g", coord.Format(s, g), a.Cols[0][i], b.Cols[0][bi])
+		}
+	}
+}
+
+func TestViewNotUsedWhenPredicateFiner(t *testing.T) {
+	ds := sales.Generate(2000, 33)
+	e := New()
+	if err := e.Register("SALES", ds.Fact); err != nil {
+		t.Fatal(err)
+	}
+	s := ds.Schema
+	// View at (type, country); a predicate on product (finer than type)
+	// cannot be derived from it.
+	g := mdm.MustGroupBy(s, "type", "country")
+	if err := e.Materialize("SALES", g); err != nil {
+		t.Fatal(err)
+	}
+	prodRef, apple := member(t, s, "product", "Apple")
+	qi, _ := s.MeasureIndex("quantity")
+	q := Query{Fact: "SALES", Group: g,
+		Preds:    []Predicate{{Level: prodRef, Members: []int32{apple}}},
+		Measures: []int{qi}}
+	if v := e.viewFor(q); v != nil {
+		t.Fatal("view claimed to cover a finer predicate")
+	}
+	// The query still works via the fact scan.
+	c, err := e.Get(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() == 0 {
+		t.Error("scan fallback returned nothing")
+	}
+}
+
+func TestViewGroupMismatch(t *testing.T) {
+	ds := sales.Generate(1000, 35)
+	e := New()
+	if err := e.Register("SALES", ds.Fact); err != nil {
+		t.Fatal(err)
+	}
+	s := ds.Schema
+	if err := e.Materialize("SALES", mdm.MustGroupBy(s, "product", "country")); err != nil {
+		t.Fatal(err)
+	}
+	qi, _ := s.MeasureIndex("quantity")
+	q := Query{Fact: "SALES", Group: mdm.MustGroupBy(s, "product"), Measures: []int{qi}}
+	if v := e.viewFor(q); v != nil {
+		t.Fatal("view with a different group-by set used")
+	}
+}
+
+func TestMaterializeErrors(t *testing.T) {
+	ds := sales.Generate(500, 37)
+	e := New()
+	if err := e.Register("SALES", ds.Fact); err != nil {
+		t.Fatal(err)
+	}
+	g := mdm.MustGroupBy(ds.Schema, "month")
+	if err := e.Materialize("NOPE", g); err == nil {
+		t.Error("materializing an unknown cube accepted")
+	}
+	if err := e.Materialize("SALES", g); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Materialize("SALES", g); err == nil {
+		t.Error("duplicate materialization accepted")
+	}
+}

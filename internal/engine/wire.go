@@ -1,0 +1,70 @@
+package engine
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"github.com/assess-olap/assess/internal/cube"
+	"github.com/assess-olap/assess/internal/mdm"
+)
+
+// The wire format models the DBMS cursor boundary: a result set crossing
+// from the engine to the client is encoded row by row (coordinate member
+// ids as int32, measure values as IEEE-754 bits) and decoded into a fresh
+// client-side cube. The byte cost is 4·|G| + 8·|M| per cell, which makes
+// the transfer volume of a plan a genuine, measurable cost rather than a
+// simulated delay.
+
+// encodeRows serializes all cells of a cube.
+func encodeRows(c *cube.Cube) []byte {
+	rowLen := 4*len(c.Group) + 8*len(c.Cols)
+	buf := make([]byte, 0, rowLen*c.Len())
+	var scratch [8]byte
+	for i, coord := range c.Coords {
+		for _, id := range coord {
+			binary.LittleEndian.PutUint32(scratch[:4], uint32(id))
+			buf = append(buf, scratch[:4]...)
+		}
+		for j := range c.Cols {
+			binary.LittleEndian.PutUint64(scratch[:], math.Float64bits(c.Cols[j][i]))
+			buf = append(buf, scratch[:]...)
+		}
+	}
+	return buf
+}
+
+// decodeRows materializes a client cube from the wire bytes.
+func decodeRows(s *mdm.Schema, g mdm.GroupBy, names []string, buf []byte) (*cube.Cube, error) {
+	rowLen := 4*len(g) + 8*len(names)
+	if rowLen == 0 {
+		return cube.New(s, g, names...), nil
+	}
+	if len(buf)%rowLen != 0 {
+		return nil, fmt.Errorf("engine: corrupt result set: %d bytes for row length %d", len(buf), rowLen)
+	}
+	out := cube.New(s, g, names...)
+	n := len(buf) / rowLen
+	for r := 0; r < n; r++ {
+		p := r * rowLen
+		coord := make(mdm.Coordinate, len(g))
+		for i := range coord {
+			coord[i] = int32(binary.LittleEndian.Uint32(buf[p:]))
+			p += 4
+		}
+		vals := make([]float64, len(names))
+		for j := range vals {
+			vals[j] = math.Float64frombits(binary.LittleEndian.Uint64(buf[p:]))
+			p += 8
+		}
+		if err := out.AddCell(coord, vals); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// transfer moves an engine-side result set across the cursor boundary.
+func transfer(c *cube.Cube) (*cube.Cube, error) {
+	return decodeRows(c.Schema, c.Group, c.Names, encodeRows(c))
+}

@@ -1,0 +1,294 @@
+// Package exec runs assess plans against the engine, timing every
+// operation into the phase buckets of Figure 4 (get C, get B, get C+B,
+// transform, join, comparison, label) and assembling the result the paper
+// prescribes for every cell: its coordinate, the value of the assessed
+// measure, the benchmark value, the comparison value, and the label.
+package exec
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"time"
+
+	"github.com/assess-olap/assess/internal/cube"
+	"github.com/assess-olap/assess/internal/engine"
+	"github.com/assess-olap/assess/internal/labeling"
+	"github.com/assess-olap/assess/internal/plan"
+)
+
+// Breakdown is the per-phase execution time of one plan run.
+type Breakdown [plan.NumPhases]time.Duration
+
+// Total sums all phases.
+func (b Breakdown) Total() time.Duration {
+	var t time.Duration
+	for _, d := range b {
+		t += d
+	}
+	return t
+}
+
+// String renders the non-zero phases.
+func (b Breakdown) String() string {
+	var parts []string
+	for p, d := range b {
+		if d > 0 {
+			parts = append(parts, fmt.Sprintf("%s=%v", plan.Phase(p), d))
+		}
+	}
+	return strings.Join(parts, " ")
+}
+
+// OpStat is the measured execution of one plan operation (the
+// EXPLAIN-ANALYZE view of a run).
+type OpStat struct {
+	Description string
+	Phase       plan.Phase
+	Duration    time.Duration
+}
+
+// Result is the outcome of executing one assess statement.
+type Result struct {
+	Plan      *plan.Plan
+	Cube      *cube.Cube // final cube, sorted by coordinate
+	Breakdown Breakdown
+	OpStats   []OpStat // per-operation timings, in plan order
+	Total     time.Duration
+}
+
+// Run executes the plan.
+func Run(e *engine.Engine, p *plan.Plan) (*Result, error) {
+	ctx := make(map[string]*cube.Cube)
+	var bd Breakdown
+	stats := make([]OpStat, 0, len(p.Ops))
+	start := time.Now()
+	for i := range p.Ops {
+		op := &p.Ops[i]
+		t0 := time.Now()
+		if err := runOp(e, p, op, ctx); err != nil {
+			return nil, fmt.Errorf("exec: step %d (%s): %w", i+1, op.Phase, err)
+		}
+		d := time.Since(t0)
+		bd[op.Phase] += d
+		stats = append(stats, OpStat{Description: p.DescribeOp(i), Phase: op.Phase, Duration: d})
+	}
+	total := time.Since(start)
+	out, ok := ctx[p.Result]
+	if !ok {
+		return nil, fmt.Errorf("exec: plan produced no result cube %q", p.Result)
+	}
+	out.SortByCoordinate()
+	return &Result{Plan: p, Cube: out, Breakdown: bd, OpStats: stats, Total: total}, nil
+}
+
+// ExplainAnalyze renders the executed plan with per-operation timings.
+func (r *Result) ExplainAnalyze() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%v plan, %v total:\n", r.Plan.Strategy, r.Total)
+	for i, st := range r.OpStats {
+		fmt.Fprintf(&sb, "  %d. [%s %10v] %s\n", i+1, st.Phase, st.Duration, st.Description)
+	}
+	return sb.String()
+}
+
+func runOp(e *engine.Engine, p *plan.Plan, op *plan.Op, ctx map[string]*cube.Cube) error {
+	src := func(name string) (*cube.Cube, error) {
+		c, ok := ctx[name]
+		if !ok {
+			return nil, fmt.Errorf("unknown intermediate cube %q", name)
+		}
+		return c, nil
+	}
+	switch op.Kind {
+	case plan.OpGet:
+		c, err := e.Get(op.Query)
+		if err != nil {
+			return err
+		}
+		ctx[op.Dst] = c
+	case plan.OpGetJoined:
+		c, err := e.GetJoined(op.Query, op.QueryB, op.On, op.Alias, op.Outer)
+		if err != nil {
+			return err
+		}
+		ctx[op.Dst] = c
+	case plan.OpGetPivoted:
+		c, err := e.GetPivoted(op.Query, op.Level, op.Ref, op.Neighbors, op.Strict, op.Rename)
+		if err != nil {
+			return err
+		}
+		ctx[op.Dst] = c
+	case plan.OpGetMultiplied:
+		c, err := e.GetMultiplied(op.Query, op.QueryB, op.Level, op.Members, op.Alias, op.Outer)
+		if err != nil {
+			return err
+		}
+		ctx[op.Dst] = c
+	case plan.OpGetRollupJoined:
+		c, err := e.GetRollupJoined(op.Query, op.QueryB, op.Alias, op.Outer)
+		if err != nil {
+			return err
+		}
+		ctx[op.Dst] = c
+	case plan.OpClientRollupJoin:
+		a, err := src(op.SrcA)
+		if err != nil {
+			return err
+		}
+		b, err := src(op.SrcB)
+		if err != nil {
+			return err
+		}
+		c, err := cube.RollupJoin(a, b, op.Alias, op.Outer)
+		if err != nil {
+			return err
+		}
+		ctx[op.Dst] = c
+	case plan.OpClientJoin:
+		a, err := src(op.SrcA)
+		if err != nil {
+			return err
+		}
+		b, err := src(op.SrcB)
+		if err != nil {
+			return err
+		}
+		c, err := cube.PartialJoin(a, b, op.On, op.Alias, op.Outer)
+		if err != nil {
+			return err
+		}
+		ctx[op.Dst] = c
+	case plan.OpClientPivot:
+		a, err := src(op.SrcA)
+		if err != nil {
+			return err
+		}
+		c, err := cube.Pivot(a, op.Level, op.Ref, op.Neighbors, op.Strict, op.Rename)
+		if err != nil {
+			return err
+		}
+		ctx[op.Dst] = c
+	case plan.OpProject:
+		a, err := src(op.SrcA)
+		if err != nil {
+			return err
+		}
+		c, err := a.Project(op.ProjKeep, op.ProjRename)
+		if err != nil {
+			return err
+		}
+		ctx[op.Dst] = c
+	case plan.OpReplaceSlice:
+		a, err := src(op.SrcA)
+		if err != nil {
+			return err
+		}
+		c, err := a.ReplaceSlice(op.Level, op.Ref)
+		if err != nil {
+			return err
+		}
+		ctx[op.Dst] = c
+	case plan.OpTransform:
+		c, err := src(op.Dst)
+		if err != nil {
+			return err
+		}
+		col, err := evalColumn(op.Expr, c)
+		if err != nil {
+			return err
+		}
+		if err := c.AppendMeasure(op.OutCol, col); err != nil {
+			return err
+		}
+	case plan.OpLabel:
+		c, err := src(op.Dst)
+		if err != nil {
+			return err
+		}
+		j, ok := c.MeasureIndex(op.LabelCol)
+		if !ok {
+			return fmt.Errorf("no comparison column %q to label", op.LabelCol)
+		}
+		labels, err := applyLabeler(p.Bound, c, c.Column(j))
+		if err != nil {
+			return err
+		}
+		if err := c.SetLabels(labels); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("unknown plan operation %d", op.Kind)
+	}
+	return nil
+}
+
+// Row is the paper's per-cell result: coordinate member names, the value
+// of the assessed measure m, the benchmark value, the comparison value,
+// and the label.
+type Row struct {
+	Coordinate []string
+	Measure    float64
+	Benchmark  float64
+	Comparison float64
+	Label      string
+}
+
+// Rows extracts the final result rows.
+func (r *Result) Rows() ([]Row, error) {
+	b := r.Plan.Bound
+	c := r.Cube
+	mi, ok := c.MeasureIndex(b.MeasureName())
+	if !ok {
+		return nil, fmt.Errorf("exec: result lacks measure %s", b.MeasureName())
+	}
+	bi, hasBench := c.MeasureIndex(b.BenchColumn())
+	ci, ok := c.MeasureIndex(r.Plan.ComparisonCol)
+	if !ok {
+		return nil, fmt.Errorf("exec: result lacks comparison column")
+	}
+	rows := make([]Row, c.Len())
+	for i, coord := range c.Coords {
+		names := make([]string, len(coord))
+		for pIdx, id := range coord {
+			names[pIdx] = c.Schema.Dict(c.Group[pIdx]).Name(id)
+		}
+		bench := math.NaN()
+		if hasBench {
+			bench = c.Cols[bi][i]
+		}
+		label := labeling.NullLabel
+		if c.Labels != nil {
+			label = c.Labels[i]
+		}
+		rows[i] = Row{
+			Coordinate: names,
+			Measure:    c.Cols[mi][i],
+			Benchmark:  bench,
+			Comparison: c.Cols[ci][i],
+			Label:      label,
+		}
+	}
+	return rows, nil
+}
+
+// Render formats the result as a text table with one row per cell.
+func (r *Result) Render() (string, error) {
+	rows, err := r.Rows()
+	if err != nil {
+		return "", err
+	}
+	b := r.Plan.Bound
+	var sb strings.Builder
+	for _, g := range b.Group {
+		fmt.Fprintf(&sb, "%s\t", b.Schema.LevelName(g))
+	}
+	fmt.Fprintf(&sb, "%s\t%s\t%s\tlabel\n", b.MeasureName(), b.BenchColumn(), r.Plan.ComparisonCol)
+	for _, row := range rows {
+		for _, m := range row.Coordinate {
+			fmt.Fprintf(&sb, "%s\t", m)
+		}
+		fmt.Fprintf(&sb, "%.4g\t%.4g\t%.4g\t%s\n", row.Measure, row.Benchmark, row.Comparison, row.Label)
+	}
+	return sb.String(), nil
+}

@@ -1,0 +1,69 @@
+package exec
+
+import (
+	"math"
+	"sort"
+)
+
+// Highlights implement the second cornerstone of the Intentional
+// Analytics Model the paper builds on (Section 1): alongside the
+// multidimensional data, the user receives "knowledge insights in the
+// form of annotations of interesting subsets of data". For an assess
+// result, the interesting subset is the set of cells whose comparison
+// value is anomalous within the result's own distribution.
+
+// Highlight annotates one interesting cell.
+type Highlight struct {
+	Row Row
+	// ZScore of the comparison value within the result.
+	ZScore float64
+}
+
+// Highlights returns the cells whose comparison value lies at least
+// threshold standard deviations from the result's mean (2 is a sensible
+// default), ordered by decreasing |z|.
+func (r *Result) Highlights(threshold float64) ([]Highlight, error) {
+	if threshold <= 0 {
+		threshold = 2
+	}
+	rows, err := r.Rows()
+	if err != nil {
+		return nil, err
+	}
+	var n, sum float64
+	for _, row := range rows {
+		if !math.IsNaN(row.Comparison) {
+			n++
+			sum += row.Comparison
+		}
+	}
+	if n < 3 {
+		return nil, nil // too few cells for a meaningful distribution
+	}
+	mean := sum / n
+	var ss float64
+	for _, row := range rows {
+		if !math.IsNaN(row.Comparison) {
+			d := row.Comparison - mean
+			ss += d * d
+		}
+	}
+	sd := math.Sqrt(ss / n)
+	if sd == 0 {
+		return nil, nil
+	}
+	var out []Highlight
+	for _, row := range rows {
+		if math.IsNaN(row.Comparison) {
+			continue
+		}
+		z := (row.Comparison - mean) / sd
+		if math.Abs(z) >= threshold {
+			out = append(out, Highlight{Row: row, ZScore: z})
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		return math.Abs(out[i].ZScore) > math.Abs(out[j].ZScore)
+	})
+	return out, nil
+}

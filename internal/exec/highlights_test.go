@@ -1,0 +1,58 @@
+package exec
+
+import (
+	"math"
+	"testing"
+
+	"github.com/assess-olap/assess/internal/plan"
+)
+
+func TestHighlightsFlagOutliers(t *testing.T) {
+	e, bd := session(t)
+	r := run(t, e, bd, `with SALES by product assess quantity labels quartiles`, plan.NP)
+	// Inject an artificial outlier by scaling one comparison value.
+	ci, _ := r.Cube.MeasureIndex(plan.ComparisonColumn)
+	r.Cube.Cols[ci][0] *= 100
+	hs, err := r.Highlights(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hs) == 0 {
+		t.Fatal("no highlights for an injected outlier")
+	}
+	if hs[0].Row.Comparison != r.Cube.Cols[ci][0] {
+		t.Errorf("top highlight is %+v, want the injected outlier", hs[0].Row)
+	}
+	if math.Abs(hs[0].ZScore) < 2 {
+		t.Errorf("top highlight |z| = %g", hs[0].ZScore)
+	}
+	for i := 1; i < len(hs); i++ {
+		if math.Abs(hs[i].ZScore) > math.Abs(hs[i-1].ZScore) {
+			t.Error("highlights not ordered by |z|")
+		}
+	}
+}
+
+func TestHighlightsDefaultThresholdAndDegenerate(t *testing.T) {
+	e, bd := session(t)
+	// A constant comparison column has zero variance: no highlights.
+	r := run(t, e, bd, `with SALES by product assess quantity
+		using ratio(100, 10) labels {[0, inf): x}`, plan.NP)
+	hs, err := r.Highlights(0) // 0 selects the default threshold
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hs != nil {
+		t.Errorf("constant column produced highlights: %v", hs)
+	}
+	// Fewer than three cells: no distribution to speak of.
+	r2 := run(t, e, bd, `with SALES for country = 'Italy' by country
+		assess quantity labels quartiles`, plan.NP)
+	hs2, err := r2.Highlights(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hs2 != nil {
+		t.Errorf("tiny result produced highlights: %v", hs2)
+	}
+}

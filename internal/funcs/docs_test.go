@@ -1,0 +1,35 @@
+package funcs
+
+import (
+	"testing"
+)
+
+// TestEveryBuiltinDocumented: a library the using clause exposes to end
+// users must document every function.
+func TestEveryBuiltinDocumented(t *testing.T) {
+	r := NewRegistry()
+	for _, name := range r.Names() {
+		f, ok := r.Lookup(name)
+		if !ok {
+			t.Fatalf("%s listed but not found", name)
+		}
+		if f.Doc == "" {
+			t.Errorf("%s has no doc string", name)
+		}
+		if f.Name != name {
+			t.Errorf("name mismatch: %q vs %q", f.Name, name)
+		}
+	}
+	if len(r.Names()) < 12 {
+		t.Errorf("library shrank to %d functions", len(r.Names()))
+	}
+}
+
+func TestVariadicValidation(t *testing.T) {
+	r := NewRegistry()
+	f, _ := r.Lookup("regression")
+	// Variadic with a single point: prediction equals the point.
+	if got := f.CellFn([]float64{42}); got != 42 {
+		t.Errorf("regression of single point = %g", got)
+	}
+}

@@ -1,0 +1,182 @@
+// Package labeling implements the labeling functions λ : R → L of Section
+// 3.3: range-based labelers built from explicitly-specified, complete and
+// non-overlapping intervals (Section 3.3.1, e.g. the 5stars function of
+// Listing 3), and distribution-based labelers that adapt the label
+// boundaries to the overall distribution of the comparison values (Section
+// 3.3.2): k-quantiles (equi-depth), equi-width histograms, rounded
+// z-scores, and 1-D k-means clustering with an optimal number of clusters.
+package labeling
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// NullLabel is assigned to cells whose comparison value is NaN (e.g. the
+// unmatched cells kept by the assess* variant).
+const NullLabel = "null"
+
+// Labeler assigns one label to every value of the comparison column. NaN
+// values receive NullLabel.
+type Labeler interface {
+	// Name identifies the labeler (for Explain output).
+	Name() string
+	// Apply labels every value. The input is never modified.
+	Apply(values []float64) []string
+}
+
+// Interval is one labeling rule: values in the (possibly open, possibly
+// unbounded) interval receive Label.
+type Interval struct {
+	Lo, Hi         float64 // bounds; use math.Inf for ±inf
+	LoOpen, HiOpen bool    // true for '(' and ')'
+	Label          string
+}
+
+// Contains reports whether v falls in the interval.
+func (iv Interval) Contains(v float64) bool {
+	switch {
+	case v < iv.Lo || (v == iv.Lo && iv.LoOpen):
+		return false
+	case v > iv.Hi || (v == iv.Hi && iv.HiOpen):
+		return false
+	}
+	return true
+}
+
+// String renders the interval in the paper's syntax, e.g. "[0, 0.9): bad".
+func (iv Interval) String() string {
+	lb, rb := "[", "]"
+	if iv.LoOpen {
+		lb = "("
+	}
+	if iv.HiOpen {
+		rb = ")"
+	}
+	return fmt.Sprintf("%s%s, %s%s: %s", lb, fmtBound(iv.Lo), fmtBound(iv.Hi), rb, iv.Label)
+}
+
+func fmtBound(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "inf"
+	case math.IsInf(v, -1):
+		return "-inf"
+	}
+	return fmt.Sprintf("%g", v)
+}
+
+// Ranges is a range-based labeling function: an ordered set of disjoint
+// intervals. It is the implementation behind inline `labels {…}` clauses
+// and predeclared functions such as 5stars.
+type Ranges struct {
+	name      string
+	intervals []Interval
+}
+
+// NewRanges builds a range labeler and validates that the intervals are
+// pairwise disjoint (the paper requires a partition; completeness over all
+// of R is not required — values outside every range receive NullLabel,
+// which Validate can optionally forbid).
+func NewRanges(name string, intervals []Interval) (*Ranges, error) {
+	ivs := append([]Interval(nil), intervals...)
+	sort.SliceStable(ivs, func(i, j int) bool {
+		if ivs[i].Lo != ivs[j].Lo {
+			return ivs[i].Lo < ivs[j].Lo
+		}
+		return !ivs[i].LoOpen && ivs[j].LoOpen
+	})
+	for i, iv := range ivs {
+		if math.IsNaN(iv.Lo) || math.IsNaN(iv.Hi) {
+			return nil, fmt.Errorf("labeling: NaN bound in %s", iv)
+		}
+		if iv.Lo > iv.Hi || (iv.Lo == iv.Hi && (iv.LoOpen || iv.HiOpen)) {
+			return nil, fmt.Errorf("labeling: empty interval %s", iv)
+		}
+		if iv.Label == "" {
+			return nil, fmt.Errorf("labeling: interval %s has an empty label", iv)
+		}
+		if i == 0 {
+			continue
+		}
+		prev := ivs[i-1]
+		if iv.Lo < prev.Hi || (iv.Lo == prev.Hi && !iv.LoOpen && !prev.HiOpen) {
+			return nil, fmt.Errorf("labeling: overlapping intervals %s and %s", prev, iv)
+		}
+	}
+	return &Ranges{name: name, intervals: ivs}, nil
+}
+
+// MustRanges is NewRanges that panics on error.
+func MustRanges(name string, intervals []Interval) *Ranges {
+	r, err := NewRanges(name, intervals)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// Name implements Labeler.
+func (r *Ranges) Name() string { return r.name }
+
+// Intervals returns the validated, ordered intervals.
+func (r *Ranges) Intervals() []Interval { return r.intervals }
+
+// Complete reports whether the intervals cover all of R with no gaps, i.e.
+// the labeling partitions the comparison domain into equivalence classes.
+func (r *Ranges) Complete() bool {
+	if len(r.intervals) == 0 {
+		return false
+	}
+	first, last := r.intervals[0], r.intervals[len(r.intervals)-1]
+	if !math.IsInf(first.Lo, -1) || !math.IsInf(last.Hi, 1) {
+		return false
+	}
+	for i := 1; i < len(r.intervals); i++ {
+		prev, cur := r.intervals[i-1], r.intervals[i]
+		if prev.Hi != cur.Lo || prev.HiOpen == cur.LoOpen {
+			return false
+		}
+	}
+	return true
+}
+
+// Apply implements Labeler by binary search over the ordered intervals.
+func (r *Ranges) Apply(values []float64) []string {
+	out := make([]string, len(values))
+	for i, v := range values {
+		out[i] = r.label(v)
+	}
+	return out
+}
+
+func (r *Ranges) label(v float64) string {
+	if math.IsNaN(v) {
+		return NullLabel
+	}
+	ivs := r.intervals
+	lo, hi := 0, len(ivs)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		switch {
+		case ivs[mid].Contains(v):
+			return ivs[mid].Label
+		case v < ivs[mid].Lo || (v == ivs[mid].Lo && ivs[mid].LoOpen):
+			hi = mid
+		default:
+			lo = mid + 1
+		}
+	}
+	return NullLabel
+}
+
+// String renders the full rule set in the paper's inline syntax.
+func (r *Ranges) String() string {
+	parts := make([]string, len(r.intervals))
+	for i, iv := range r.intervals {
+		parts[i] = iv.String()
+	}
+	return "{" + strings.Join(parts, ", ") + "}"
+}

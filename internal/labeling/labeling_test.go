@@ -1,0 +1,172 @@
+package labeling
+
+import (
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestIntervalContains(t *testing.T) {
+	iv := Interval{Lo: 0, Hi: 1, LoOpen: false, HiOpen: true, Label: "x"}
+	cases := map[float64]bool{-0.1: false, 0: true, 0.5: true, 1: false}
+	for v, want := range cases {
+		if iv.Contains(v) != want {
+			t.Errorf("[0,1).Contains(%g) = %v, want %v", v, !want, want)
+		}
+	}
+	open := Interval{Lo: 0, Hi: 1, LoOpen: true, Label: "y"}
+	if open.Contains(0) || !open.Contains(1) {
+		t.Error("(0,1] endpoint handling wrong")
+	}
+}
+
+func TestRangesValidation(t *testing.T) {
+	if _, err := NewRanges("r", []Interval{
+		{Lo: 0, Hi: 1, Label: "a"},
+		{Lo: 0.5, Hi: 2, Label: "b"},
+	}); err == nil {
+		t.Error("overlapping intervals accepted")
+	}
+	if _, err := NewRanges("r", []Interval{
+		{Lo: 0, Hi: 1, Label: "a"},
+		{Lo: 1, Hi: 2, Label: "b"}, // both closed at 1
+	}); err == nil {
+		t.Error("touching closed intervals accepted")
+	}
+	if _, err := NewRanges("r", []Interval{{Lo: 2, Hi: 1, Label: "a"}}); err == nil {
+		t.Error("empty interval accepted")
+	}
+	if _, err := NewRanges("r", []Interval{{Lo: 0, Hi: 1}}); err == nil {
+		t.Error("unlabeled interval accepted")
+	}
+	if _, err := NewRanges("r", []Interval{{Lo: math.NaN(), Hi: 1, Label: "a"}}); err == nil {
+		t.Error("NaN bound accepted")
+	}
+	// Adjacent half-open intervals are fine in either input order.
+	r, err := NewRanges("r", []Interval{
+		{Lo: 1, Hi: 2, LoOpen: true, Label: "b"},
+		{Lo: 0, Hi: 1, Label: "a"},
+	})
+	if err != nil {
+		t.Fatalf("valid partition rejected: %v", err)
+	}
+	if got := r.Intervals()[0].Label; got != "a" {
+		t.Errorf("intervals not reordered: first label %q", got)
+	}
+}
+
+func TestRangesComplete(t *testing.T) {
+	complete := MustRanges("c", []Interval{
+		{Lo: math.Inf(-1), Hi: 0, HiOpen: true, Label: "neg"},
+		{Lo: 0, Hi: math.Inf(1), Label: "nonneg"},
+	})
+	if !complete.Complete() {
+		t.Error("complete partition of R not recognized")
+	}
+	if FiveStars().Complete() {
+		t.Error("5stars covers only [-1,1], must not be Complete")
+	}
+	gap := MustRanges("g", []Interval{
+		{Lo: math.Inf(-1), Hi: 0, HiOpen: true, Label: "neg"},
+		{Lo: 1, Hi: math.Inf(1), Label: "big"},
+	})
+	if gap.Complete() {
+		t.Error("gapped ranges reported complete")
+	}
+}
+
+func TestRangesApplyPaperExample(t *testing.T) {
+	// Example 1.1: ratio thresholds {[0,0.9): bad, [0.9,1.1]: acceptable,
+	// (1.1, inf): good}.
+	r := MustRanges("milk", []Interval{
+		{Lo: 0, Hi: 0.9, HiOpen: true, Label: "bad"},
+		{Lo: 0.9, Hi: 1.1, Label: "acceptable"},
+		{Lo: 1.1, Hi: math.Inf(1), LoOpen: true, HiOpen: true, Label: "good"},
+	})
+	got := r.Apply([]float64{0.5, 0.9, 1.1, 1.2, -1, math.NaN()})
+	want := []string{"bad", "acceptable", "acceptable", "good", NullLabel, NullLabel}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Apply = %v, want %v", got, want)
+	}
+}
+
+func TestFiveStars(t *testing.T) {
+	// Listing 3 semantics: pd.cut with include_lowest over
+	// [-1,-0.6,-0.2,0.2,0.6,1].
+	r := FiveStars()
+	got := r.Apply([]float64{-1, -0.6, -0.59, 0, 0.2, 0.21, 1})
+	want := []string{"*", "*", "**", "***", "***", "****", "*****"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("5stars = %v, want %v", got, want)
+	}
+}
+
+func TestRangesBinarySearchProperty(t *testing.T) {
+	// Property: binary-search labeling agrees with linear scan.
+	r := FiveStars()
+	linear := func(v float64) string {
+		if math.IsNaN(v) {
+			return NullLabel
+		}
+		for _, iv := range r.Intervals() {
+			if iv.Contains(v) {
+				return iv.Label
+			}
+		}
+		return NullLabel
+	}
+	prop := func(v float64) bool {
+		return r.Apply([]float64{v})[0] == linear(v)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+	// And explicitly around every boundary.
+	for _, iv := range r.Intervals() {
+		for _, v := range []float64{iv.Lo, iv.Hi, iv.Lo - 1e-9, iv.Hi + 1e-9} {
+			if r.Apply([]float64{v})[0] != linear(v) {
+				t.Errorf("boundary disagreement at %g", v)
+			}
+		}
+	}
+}
+
+func TestRangesPartitionProperty(t *testing.T) {
+	// Property (Section 3.3): every value gets exactly one label — the
+	// labeler is a function, and for complete partitions it never yields
+	// NullLabel.
+	r := MustRanges("signs", []Interval{
+		{Lo: math.Inf(-1), Hi: 0, HiOpen: true, Label: "neg"},
+		{Lo: 0, Hi: 0, Label: "zero"},
+		{Lo: 0, Hi: math.Inf(1), LoOpen: true, Label: "pos"},
+	})
+	if !r.Complete() {
+		t.Fatal("sign partition not complete")
+	}
+	prop := func(v float64) bool {
+		if math.IsNaN(v) {
+			return true
+		}
+		got := r.Apply([]float64{v})[0]
+		switch {
+		case v < 0:
+			return got == "neg"
+		case v == 0:
+			return got == "zero"
+		default:
+			return got == "pos"
+		}
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRangesString(t *testing.T) {
+	s := FiveStars().String()
+	if !strings.HasPrefix(s, "{[-1, -0.6]: *") || !strings.Contains(s, "(0.6, 1]: *****") {
+		t.Errorf("String() = %s", s)
+	}
+}

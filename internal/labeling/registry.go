@@ -1,0 +1,88 @@
+package labeling
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Registry maps (case-insensitively) labeler names to implementations:
+// the "set of library labeling functions based on the value distribution"
+// of Section 4.1, plus predeclared range-based functions such as 5stars.
+type Registry struct {
+	m map[string]Labeler
+}
+
+// NewRegistry returns a registry pre-loaded with the library labelers:
+// quartiles, terciles, quintiles, deciles, zscore, clusters, and the
+// paper's 5stars range function (Example 3.3).
+func NewRegistry() *Registry {
+	r := &Registry{m: make(map[string]Labeler)}
+	mustQ := func(name string, k int) {
+		q, err := NewQuantiles(name, k, nil)
+		if err != nil {
+			panic(err)
+		}
+		r.mustRegister(q)
+	}
+	mustQ("quartiles", 4)
+	mustQ("terciles", 3)
+	mustQ("quintiles", 5)
+	mustQ("deciles", 10)
+	r.mustRegister(NewZScoreRound("zscore"))
+	km, err := NewKMeans1D("clusters", 8)
+	if err != nil {
+		panic(err)
+	}
+	r.mustRegister(km)
+	r.mustRegister(FiveStars())
+	return r
+}
+
+func (r *Registry) mustRegister(l Labeler) {
+	if err := r.Register(l); err != nil {
+		panic(err)
+	}
+}
+
+// Register adds a labeler; the name must be unused.
+func (r *Registry) Register(l Labeler) error {
+	key := strings.ToLower(l.Name())
+	if _, dup := r.m[key]; dup {
+		return fmt.Errorf("labeling: %s already registered", l.Name())
+	}
+	r.m[key] = l
+	return nil
+}
+
+// Lookup resolves a labeler by name, case-insensitively.
+func (r *Registry) Lookup(name string) (Labeler, bool) {
+	l, ok := r.m[strings.ToLower(name)]
+	return l, ok
+}
+
+// Names returns the registered labeler names, sorted.
+func (r *Registry) Names() []string {
+	out := make([]string, 0, len(r.m))
+	for _, l := range r.m {
+		out = append(out, l.Name())
+	}
+	sort.Strings(out)
+	return out
+}
+
+// FiveStars returns the paper's 5stars labeling function (Example 3.3 and
+// Listing 3): five equal ranges over [-1, 1] labeled '*' to '*****'.
+func FiveStars() *Ranges {
+	return MustRanges("5stars", []Interval{
+		{Lo: -1, Hi: -0.6, Label: "*"},
+		{Lo: -0.6, Hi: -0.2, LoOpen: true, Label: "**"},
+		{Lo: -0.2, Hi: 0.2, LoOpen: true, Label: "***"},
+		{Lo: 0.2, Hi: 0.6, LoOpen: true, Label: "****"},
+		{Lo: 0.6, Hi: 1, LoOpen: true, Label: "*****"},
+	})
+}
+
+// Inf is a convenience for building intervals with unbounded endpoints.
+func Inf(sign int) float64 { return math.Inf(sign) }

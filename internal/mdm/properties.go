@@ -1,0 +1,89 @@
+package mdm
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Descriptive properties of levels (the paper's future work, Section 8:
+// "cube schemas including descriptive properties of levels (e.g., the
+// population of a country)… to compare per capita sales of different
+// countries"). A property attaches one numeric value to every member of
+// a level; the using clause can reference it as level.property.
+
+// AddProperty declares a numeric property on a level of the hierarchy.
+func (h *Hierarchy) AddProperty(level, name string) error {
+	d, ok := h.LevelIndex(level)
+	if !ok {
+		return fmt.Errorf("mdm: hierarchy %s has no level %q", h.name, level)
+	}
+	if h.props == nil {
+		h.props = make(map[propKey][]float64)
+	}
+	key := propKey{d, name}
+	if _, dup := h.props[key]; dup {
+		return fmt.Errorf("mdm: property %s.%s already declared", level, name)
+	}
+	h.props[key] = nil
+	return nil
+}
+
+// SetProperty assigns the property value of one member. The member must
+// already be registered and the property declared.
+func (h *Hierarchy) SetProperty(level, member, name string, v float64) error {
+	d, ok := h.LevelIndex(level)
+	if !ok {
+		return fmt.Errorf("mdm: hierarchy %s has no level %q", h.name, level)
+	}
+	key := propKey{d, name}
+	vals, ok := h.props[key]
+	if !ok {
+		return fmt.Errorf("mdm: property %s.%s not declared", level, name)
+	}
+	id, ok := h.dicts[d].Lookup(member)
+	if !ok {
+		return fmt.Errorf("mdm: level %s has no member %q", level, member)
+	}
+	for int(id) >= len(vals) {
+		vals = append(vals, math.NaN())
+	}
+	vals[id] = v
+	h.props[key] = vals
+	return nil
+}
+
+// PropertyValue returns the property value of a member id at the given
+// level depth; NaN when unset.
+func (h *Hierarchy) PropertyValue(depth int, name string, id int32) float64 {
+	vals, ok := h.props[propKey{depth, name}]
+	if !ok || int(id) >= len(vals) {
+		return math.NaN()
+	}
+	return vals[id]
+}
+
+// HasProperty reports whether the property is declared on the level at
+// the given depth.
+func (h *Hierarchy) HasProperty(depth int, name string) bool {
+	_, ok := h.props[propKey{depth, name}]
+	return ok
+}
+
+type propKey struct {
+	depth int
+	name  string
+}
+
+// PropertyNames lists the properties declared on the level at the given
+// depth, sorted.
+func (h *Hierarchy) PropertyNames(depth int) []string {
+	var out []string
+	for k := range h.props {
+		if k.depth == depth {
+			out = append(out, k.name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,89 @@
+package mdm
+
+import (
+	"math"
+	"reflect"
+	"testing"
+)
+
+func TestProperties(t *testing.T) {
+	h := NewHierarchy("Geo", "city", "country")
+	h.MustAddMember("Bologna", "Italy")
+	h.MustAddMember("Paris", "France")
+	if err := h.AddProperty("country", "population"); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.AddProperty("country", "area"); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.SetProperty("country", "Italy", "population", 59); err != nil {
+		t.Fatal(err)
+	}
+	italy, _ := h.Dict(1).Lookup("Italy")
+	france, _ := h.Dict(1).Lookup("France")
+	if got := h.PropertyValue(1, "population", italy); got != 59 {
+		t.Errorf("population = %g", got)
+	}
+	if !math.IsNaN(h.PropertyValue(1, "population", france)) {
+		t.Error("unset value not NaN")
+	}
+	if !math.IsNaN(h.PropertyValue(1, "nosuch", italy)) {
+		t.Error("unknown property not NaN")
+	}
+	if !h.HasProperty(1, "area") || h.HasProperty(0, "area") {
+		t.Error("HasProperty wrong")
+	}
+	if got := h.PropertyNames(1); !reflect.DeepEqual(got, []string{"area", "population"}) {
+		t.Errorf("PropertyNames = %v", got)
+	}
+	if got := h.PropertyNames(0); got != nil {
+		t.Errorf("base-level PropertyNames = %v", got)
+	}
+	// Error paths.
+	if err := h.AddProperty("country", "population"); err == nil {
+		t.Error("duplicate declaration accepted")
+	}
+	if err := h.AddProperty("nosuch", "x"); err == nil {
+		t.Error("unknown level accepted")
+	}
+	if err := h.SetProperty("nosuch", "Italy", "population", 1); err == nil {
+		t.Error("unknown level set accepted")
+	}
+	if err := h.SetProperty("country", "Italy", "nosuch", 1); err == nil {
+		t.Error("undeclared property set accepted")
+	}
+	if err := h.SetProperty("country", "Atlantis", "population", 1); err == nil {
+		t.Error("unknown member set accepted")
+	}
+}
+
+func TestMdmAccessors(t *testing.T) {
+	h := NewHierarchy("Geo", "city", "country")
+	h.MustAddMember("Bologna", "Italy")
+	if h.Depth() != 2 {
+		t.Errorf("Depth = %d", h.Depth())
+	}
+	if got := h.Levels(); !reflect.DeepEqual(got, []string{"city", "country"}) {
+		t.Errorf("Levels = %v", got)
+	}
+	if got := h.Dict(0).Names(); !reflect.DeepEqual(got, []string{"Bologna"}) {
+		t.Errorf("Names = %v", got)
+	}
+	s := NewSchema("T", []*Hierarchy{h}, []Measure{{Name: "m", Op: AggSum}})
+	g := MustGroupBy(s, "city")
+	if g.String(s) != "⟨city⟩" {
+		t.Errorf("String = %s", g.String(s))
+	}
+	city, _ := s.FindLevel("city")
+	if !g.Contains(city) || g.PosOf(city) != 0 {
+		t.Error("Contains/PosOf wrong")
+	}
+	country, _ := s.FindLevel("country")
+	if g.Contains(country) {
+		t.Error("Contains claimed absent level")
+	}
+	coord := Coordinate{0}
+	if got := coord.Clone(); !reflect.DeepEqual(got, coord) || &got[0] == &coord[0] {
+		t.Error("Clone not a copy")
+	}
+}

@@ -1,0 +1,178 @@
+package parser
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Statement is the AST of one assess statement (Section 4.1):
+//
+//	with C0 [for P] by G assess|assess* m [against <benchmark>]
+//	[using <function>] labels λ
+type Statement struct {
+	Cube    string      // with clause: the detailed cube
+	For     []Predicate // for clause (may be empty)
+	By      []string    // by clause: the group-by levels
+	Star    bool        // true for assess*
+	Measure string      // the assessed measure m (empty for get statements)
+	Against *Benchmark  // nil when the against clause is omitted
+	Using   *Call       // nil when the using clause is omitted
+	Labels  Labels      // labels clause
+	Text    string      // the original statement text
+	// GetMeasures is non-empty for plain cube queries written with the
+	// paper's get operator instead of assess: "with C by G get m1, m2".
+	GetMeasures []string
+}
+
+// IsGet reports whether the statement is a plain cube query (the logical
+// get operator of Section 4.2) rather than an assessment.
+func (st *Statement) IsGet() bool { return len(st.GetMeasures) > 0 }
+
+// Predicate is one conjunctive selection predicate of the for clause:
+// level = 'member' or level in ('m1', 'm2', …).
+type Predicate struct {
+	Level  string
+	Values []string
+}
+
+// String renders the predicate in statement syntax.
+func (p Predicate) String() string {
+	if len(p.Values) == 1 {
+		return fmt.Sprintf("%s = '%s'", p.Level, p.Values[0])
+	}
+	quoted := make([]string, len(p.Values))
+	for i, v := range p.Values {
+		quoted[i] = "'" + v + "'"
+	}
+	return fmt.Sprintf("%s in (%s)", p.Level, strings.Join(quoted, ", "))
+}
+
+// BenchmarkKind enumerates the four benchmark types of Section 3.1.
+type BenchmarkKind int
+
+// Benchmark kinds. BenchAncestor is the roll-up benchmark sketched in
+// the paper's future work ("let the sales of milk be assessed against
+// those of drinks, i.e., against an ancestor of milk in the roll-up
+// order", Section 8).
+const (
+	BenchConstant BenchmarkKind = iota
+	BenchExternal
+	BenchSibling
+	BenchPast
+	BenchAncestor
+)
+
+// String names the benchmark kind as in the paper.
+func (k BenchmarkKind) String() string {
+	switch k {
+	case BenchConstant:
+		return "Constant"
+	case BenchExternal:
+		return "External"
+	case BenchSibling:
+		return "Sibling"
+	case BenchPast:
+		return "Past"
+	case BenchAncestor:
+		return "Ancestor"
+	}
+	return fmt.Sprintf("BenchmarkKind(%d)", int(k))
+}
+
+// Benchmark is the parsed against clause. The populated fields depend on
+// Kind: Value for constant benchmarks, Cube and Measure for external
+// (against B.mb), Level and Member for sibling (against l = 'u_sib'), K
+// for past (against past k), Level for ancestor (against ancestor l').
+type Benchmark struct {
+	Kind    BenchmarkKind
+	Value   float64
+	Cube    string
+	Measure string
+	Level   string
+	Member  string
+	K       int
+}
+
+// Expr is a node of the using-clause expression tree.
+type Expr interface {
+	exprNode()
+	// String renders the expression in statement syntax.
+	String() string
+}
+
+// Call is a (possibly nested) invocation of a library function.
+type Call struct {
+	Name string
+	Args []Expr
+}
+
+func (*Call) exprNode() {}
+
+// String implements Expr.
+func (c *Call) String() string {
+	args := make([]string, len(c.Args))
+	for i, a := range c.Args {
+		args[i] = a.String()
+	}
+	return c.Name + "(" + strings.Join(args, ", ") + ")"
+}
+
+// Number is a numeric literal argument.
+type Number struct {
+	Value float64
+}
+
+func (*Number) exprNode() {}
+
+// String implements Expr.
+func (n *Number) String() string { return fmt.Sprintf("%g", n.Value) }
+
+// Ref is a measure reference: either a target-cube measure m, or
+// benchmark.m referring to the benchmark's copy (Section 4.1), or the
+// expansion placeholder for the pivoted past series.
+type Ref struct {
+	Benchmark bool
+	Name      string
+}
+
+func (*Ref) exprNode() {}
+
+// String implements Expr.
+func (r *Ref) String() string {
+	if r.Benchmark {
+		return "benchmark." + r.Name
+	}
+	return r.Name
+}
+
+// Prop references a descriptive property of a level, level.property —
+// e.g. country.population for per-capita comparisons (the paper's
+// future work, Section 8).
+type Prop struct {
+	Level string
+	Name  string
+}
+
+func (*Prop) exprNode() {}
+
+// String implements Expr.
+func (p *Prop) String() string { return p.Level + "." + p.Name }
+
+// Labels is the parsed labels clause: either the name of a predeclared or
+// library labeling function, or an inline set of ranges. Within, when
+// set, makes the labeling coordinate-dependent (the paper's future work,
+// Section 8): the labeler is applied independently within each slice of
+// that level, e.g. "labels quartiles within country".
+type Labels struct {
+	Named  string
+	Ranges []Range // non-empty for inline range sets
+	Within string
+}
+
+// Range is one inline labeling rule, e.g. "[0, 0.9): bad". Lo and Hi may
+// be ±infinity.
+type Range struct {
+	Lo, Hi         float64
+	LoOpen, HiOpen bool
+	Label          string
+}

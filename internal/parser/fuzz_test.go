@@ -1,0 +1,88 @@
+package parser
+
+import (
+	"strings"
+	"testing"
+	"unicode/utf8"
+)
+
+// FuzzParse checks that the parser never panics and that every accepted
+// statement survives a render/re-parse round trip.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		`with SALES by month assess storeSales labels quartiles`,
+		`with SALES for year = '2019', product = 'milk' by year, product
+			assess quantity against 1000 using ratio(quantity, 1000)
+			labels {[0, 0.9): bad, [0.9, 1.1]: acceptable, (1.1, inf): good}`,
+		`with SALES by product, country assess* quantity against country = 'France'
+			using percOfTotal(difference(quantity, benchmark.quantity))
+			labels {[-inf, -0.2): bad, [-0.2, 0.2]: ok, (0.2, inf]: good} within country`,
+		`with SALES by month, store assess storeSales against past 4 labels 5stars`,
+		`with SALES by product get quantity, storeSales`,
+		`with C by l assess m against ancestor t labels {[0,1]:*, (1,inf):**}`,
+		`with X by y assess z against B.m using f(g(h(a, 1e9), -inf)) labels q`,
+		``, `with`, `with )`, `labels {`, `'unterminated`,
+		"with \x00 by \xff assess m labels q",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		st, err := Parse(src)
+		if err != nil {
+			return
+		}
+		// Accepted input must render to something that parses to the same
+		// AST, provided the names render losslessly (quoted names with
+		// embedded quotes are accepted on input but not re-quoted).
+		rendered := st.Render()
+		if strings.ContainsAny(src, "'\"") && strings.ContainsAny(rendered, "'") {
+			if hasNestedQuote(st) {
+				return
+			}
+		}
+		if !utf8.ValidString(rendered) {
+			t.Fatalf("render produced invalid UTF-8 from %q", src)
+		}
+		if _, err := Parse(rendered); err != nil {
+			t.Fatalf("render of %q does not re-parse: %q: %v", src, rendered, err)
+		}
+	})
+}
+
+// hasNestedQuote reports whether any name in the statement contains a
+// quote character, which Render cannot re-quote losslessly.
+func hasNestedQuote(st *Statement) bool {
+	check := func(s string) bool { return strings.ContainsAny(s, "'\"") }
+	for _, p := range st.For {
+		for _, v := range p.Values {
+			if check(v) {
+				return true
+			}
+		}
+	}
+	if st.Against != nil && (check(st.Against.Member) || check(st.Against.Cube) || check(st.Against.Measure)) {
+		return true
+	}
+	for _, r := range st.Labels.Ranges {
+		if check(r.Label) {
+			return true
+		}
+	}
+	return false
+}
+
+// FuzzParseDeclaration checks the declare parser never panics.
+func FuzzParseDeclaration(f *testing.F) {
+	for _, s := range []string{
+		`declare labels x as {[0, 1]: a}`,
+		`declare labels 5stars {[-1, 1]: *}`,
+		`declare`, `declare labels`, `declare labels x as quartiles`,
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		_, _ = ParseDeclaration(src)
+		_ = IsDeclaration(src)
+	})
+}

@@ -1,0 +1,227 @@
+// Package parser implements the SQL-like syntax of the assess operator
+// (Section 4.1): a hand-written lexer and recursive-descent parser that
+// turn statements such as
+//
+//	with SALES
+//	for type = 'Fresh Fruit', country = 'Italy'
+//	by product, country
+//	assess quantity against country = 'France'
+//	using percOfTotal(difference(quantity, benchmark.quantity))
+//	labels {[-inf, -0.2): bad, [-0.2, 0.2]: ok, (0.2, inf]: good}
+//
+// into an abstract syntax tree. Keywords are case-insensitive; member
+// names and labels may be quoted with single or double quotes.
+package parser
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+	"unicode/utf8"
+)
+
+// tokenKind enumerates lexical token classes.
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokComma
+	tokLParen
+	tokRParen
+	tokLBrace
+	tokRBrace
+	tokLBracket
+	tokRBracket
+	tokColon
+	tokEquals
+	tokDot
+	tokStar
+	tokMinus
+)
+
+func (k tokenKind) String() string {
+	switch k {
+	case tokEOF:
+		return "end of statement"
+	case tokIdent:
+		return "identifier"
+	case tokNumber:
+		return "number"
+	case tokString:
+		return "string"
+	case tokComma:
+		return "','"
+	case tokLParen:
+		return "'('"
+	case tokRParen:
+		return "')'"
+	case tokLBrace:
+		return "'{'"
+	case tokRBrace:
+		return "'}'"
+	case tokLBracket:
+		return "'['"
+	case tokRBracket:
+		return "']'"
+	case tokColon:
+		return "':'"
+	case tokEquals:
+		return "'='"
+	case tokDot:
+		return "'.'"
+	case tokStar:
+		return "'*'"
+	case tokMinus:
+		return "'-'"
+	}
+	return "token"
+}
+
+// token is one lexical token with its source position (byte offset).
+type token struct {
+	kind tokenKind
+	text string
+	pos  int
+}
+
+// SyntaxError reports a lexical or grammatical error with its byte offset
+// in the statement.
+type SyntaxError struct {
+	Pos int
+	Msg string
+}
+
+// Error implements error.
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("syntax error at offset %d: %s", e.Pos, e.Msg)
+}
+
+func errAt(pos int, format string, args ...any) error {
+	return &SyntaxError{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+// lex tokenizes the whole statement.
+func lex(src string) ([]token, error) {
+	if !utf8.ValidString(src) {
+		return nil, errAt(0, "statement is not valid UTF-8")
+	}
+	var toks []token
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == ',':
+			toks = append(toks, token{tokComma, ",", i})
+			i++
+		case c == '(':
+			toks = append(toks, token{tokLParen, "(", i})
+			i++
+		case c == ')':
+			toks = append(toks, token{tokRParen, ")", i})
+			i++
+		case c == '{':
+			toks = append(toks, token{tokLBrace, "{", i})
+			i++
+		case c == '}':
+			toks = append(toks, token{tokRBrace, "}", i})
+			i++
+		case c == '[':
+			toks = append(toks, token{tokLBracket, "[", i})
+			i++
+		case c == ']':
+			toks = append(toks, token{tokRBracket, "]", i})
+			i++
+		case c == ':':
+			toks = append(toks, token{tokColon, ":", i})
+			i++
+		case c == '=':
+			toks = append(toks, token{tokEquals, "=", i})
+			i++
+		case c == '.':
+			toks = append(toks, token{tokDot, ".", i})
+			i++
+		case c == '*':
+			toks = append(toks, token{tokStar, "*", i})
+			i++
+		case c == '-':
+			toks = append(toks, token{tokMinus, "-", i})
+			i++
+		case c == '\'' || c == '"':
+			quote := c
+			j := i + 1
+			for j < len(src) && src[j] != quote {
+				j++
+			}
+			if j >= len(src) {
+				return nil, errAt(i, "unterminated string")
+			}
+			toks = append(toks, token{tokString, src[i+1 : j], i})
+			i = j + 1
+		case c >= '0' && c <= '9':
+			j := i
+			for j < len(src) && (src[j] >= '0' && src[j] <= '9') {
+				j++
+			}
+			if j < len(src) && src[j] == '.' && j+1 < len(src) && src[j+1] >= '0' && src[j+1] <= '9' {
+				j++
+				for j < len(src) && src[j] >= '0' && src[j] <= '9' {
+					j++
+				}
+			}
+			if j < len(src) && (src[j] == 'e' || src[j] == 'E') {
+				k := j + 1
+				if k < len(src) && (src[k] == '+' || src[k] == '-') {
+					k++
+				}
+				if k < len(src) && src[k] >= '0' && src[k] <= '9' {
+					for k < len(src) && src[k] >= '0' && src[k] <= '9' {
+						k++
+					}
+					j = k
+				}
+			}
+			// A digit run glued to identifier characters is an identifier
+			// (labeler names like 5stars may start with a digit).
+			if j < len(src) && isIdentPart(rune(src[j])) {
+				for j < len(src) && isIdentPart(rune(src[j])) {
+					j++
+				}
+				toks = append(toks, token{tokIdent, src[i:j], i})
+				i = j
+				continue
+			}
+			toks = append(toks, token{tokNumber, src[i:j], i})
+			i = j
+		case isIdentStart(rune(c)):
+			j := i
+			for j < len(src) && isIdentPart(rune(src[j])) {
+				j++
+			}
+			toks = append(toks, token{tokIdent, src[i:j], i})
+			i = j
+		default:
+			return nil, errAt(i, "unexpected character %q", string(c))
+		}
+	}
+	toks = append(toks, token{tokEOF, "", len(src)})
+	return toks, nil
+}
+
+func isIdentStart(r rune) bool {
+	return unicode.IsLetter(r) || r == '_'
+}
+
+func isIdentPart(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_'
+}
+
+// isKeyword reports whether the token is the given case-insensitive
+// keyword.
+func (t token) isKeyword(kw string) bool {
+	return t.kind == tokIdent && strings.EqualFold(t.text, kw)
+}

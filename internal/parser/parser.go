@@ -1,0 +1,436 @@
+package parser
+
+import (
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Parse parses one assess statement.
+func Parse(src string) (*Statement, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	st, err := p.statement()
+	if err != nil {
+		return nil, err
+	}
+	st.Text = strings.TrimSpace(src)
+	return st, nil
+}
+
+type parser struct {
+	toks    []token
+	pos     int
+	partial bool // ParsePartial: the labels clause may be absent
+}
+
+func (p *parser) cur() token  { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *parser) expect(kind tokenKind) (token, error) {
+	t := p.cur()
+	if t.kind != kind {
+		return t, errAt(t.pos, "expected %s, found %q", kind, t.text)
+	}
+	p.pos++
+	return t, nil
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	t := p.cur()
+	if !t.isKeyword(kw) {
+		return errAt(t.pos, "expected keyword %q, found %q", kw, t.text)
+	}
+	p.pos++
+	return nil
+}
+
+func (p *parser) acceptKeyword(kw string) bool {
+	if p.cur().isKeyword(kw) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+// name accepts an identifier or a quoted string (member names and labels
+// may contain spaces).
+func (p *parser) name() (string, error) {
+	t := p.cur()
+	if t.kind != tokIdent && t.kind != tokString {
+		return "", errAt(t.pos, "expected a name, found %q", t.text)
+	}
+	p.pos++
+	return t.text, nil
+}
+
+// statement := with IDENT [for preds] by levels assess[*] IDENT
+//
+//	[against benchmark] [using call] labels labelspec
+func (p *parser) statement() (*Statement, error) {
+	st := &Statement{}
+	if err := p.expectKeyword("with"); err != nil {
+		return nil, err
+	}
+	cubeTok, err := p.expect(tokIdent)
+	if err != nil {
+		return nil, err
+	}
+	st.Cube = cubeTok.text
+
+	if p.acceptKeyword("for") {
+		if st.For, err = p.predicates(); err != nil {
+			return nil, err
+		}
+	}
+	if err := p.expectKeyword("by"); err != nil {
+		return nil, err
+	}
+	for {
+		lvl, err := p.expect(tokIdent)
+		if err != nil {
+			return nil, err
+		}
+		st.By = append(st.By, lvl.text)
+		if p.cur().kind != tokComma {
+			break
+		}
+		p.pos++
+	}
+	// A plain cube query uses the get operator in place of assess.
+	if p.acceptKeyword("get") {
+		for {
+			m, err := p.expect(tokIdent)
+			if err != nil {
+				return nil, err
+			}
+			st.GetMeasures = append(st.GetMeasures, m.text)
+			if p.cur().kind != tokComma {
+				break
+			}
+			p.pos++
+		}
+		if t := p.cur(); t.kind != tokEOF {
+			return nil, errAt(t.pos, "unexpected trailing input %q after get", t.text)
+		}
+		return st, nil
+	}
+	if err := p.expectKeyword("assess"); err != nil {
+		return nil, err
+	}
+	if p.cur().kind == tokStar {
+		st.Star = true
+		p.pos++
+	}
+	m, err := p.expect(tokIdent)
+	if err != nil {
+		return nil, err
+	}
+	st.Measure = m.text
+
+	if p.acceptKeyword("against") {
+		if st.Against, err = p.benchmark(); err != nil {
+			return nil, err
+		}
+	}
+	if p.acceptKeyword("using") {
+		call, err := p.call()
+		if err != nil {
+			return nil, err
+		}
+		st.Using = call
+	}
+	if p.partial && p.cur().kind == tokEOF {
+		return st, nil
+	}
+	if err := p.expectKeyword("labels"); err != nil {
+		return nil, err
+	}
+	if st.Labels, err = p.labels(); err != nil {
+		return nil, err
+	}
+	if t := p.cur(); t.kind != tokEOF {
+		return nil, errAt(t.pos, "unexpected trailing input %q", t.text)
+	}
+	return st, nil
+}
+
+// predicates := pred ("," pred)*
+// pred       := IDENT "=" name | IDENT "in" "(" name ("," name)* ")"
+func (p *parser) predicates() ([]Predicate, error) {
+	var preds []Predicate
+	for {
+		lvl, err := p.expect(tokIdent)
+		if err != nil {
+			return nil, err
+		}
+		pred := Predicate{Level: lvl.text}
+		switch {
+		case p.cur().kind == tokEquals:
+			p.pos++
+			v, err := p.name()
+			if err != nil {
+				return nil, err
+			}
+			pred.Values = []string{v}
+		case p.cur().isKeyword("in"):
+			p.pos++
+			if _, err := p.expect(tokLParen); err != nil {
+				return nil, err
+			}
+			for {
+				v, err := p.name()
+				if err != nil {
+					return nil, err
+				}
+				pred.Values = append(pred.Values, v)
+				if p.cur().kind != tokComma {
+					break
+				}
+				p.pos++
+			}
+			if _, err := p.expect(tokRParen); err != nil {
+				return nil, err
+			}
+		default:
+			return nil, errAt(p.cur().pos, "expected '=' or 'in' after level %q", lvl.text)
+		}
+		preds = append(preds, pred)
+		if p.cur().kind != tokComma {
+			return preds, nil
+		}
+		p.pos++
+	}
+}
+
+// benchmark := NUMBER | "past" INT | IDENT "." IDENT | IDENT "=" name
+func (p *parser) benchmark() (*Benchmark, error) {
+	t := p.cur()
+	switch {
+	case t.kind == tokNumber || t.kind == tokMinus:
+		v, err := p.number()
+		if err != nil {
+			return nil, err
+		}
+		return &Benchmark{Kind: BenchConstant, Value: v}, nil
+	case t.isKeyword("past"):
+		p.pos++
+		kt, err := p.expect(tokNumber)
+		if err != nil {
+			return nil, err
+		}
+		k, err := strconv.Atoi(kt.text)
+		if err != nil || k < 1 {
+			return nil, errAt(kt.pos, "past benchmark needs a positive integer, found %q", kt.text)
+		}
+		return &Benchmark{Kind: BenchPast, K: k}, nil
+	case t.isKeyword("ancestor"):
+		p.pos++
+		lvl, err := p.expect(tokIdent)
+		if err != nil {
+			return nil, err
+		}
+		return &Benchmark{Kind: BenchAncestor, Level: lvl.text}, nil
+	case t.kind == tokIdent:
+		p.pos++
+		switch p.cur().kind {
+		case tokDot:
+			p.pos++
+			m, err := p.expect(tokIdent)
+			if err != nil {
+				return nil, err
+			}
+			return &Benchmark{Kind: BenchExternal, Cube: t.text, Measure: m.text}, nil
+		case tokEquals:
+			p.pos++
+			v, err := p.name()
+			if err != nil {
+				return nil, err
+			}
+			return &Benchmark{Kind: BenchSibling, Level: t.text, Member: v}, nil
+		}
+		return nil, errAt(p.cur().pos, "expected '.' or '=' in benchmark specification")
+	}
+	return nil, errAt(t.pos, "expected a benchmark specification, found %q", t.text)
+}
+
+// call := IDENT "(" arg ("," arg)* ")"
+func (p *parser) call() (*Call, error) {
+	nameTok, err := p.expect(tokIdent)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokLParen); err != nil {
+		return nil, err
+	}
+	c := &Call{Name: nameTok.text}
+	for {
+		arg, err := p.arg()
+		if err != nil {
+			return nil, err
+		}
+		c.Args = append(c.Args, arg)
+		if p.cur().kind != tokComma {
+			break
+		}
+		p.pos++
+	}
+	if _, err := p.expect(tokRParen); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// arg := call | NUMBER | "benchmark" "." IDENT | IDENT
+func (p *parser) arg() (Expr, error) {
+	t := p.cur()
+	switch {
+	case t.kind == tokNumber || t.kind == tokMinus:
+		v, err := p.number()
+		if err != nil {
+			return nil, err
+		}
+		return &Number{Value: v}, nil
+	case t.kind == tokIdent:
+		// Lookahead distinguishes call, benchmark.m, and plain measure.
+		if p.toks[p.pos+1].kind == tokLParen {
+			return p.call()
+		}
+		p.pos++
+		if p.cur().kind == tokDot {
+			p.pos++
+			m, err := p.expect(tokIdent)
+			if err != nil {
+				return nil, err
+			}
+			if t.isKeyword("benchmark") {
+				return &Ref{Benchmark: true, Name: m.text}, nil
+			}
+			// level.property references a descriptive level property.
+			return &Prop{Level: t.text, Name: m.text}, nil
+		}
+		return &Ref{Name: t.text}, nil
+	}
+	return nil, errAt(t.pos, "expected a function argument, found %q", t.text)
+}
+
+// number := ["-"] (NUMBER | "inf")
+func (p *parser) number() (float64, error) {
+	neg := false
+	if p.cur().kind == tokMinus {
+		neg = true
+		p.pos++
+	}
+	t := p.cur()
+	switch {
+	case t.isKeyword("inf"):
+		p.pos++
+		if neg {
+			return math.Inf(-1), nil
+		}
+		return math.Inf(1), nil
+	case t.kind == tokNumber:
+		p.pos++
+		v, err := strconv.ParseFloat(t.text, 64)
+		if err != nil {
+			return 0, errAt(t.pos, "invalid number %q", t.text)
+		}
+		if neg {
+			v = -v
+		}
+		return v, nil
+	}
+	return 0, errAt(t.pos, "expected a number, found %q", t.text)
+}
+
+// labels := (IDENT | "{" range ":" label ("," range ":" label)* "}")
+//
+//	[ "within" IDENT ]
+func (p *parser) labels() (Labels, error) {
+	var out Labels
+	if p.cur().kind == tokIdent {
+		out.Named = p.next().text
+	} else {
+		if _, err := p.expect(tokLBrace); err != nil {
+			return Labels{}, err
+		}
+		for {
+			r, err := p.labelRange()
+			if err != nil {
+				return Labels{}, err
+			}
+			out.Ranges = append(out.Ranges, r)
+			if p.cur().kind != tokComma {
+				break
+			}
+			p.pos++
+		}
+		if _, err := p.expect(tokRBrace); err != nil {
+			return Labels{}, err
+		}
+	}
+	if p.acceptKeyword("within") {
+		lvl, err := p.expect(tokIdent)
+		if err != nil {
+			return Labels{}, err
+		}
+		out.Within = lvl.text
+	}
+	return out, nil
+}
+
+// labelRange := ("["|"(") number "," number ("]"|")") ":" label
+// label      := IDENT | STRING | "*"+
+func (p *parser) labelRange() (Range, error) {
+	var r Range
+	switch p.cur().kind {
+	case tokLBracket:
+		r.LoOpen = false
+	case tokLParen:
+		r.LoOpen = true
+	default:
+		return r, errAt(p.cur().pos, "expected '[' or '(' to open a range, found %q", p.cur().text)
+	}
+	p.pos++
+	lo, err := p.number()
+	if err != nil {
+		return r, err
+	}
+	r.Lo = lo
+	if _, err := p.expect(tokComma); err != nil {
+		return r, err
+	}
+	hi, err := p.number()
+	if err != nil {
+		return r, err
+	}
+	r.Hi = hi
+	switch p.cur().kind {
+	case tokRBracket:
+		r.HiOpen = false
+	case tokRParen:
+		r.HiOpen = true
+	default:
+		return r, errAt(p.cur().pos, "expected ']' or ')' to close a range, found %q", p.cur().text)
+	}
+	p.pos++
+	if _, err := p.expect(tokColon); err != nil {
+		return r, err
+	}
+	switch t := p.cur(); t.kind {
+	case tokIdent, tokString:
+		r.Label = t.text
+		p.pos++
+	case tokStar:
+		for p.cur().kind == tokStar {
+			r.Label += "*"
+			p.pos++
+		}
+	default:
+		return r, errAt(t.pos, "expected a label, found %q", t.text)
+	}
+	return r, nil
+}

@@ -1,0 +1,247 @@
+package parser
+
+import (
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func mustParse(t *testing.T, src string) *Statement {
+	t.Helper()
+	st, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", src, err)
+	}
+	return st
+}
+
+func TestParseExampleOneOne(t *testing.T) {
+	st := mustParse(t, `
+		with SALES
+		for year = '2019', product = 'milk'
+		by year, product
+		assess quantity against 1000
+		using ratio(quantity, 1000)
+		labels {[0, 0.9): bad, [0.9, 1.1]: acceptable, (1.1, inf): good}`)
+	if st.Cube != "SALES" {
+		t.Errorf("cube = %q", st.Cube)
+	}
+	if !reflect.DeepEqual(st.By, []string{"year", "product"}) {
+		t.Errorf("by = %v", st.By)
+	}
+	if len(st.For) != 2 || st.For[0].Level != "year" || st.For[0].Values[0] != "2019" {
+		t.Errorf("for = %v", st.For)
+	}
+	if st.Measure != "quantity" || st.Star {
+		t.Errorf("measure = %q star = %v", st.Measure, st.Star)
+	}
+	if st.Against == nil || st.Against.Kind != BenchConstant || st.Against.Value != 1000 {
+		t.Errorf("against = %+v", st.Against)
+	}
+	if st.Using == nil || st.Using.String() != "ratio(quantity, 1000)" {
+		t.Errorf("using = %v", st.Using)
+	}
+	rs := st.Labels.Ranges
+	if len(rs) != 3 {
+		t.Fatalf("ranges = %v", rs)
+	}
+	if rs[0].Lo != 0 || rs[0].Hi != 0.9 || rs[0].LoOpen || !rs[0].HiOpen || rs[0].Label != "bad" {
+		t.Errorf("range 0 = %+v", rs[0])
+	}
+	if rs[2].Lo != 1.1 || !math.IsInf(rs[2].Hi, 1) || !rs[2].LoOpen || rs[2].Label != "good" {
+		t.Errorf("range 2 = %+v", rs[2])
+	}
+}
+
+func TestParseSiblingExample(t *testing.T) {
+	st := mustParse(t, `
+		with SALES
+		for type = 'Fresh Fruit', country = 'Italy'
+		by product, country
+		assess quantity against country = 'France'
+		using percOfTotal(difference(quantity, benchmark.quantity))
+		labels {[-inf, -0.2): bad, [-0.2, 0.2]: ok, (0.2, inf]: good}`)
+	b := st.Against
+	if b == nil || b.Kind != BenchSibling || b.Level != "country" || b.Member != "France" {
+		t.Fatalf("against = %+v", b)
+	}
+	want := "percOfTotal(difference(quantity, benchmark.quantity))"
+	if st.Using.String() != want {
+		t.Errorf("using = %q, want %q", st.Using.String(), want)
+	}
+	inner, ok := st.Using.Args[0].(*Call)
+	if !ok || inner.Name != "difference" {
+		t.Fatalf("inner call = %v", st.Using.Args[0])
+	}
+	ref, ok := inner.Args[1].(*Ref)
+	if !ok || !ref.Benchmark || ref.Name != "quantity" {
+		t.Errorf("benchmark ref = %v", inner.Args[1])
+	}
+	if !math.IsInf(st.Labels.Ranges[0].Lo, -1) {
+		t.Errorf("first range Lo = %g, want -inf", st.Labels.Ranges[0].Lo)
+	}
+}
+
+func TestParsePastExample(t *testing.T) {
+	st := mustParse(t, `
+		with SALES
+		for month = '1997-07', store = 'SmartMart'
+		by month, store
+		assess storeSales against past 4
+		using ratio(storeSales, benchmark.storeSales)
+		labels {[0, 0.9): worse, [0.9, 1.1]: fine, (1.1, inf): better}`)
+	if st.Against == nil || st.Against.Kind != BenchPast || st.Against.K != 4 {
+		t.Fatalf("against = %+v", st.Against)
+	}
+	if st.For[0].Values[0] != "1997-07" {
+		t.Errorf("month predicate = %v", st.For[0])
+	}
+}
+
+func TestParseExternalBenchmark(t *testing.T) {
+	st := mustParse(t, `with SALES by month assess storeSales
+		against SALES_TARGET.expectedSales
+		using difference(storeSales, benchmark.expectedSales) labels quartiles`)
+	b := st.Against
+	if b == nil || b.Kind != BenchExternal || b.Cube != "SALES_TARGET" || b.Measure != "expectedSales" {
+		t.Fatalf("against = %+v", b)
+	}
+	if st.Labels.Named != "quartiles" {
+		t.Errorf("labels = %+v", st.Labels)
+	}
+}
+
+func TestParseAbsoluteAssessment(t *testing.T) {
+	// Example 4.1 first statement: no against, no using.
+	st := mustParse(t, `with SALES by month assess storeSales labels quartiles`)
+	if st.Against != nil || st.Using != nil {
+		t.Errorf("optional clauses parsed as present: %+v %+v", st.Against, st.Using)
+	}
+	if st.Labels.Named != "quartiles" {
+		t.Errorf("labels = %+v", st.Labels)
+	}
+}
+
+func TestParseAssessStar(t *testing.T) {
+	st := mustParse(t, `with SALES by month assess* storeSales labels quartiles`)
+	if !st.Star {
+		t.Error("assess* not recognized")
+	}
+}
+
+func TestParseInPredicate(t *testing.T) {
+	st := mustParse(t, `with SALES for country in ('Italy', 'France') by product
+		assess quantity labels quartiles`)
+	if !reflect.DeepEqual(st.For[0].Values, []string{"Italy", "France"}) {
+		t.Errorf("in-predicate values = %v", st.For[0].Values)
+	}
+	if got := st.For[0].String(); got != "country in ('Italy', 'France')" {
+		t.Errorf("predicate String = %q", got)
+	}
+}
+
+func TestParseStarLabels(t *testing.T) {
+	st := mustParse(t, `with SALES by month assess storeSales against 1000
+		using minMaxNorm(difference(storeSales, 1000))
+		labels {[-1, -0.6]: *, (-0.6, -0.2]: **, (-0.2, 0.2]: ***, (0.2, 0.6]: ****, (0.6, 1]: *****}`)
+	rs := st.Labels.Ranges
+	if len(rs) != 5 {
+		t.Fatalf("got %d ranges", len(rs))
+	}
+	if rs[0].Label != "*" || rs[4].Label != "*****" {
+		t.Errorf("star labels = %q … %q", rs[0].Label, rs[4].Label)
+	}
+}
+
+func TestParseNegativeConstant(t *testing.T) {
+	st := mustParse(t, `with SALES by month assess margin against -5 labels quartiles`)
+	if st.Against.Value != -5 {
+		t.Errorf("constant = %g, want -5", st.Against.Value)
+	}
+}
+
+func TestParseScientificNotation(t *testing.T) {
+	st := mustParse(t, `with SSB by year assess revenue against 5e9
+		using ratio(revenue, 5e9) labels quartiles`)
+	if st.Against.Value != 5e9 {
+		t.Errorf("constant = %g, want 5e9", st.Against.Value)
+	}
+}
+
+func TestParseKeywordsCaseInsensitive(t *testing.T) {
+	st := mustParse(t, `WITH SALES BY month ASSESS storeSales LABELS quartiles`)
+	if st.Cube != "SALES" || st.Measure != "storeSales" {
+		t.Errorf("statement = %+v", st)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		``,
+		`by month assess x labels q`,                           // missing with
+		`with SALES assess x labels q`,                         // missing by
+		`with SALES by month labels q`,                         // missing assess
+		`with SALES by month assess x`,                         // missing labels
+		`with SALES by month assess x labels`,                  // empty labels
+		`with SALES by month assess x labels {0: a}`,           // bad range
+		`with SALES by month assess x labels {[0, 1: a}`,       // unclosed range
+		`with SALES by month assess x labels {[0, 1]: }`,       // missing label
+		`with SALES by month assess x against labels q`,        // empty against
+		`with SALES by month assess x against past 0 labels q`, // past 0
+		`with SALES by month assess x against past -1 labels q`,
+		`with SALES for month by month assess x labels q`, // predicate without operator
+		`with SALES by month assess x using labels q`,     // using without call
+		`with SALES by month assess x using f( labels q`,  // unclosed call
+		`with SALES by month assess x labels q extra`,     // trailing input
+		`with SALES by month assess x labels 'q`,          // unterminated string
+		`with SALES by month assess x labels q ~`,         // bad character
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestSyntaxErrorMessage(t *testing.T) {
+	_, err := Parse(`with SALES by month assess x labels {[0, 1: a}`)
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	var se *SyntaxError
+	if !asSyntaxError(err, &se) {
+		t.Fatalf("error type %T", err)
+	}
+	if !strings.Contains(err.Error(), "offset") {
+		t.Errorf("error lacks position: %v", err)
+	}
+}
+
+func asSyntaxError(err error, target **SyntaxError) bool {
+	se, ok := err.(*SyntaxError)
+	if ok {
+		*target = se
+	}
+	return ok
+}
+
+func TestParsePreservesText(t *testing.T) {
+	src := `  with SALES by month assess storeSales labels quartiles  `
+	st := mustParse(t, src)
+	if st.Text != strings.TrimSpace(src) {
+		t.Errorf("Text = %q", st.Text)
+	}
+}
+
+func TestBenchmarkKindString(t *testing.T) {
+	kinds := map[BenchmarkKind]string{
+		BenchConstant: "Constant", BenchExternal: "External",
+		BenchSibling: "Sibling", BenchPast: "Past",
+	}
+	for k, want := range kinds {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q", int(k), k.String())
+		}
+	}
+}

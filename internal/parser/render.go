@@ -1,0 +1,170 @@
+package parser
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// ParsePartial parses a possibly incomplete assess statement: the
+// against, using, and labels clauses may all be absent. It is the entry
+// point for statement completion (the paper's future work, Section 8:
+// "devise strategies for effectively completing partial assess
+// statements").
+func ParsePartial(src string) (*Statement, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks, partial: true}
+	st, err := p.statement()
+	if err != nil {
+		return nil, err
+	}
+	st.Text = strings.TrimSpace(src)
+	return st, nil
+}
+
+// Declaration is a parsed declare statement: "declare labels <name>
+// {ranges}" predeclares a named range-based labeling function (Section
+// 4.1) for later labels clauses.
+type Declaration struct {
+	Name   string
+	Ranges []Range
+}
+
+// IsDeclaration reports whether the statement text begins with the
+// declare keyword.
+func IsDeclaration(src string) bool {
+	toks, err := lex(src)
+	if err != nil || len(toks) == 0 {
+		return false
+	}
+	return toks[0].isKeyword("declare")
+}
+
+// ParseDeclaration parses a declare statement.
+func ParseDeclaration(src string) (*Declaration, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	if err := p.expectKeyword("declare"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("labels"); err != nil {
+		return nil, err
+	}
+	name, err := p.name()
+	if err != nil {
+		return nil, err
+	}
+	p.acceptKeyword("as")
+	labels, err := p.labels()
+	if err != nil {
+		return nil, err
+	}
+	if labels.Named != "" || labels.Within != "" {
+		return nil, errAt(p.cur().pos, "a declaration needs an inline range set")
+	}
+	if t := p.cur(); t.kind != tokEOF {
+		return nil, errAt(t.pos, "unexpected trailing input %q", t.text)
+	}
+	return &Declaration{Name: name, Ranges: labels.Ranges}, nil
+}
+
+// HasLabels reports whether the statement carries a labels clause.
+func (st *Statement) HasLabels() bool {
+	return st.Labels.Named != "" || len(st.Labels.Ranges) > 0
+}
+
+// Render reassembles the statement into canonical assess syntax.
+func (st *Statement) Render() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "with %s", st.Cube)
+	if len(st.For) > 0 {
+		parts := make([]string, len(st.For))
+		for i, p := range st.For {
+			parts[i] = p.String()
+		}
+		fmt.Fprintf(&sb, " for %s", strings.Join(parts, ", "))
+	}
+	fmt.Fprintf(&sb, " by %s", strings.Join(st.By, ", "))
+	if st.IsGet() {
+		fmt.Fprintf(&sb, " get %s", strings.Join(st.GetMeasures, ", "))
+		return sb.String()
+	}
+	if st.Star {
+		fmt.Fprintf(&sb, " assess* %s", st.Measure)
+	} else {
+		fmt.Fprintf(&sb, " assess %s", st.Measure)
+	}
+	if st.Against != nil {
+		fmt.Fprintf(&sb, " against %s", st.Against.Render())
+	}
+	if st.Using != nil {
+		fmt.Fprintf(&sb, " using %s", st.Using.String())
+	}
+	if st.HasLabels() {
+		fmt.Fprintf(&sb, " labels %s", st.Labels.Render())
+	}
+	return sb.String()
+}
+
+// Render writes the against clause body.
+func (b *Benchmark) Render() string {
+	switch b.Kind {
+	case BenchConstant:
+		return fmt.Sprintf("%g", b.Value)
+	case BenchExternal:
+		return b.Cube + "." + b.Measure
+	case BenchSibling:
+		return fmt.Sprintf("%s = '%s'", b.Level, b.Member)
+	case BenchPast:
+		return fmt.Sprintf("past %d", b.K)
+	case BenchAncestor:
+		return "ancestor " + b.Level
+	}
+	return "?"
+}
+
+// Render writes the labels clause body.
+func (l Labels) Render() string {
+	var body string
+	if l.Named != "" {
+		body = l.Named
+	} else {
+		parts := make([]string, len(l.Ranges))
+		for i, r := range l.Ranges {
+			parts[i] = r.String()
+		}
+		body = "{" + strings.Join(parts, ", ") + "}"
+	}
+	if l.Within != "" {
+		body += " within " + l.Within
+	}
+	return body
+}
+
+// String renders one labeling range in statement syntax.
+func (r Range) String() string {
+	lb, rb := "[", "]"
+	if r.LoOpen {
+		lb = "("
+	}
+	if r.HiOpen {
+		rb = ")"
+	}
+	return fmt.Sprintf("%s%s, %s%s: %s", lb, bound(r.Lo), bound(r.Hi), rb, r.Label)
+}
+
+func bound(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "inf"
+	case math.IsInf(v, -1):
+		return "-inf"
+	}
+	return fmt.Sprintf("%g", v)
+}

@@ -1,0 +1,128 @@
+package parser
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestRenderRoundTrip: rendering a parsed statement and re-parsing it
+// yields the same AST (modulo the original text).
+func TestRenderRoundTrip(t *testing.T) {
+	statements := []string{
+		`with SALES by month assess storeSales labels quartiles`,
+		`with SALES for year = '2019', product = 'milk' by year, product
+			assess quantity against 1000 using ratio(quantity, 1000)
+			labels {[0, 0.9): bad, [0.9, 1.1]: acceptable, (1.1, inf): good}`,
+		`with SALES for type = 'Fresh Fruit', country = 'Italy' by product, country
+			assess quantity against country = 'France'
+			using percOfTotal(difference(quantity, benchmark.quantity))
+			labels {[-inf, -0.2): bad, [-0.2, 0.2]: ok, (0.2, inf]: good}`,
+		`with SALES for month = '1997-07' by month, store
+			assess* storeSales against past 4
+			using ratio(storeSales, benchmark.storeSales)
+			labels {[0, 0.9): worse, [0.9, 1.1]: fine, (1.1, inf): better}`,
+		`with SALES by product, country assess quantity against ancestor type
+			using ratio(quantity, benchmark.quantity) labels quartiles within country`,
+		`with SALES by month assess storeSales against SALES_TARGET.expectedSales
+			using normDifference(storeSales, benchmark.expectedSales) labels 5stars`,
+		`with SALES by country assess quantity
+			using ratio(quantity, country.population) labels quartiles`,
+		`with SALES for country in ('Italy', 'France') by product
+			assess quantity labels quartiles`,
+	}
+	for _, src := range statements {
+		first, err := Parse(src)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", src, err)
+		}
+		rendered := first.Render()
+		second, err := Parse(rendered)
+		if err != nil {
+			t.Fatalf("re-Parse(%q): %v", rendered, err)
+		}
+		// Compare ASTs ignoring the Text field.
+		first.Text, second.Text = "", ""
+		if !reflect.DeepEqual(first, second) {
+			t.Errorf("round trip changed the AST:\n  src: %s\n  out: %s\n  a: %+v\n  b: %+v",
+				src, rendered, first, second)
+		}
+	}
+}
+
+func TestParsePartial(t *testing.T) {
+	st, err := ParsePartial(`with SALES by product assess quantity`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.HasLabels() || st.Against != nil || st.Using != nil {
+		t.Errorf("partial statement has phantom clauses: %+v", st)
+	}
+	// Partial with against but no labels.
+	st, err = ParsePartial(`with SALES by product assess quantity against 10`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Against == nil || st.HasLabels() {
+		t.Errorf("partial = %+v", st)
+	}
+	// Full statements still parse via ParsePartial.
+	st, err = ParsePartial(`with SALES by product assess quantity labels quartiles`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.HasLabels() {
+		t.Error("labels lost")
+	}
+	// But garbage does not.
+	if _, err := ParsePartial(`with SALES by product assess quantity garbage`); err == nil {
+		t.Error("trailing garbage accepted")
+	}
+	if _, err := ParsePartial(`by product`); err == nil {
+		t.Error("missing with accepted")
+	}
+}
+
+func TestBenchmarkRender(t *testing.T) {
+	cases := map[string]*Benchmark{
+		"1000":            {Kind: BenchConstant, Value: 1000},
+		"B.m":             {Kind: BenchExternal, Cube: "B", Measure: "m"},
+		"country = 'Fra'": {Kind: BenchSibling, Level: "country", Member: "Fra"},
+		"past 4":          {Kind: BenchPast, K: 4},
+		"ancestor type":   {Kind: BenchAncestor, Level: "type"},
+	}
+	for want, b := range cases {
+		if got := b.Render(); got != want {
+			t.Errorf("Render() = %q, want %q", got, want)
+		}
+	}
+}
+
+func TestParseAncestorBenchmark(t *testing.T) {
+	st := mustParse(t, `with SALES by product assess quantity against ancestor category labels quartiles`)
+	if st.Against == nil || st.Against.Kind != BenchAncestor || st.Against.Level != "category" {
+		t.Fatalf("against = %+v", st.Against)
+	}
+}
+
+func TestParseWithinClause(t *testing.T) {
+	st := mustParse(t, `with SALES by product, country assess quantity labels quartiles within country`)
+	if st.Labels.Within != "country" {
+		t.Errorf("within = %q", st.Labels.Within)
+	}
+	st = mustParse(t, `with SALES by product assess quantity labels {[0, inf): x} within product`)
+	if st.Labels.Within != "product" || len(st.Labels.Ranges) != 1 {
+		t.Errorf("labels = %+v", st.Labels)
+	}
+}
+
+func TestParsePropertyRef(t *testing.T) {
+	st := mustParse(t, `with SALES by country assess quantity
+		using ratio(quantity, country.population) labels quartiles`)
+	prop, ok := st.Using.Args[1].(*Prop)
+	if !ok || prop.Level != "country" || prop.Name != "population" {
+		t.Fatalf("property arg = %+v", st.Using.Args[1])
+	}
+	if prop.String() != "country.population" {
+		t.Errorf("String() = %q", prop.String())
+	}
+}

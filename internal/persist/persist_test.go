@@ -1,0 +1,223 @@
+package persist
+
+import (
+	"bytes"
+	"math"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/assess-olap/assess/internal/engine"
+	"github.com/assess-olap/assess/internal/mdm"
+	"github.com/assess-olap/assess/internal/sales"
+	"github.com/assess-olap/assess/internal/storage"
+)
+
+func TestBinaryRoundTrip(t *testing.T) {
+	ds := sales.Generate(3000, 77)
+	var buf bytes.Buffer
+	if err := SaveCube(&buf, ds.Fact); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadCube(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameFact(t, ds.Fact, loaded)
+
+	// Properties survive the round trip.
+	ref, _ := loaded.Schema.FindLevel("country")
+	h := loaded.Schema.Hiers[ref.Hier]
+	italy, ok := loaded.Schema.Dict(ref).Lookup("Italy")
+	if !ok {
+		t.Fatal("Italy lost")
+	}
+	if got := h.PropertyValue(ref.Level, "population", italy); got != 59.0 {
+		t.Errorf("population = %g, want 59", got)
+	}
+}
+
+func TestBinaryRoundTripPreservesQueryResults(t *testing.T) {
+	ds := sales.Generate(4000, 79)
+	var buf bytes.Buffer
+	if err := SaveCube(&buf, ds.Fact); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadCube(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The same cube query over original and reloaded cubes must agree.
+	run := func(fact interface{}) map[string]float64 {
+		e := engine.New()
+		var f = ds.Fact
+		if fact != nil {
+			f = loaded
+		}
+		if err := e.Register("SALES", f); err != nil {
+			t.Fatal(err)
+		}
+		s := f.Schema
+		qi, _ := s.MeasureIndex("quantity")
+		c, err := e.Get(engine.Query{
+			Fact:     "SALES",
+			Group:    mdm.MustGroupBy(s, "product", "country"),
+			Measures: []int{qi},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := map[string]float64{}
+		for i, coord := range c.Coords {
+			out[coord.Format(s, c.Group)] = c.Cols[0][i]
+		}
+		return out
+	}
+	a, b := run(nil), run(loaded)
+	if len(a) != len(b) {
+		t.Fatalf("cell counts differ: %d vs %d", len(a), len(b))
+	}
+	for k, v := range a {
+		if b[k] != v {
+			t.Errorf("%s: %g vs %g", k, v, b[k])
+		}
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	ds := sales.FigureOne()
+	path := filepath.Join(t.TempDir(), "sales.cube")
+	if err := SaveCubeFile(path, ds.Fact); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadCubeFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameFact(t, ds.Fact, loaded)
+	if _, err := LoadCubeFile(filepath.Join(t.TempDir(), "missing.cube")); err == nil {
+		t.Error("missing file loaded")
+	}
+}
+
+func TestLoadRejectsCorruptInput(t *testing.T) {
+	cases := map[string][]byte{
+		"empty":       {},
+		"wrong magic": []byte("NOTACUBEXX\x01\x00\x00\x00"),
+		"truncated":   []byte("ASSESSCUBE\x01"),
+	}
+	for name, data := range cases {
+		if _, err := LoadCube(bytes.NewReader(data)); err == nil {
+			t.Errorf("%s input accepted", name)
+		}
+	}
+	// Wrong version.
+	ds := sales.FigureOne()
+	var buf bytes.Buffer
+	if err := SaveCube(&buf, ds.Fact); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	data[len("ASSESSCUBE")] = 99
+	if _, err := LoadCube(bytes.NewReader(data)); err == nil {
+		t.Error("future version accepted")
+	}
+	// Truncated mid-facts.
+	var buf2 bytes.Buffer
+	if err := SaveCube(&buf2, ds.Fact); err != nil {
+		t.Fatal(err)
+	}
+	half := buf2.Bytes()[:buf2.Len()-9]
+	if _, err := LoadCube(bytes.NewReader(half)); err == nil {
+		t.Error("truncated fact data accepted")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	ds := sales.Generate(500, 81)
+	var buf bytes.Buffer
+	if err := ExportCSV(&buf, ds.Fact); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := ImportCSV(bytes.NewReader(buf.Bytes()), ds.Schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameFact(t, ds.Fact, loaded)
+}
+
+func TestCSVImportErrors(t *testing.T) {
+	ds := sales.FigureOne()
+	s := ds.Schema
+	mk := func(body string) error {
+		_, err := ImportCSV(strings.NewReader(body), s)
+		return err
+	}
+	header := "date,customer,product,store,quantity,storeSales,storeCost\n"
+	if err := mk("wrong,header,x,y,z,w,v\n"); err == nil {
+		t.Error("wrong header accepted")
+	}
+	if err := mk(header + "1997-04-15,Customer 00,Apple,SmartMart,1,2\n"); err == nil {
+		t.Error("short row accepted")
+	}
+	if err := mk(header + "1997-04-15,Customer 00,Atlantis Fruit,SmartMart,1,2,3\n"); err == nil {
+		t.Error("unknown member accepted")
+	}
+	if err := mk(header + "1997-04-15,Customer 00,Apple,SmartMart,one,2,3\n"); err == nil {
+		t.Error("bad number accepted")
+	}
+	if err := mk(header + "1997-04-15,Customer 00,Apple,SmartMart,1,2,3\n"); err != nil {
+		t.Errorf("valid row rejected: %v", err)
+	}
+}
+
+// assertSameFact compares two fact tables row by row using member names
+// (dictionary ids may legitimately differ after a round trip).
+func assertSameFact(t *testing.T, a, b *storage.FactTable) {
+	t.Helper()
+	if a.Rows() != b.Rows() {
+		t.Fatalf("row counts differ: %d vs %d", a.Rows(), b.Rows())
+	}
+	if len(a.Schema.Hiers) != len(b.Schema.Hiers) || len(a.Schema.Measures) != len(b.Schema.Measures) {
+		t.Fatalf("schema shapes differ")
+	}
+	for _, h := range []int{0, len(a.Schema.Hiers) - 1} {
+		if a.Schema.Hiers[h].Name() != b.Schema.Hiers[h].Name() {
+			t.Fatalf("hierarchy %d names differ", h)
+		}
+	}
+	step := a.Rows()/200 + 1
+	for r := 0; r < a.Rows(); r += step {
+		for h := range a.Schema.Hiers {
+			na := a.Schema.Hiers[h].Dict(0).Name(a.Keys[h][r])
+			nb := b.Schema.Hiers[h].Dict(0).Name(b.Keys[h][r])
+			if na != nb {
+				t.Fatalf("row %d hierarchy %d: %q vs %q", r, h, na, nb)
+			}
+		}
+		for m := range a.Schema.Measures {
+			va, vb := a.Meas[m][r], b.Meas[m][r]
+			if va != vb && !(math.IsNaN(va) && math.IsNaN(vb)) {
+				t.Fatalf("row %d measure %d: %g vs %g", r, m, va, vb)
+			}
+		}
+	}
+	// Roll-up structure preserved: spot-check that base members map to
+	// the same top-level ancestors.
+	for h := range a.Schema.Hiers {
+		ha, hb := a.Schema.Hiers[h], b.Schema.Hiers[h]
+		top := ha.Depth() - 1
+		for id := int32(0); int(id) < ha.Dict(0).Len(); id += 17 {
+			name := ha.Dict(0).Name(id)
+			idB, ok := hb.Dict(0).Lookup(name)
+			if !ok {
+				t.Fatalf("member %q lost", name)
+			}
+			ta := ha.Dict(top).Name(ha.Rollup(id, 0, top))
+			tb := hb.Dict(top).Name(hb.Rollup(idB, 0, top))
+			if ta != tb {
+				t.Fatalf("member %q rolls up to %q vs %q", name, ta, tb)
+			}
+		}
+	}
+}

@@ -1,0 +1,130 @@
+package plan
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/assess-olap/assess/internal/engine"
+	"github.com/assess-olap/assess/internal/mdm"
+	"github.com/assess-olap/assess/internal/parser"
+	"github.com/assess-olap/assess/internal/sales"
+	"github.com/assess-olap/assess/internal/semantic"
+)
+
+// costSession builds an engine with and without materialized views for
+// cost-model tests.
+func costSession(t *testing.T, materialize bool) (*engine.Engine, *semantic.Binder) {
+	t.Helper()
+	ds := sales.Generate(20_000, 41)
+	e := engine.New()
+	if err := e.Register("SALES", ds.Fact); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Register("SALES_TARGET", ds.External); err != nil {
+		t.Fatal(err)
+	}
+	if materialize {
+		for _, levels := range [][]string{{"product", "country"}, {"month", "store"}} {
+			g := mdm.MustGroupBy(ds.Schema, levels...)
+			if err := e.Materialize("SALES", g); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return e, semantic.NewBinder(e)
+}
+
+func boundFor(t *testing.T, bd *semantic.Binder, stmt string) *semantic.Bound {
+	t.Helper()
+	st, err := parser.Parse(stmt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := bd.Bind(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestCostOrderingSibling(t *testing.T) {
+	e, bd := costSession(t, true)
+	b := boundFor(t, bd, siblingStmt)
+	costs := map[Strategy]float64{}
+	for _, s := range []Strategy{NP, JOP, POP} {
+		p, err := Build(b, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		costs[s] = Estimate(p, e)
+	}
+	if !(costs[POP] < costs[JOP] && costs[JOP] < costs[NP]) {
+		t.Errorf("sibling cost ordering = NP %.0f, JOP %.0f, POP %.0f; want POP < JOP < NP",
+			costs[NP], costs[JOP], costs[POP])
+	}
+}
+
+func TestCostViewsCheapenGets(t *testing.T) {
+	eView, bdView := costSession(t, true)
+	eScan, bdScan := costSession(t, false)
+	bv := boundFor(t, bdView, siblingStmt)
+	bs := boundFor(t, bdScan, siblingStmt)
+	pv, _ := Build(bv, NP)
+	ps, _ := Build(bs, NP)
+	if Estimate(pv, eView) >= Estimate(ps, eScan) {
+		t.Errorf("materialized views did not lower the estimated cost: %f vs %f",
+			Estimate(pv, eView), Estimate(ps, eScan))
+	}
+}
+
+func TestChooseByCost(t *testing.T) {
+	e, bd := costSession(t, true)
+	cases := map[string]Strategy{
+		siblingStmt:  POP,
+		constantStmt: NP,
+	}
+	for stmt, want := range cases {
+		b := boundFor(t, bd, stmt)
+		p, err := ChooseByCost(b, e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Strategy != want {
+			t.Errorf("cost-based choice for %v benchmark = %v, want %v",
+				b.Bench.Kind, p.Strategy, want)
+		}
+	}
+	// External: JOP must beat NP (it transfers only the joined rows).
+	b := boundFor(t, bd, externalStmt)
+	p, err := ChooseByCost(b, e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Strategy != JOP {
+		t.Errorf("cost-based choice for external = %v, want JOP", p.Strategy)
+	}
+}
+
+func TestExplainCosts(t *testing.T) {
+	e, bd := costSession(t, true)
+	b := boundFor(t, bd, siblingStmt)
+	out := ExplainCosts(b, e)
+	for _, want := range []string{"NP", "JOP", "POP", "units"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("ExplainCosts lacks %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestEstimateCardBounds(t *testing.T) {
+	e, bd := costSession(t, false)
+	b := boundFor(t, bd, siblingStmt)
+	q := targetQuery(b)
+	c := estimateCard(q, e)
+	if c < 1 {
+		t.Errorf("cardinality estimate %f below 1", c)
+	}
+	if c > float64(e.FactRows("SALES")) {
+		t.Errorf("cardinality estimate %f exceeds fact rows", c)
+	}
+}

@@ -1,0 +1,534 @@
+// Package plan builds executable plans for bound assess statements: the
+// Naive Plan (NP), the Join-Optimized Plan (JOP), and the Pivot-Optimized
+// Plan (POP) of Section 5.2. A plan is a sequence of operations over
+// named intermediate cubes; each operation is tagged with the execution
+// phase it is accounted to, reproducing the breakdown of Figure 4 (get C,
+// get B, get C+B, transform, join, comparison, label).
+//
+// The three plan shapes are the outcome of the rewrite rules of Section
+// 5.1: JOP applies P2 (pushing the join through cell transformations) so
+// that the subexpression C ⋈ B can be evaluated by the engine, and POP
+// applies P3 (replacing the join of slices of one cube with a pivot of a
+// single get). The rules themselves are verified as algebraic
+// equivalences in the package tests.
+package plan
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/assess-olap/assess/internal/engine"
+	"github.com/assess-olap/assess/internal/mdm"
+	"github.com/assess-olap/assess/internal/parser"
+	"github.com/assess-olap/assess/internal/semantic"
+)
+
+// Strategy enumerates the execution strategies of Section 5.2.
+type Strategy int
+
+// The three plan strategies.
+const (
+	NP Strategy = iota
+	JOP
+	POP
+)
+
+// String names the strategy as in the paper.
+func (s Strategy) String() string {
+	switch s {
+	case NP:
+		return "NP"
+	case JOP:
+		return "JOP"
+	case POP:
+		return "POP"
+	}
+	return fmt.Sprintf("Strategy(%d)", int(s))
+}
+
+// Strategies lists all strategies in paper order.
+func Strategies() []Strategy { return []Strategy{NP, JOP, POP} }
+
+// Feasible reports whether the strategy applies to a benchmark kind
+// (Section 5.2): JOP needs a join to push (everything but constant), POP
+// needs multiple slices of a single cube (sibling and past only).
+func Feasible(s Strategy, kind parser.BenchmarkKind) bool {
+	switch s {
+	case NP:
+		return true
+	case JOP:
+		return kind != parser.BenchConstant
+	case POP:
+		return kind == parser.BenchSibling || kind == parser.BenchPast
+	}
+	return false
+}
+
+// ancestorBenchQuery derives the benchmark query of an ancestor
+// benchmark: the target query re-grouped with the child level replaced
+// by the ancestor level.
+func ancestorBenchQuery(b *semantic.Bound, qc engine.Query) engine.Query {
+	qb := qc
+	group := make(mdm.GroupBy, len(qc.Group))
+	copy(group, qc.Group)
+	for i, ref := range group {
+		if ref == b.Bench.ChildLevel {
+			group[i] = b.Bench.AncestorLevel
+		}
+	}
+	qb.Group = group
+	qb.Measures = []int{b.Measure}
+	return qb
+}
+
+// Phase is one bucket of the Figure 4 execution-time breakdown.
+type Phase int
+
+// The breakdown phases.
+const (
+	PhaseGetC Phase = iota
+	PhaseGetB
+	PhaseGetCB
+	PhaseTransform
+	PhaseJoin
+	PhaseCompare
+	PhaseLabel
+	NumPhases
+)
+
+// String names the phase as in Figure 4.
+func (p Phase) String() string {
+	switch p {
+	case PhaseGetC:
+		return "Get C"
+	case PhaseGetB:
+		return "Get B"
+	case PhaseGetCB:
+		return "Get C+B"
+	case PhaseTransform:
+		return "Trans."
+	case PhaseJoin:
+		return "Join"
+	case PhaseCompare:
+		return "Comp."
+	case PhaseLabel:
+		return "Label"
+	}
+	return fmt.Sprintf("Phase(%d)", int(p))
+}
+
+// OpKind enumerates plan operations.
+type OpKind int
+
+// Plan operation kinds. Get* operations are pushed to the engine (the
+// "SQL side"); Client* operations run in client memory on transferred
+// cubes; Transform evaluates a bound expression into a new column; Label
+// applies the labeling function.
+const (
+	OpGet OpKind = iota
+	OpGetJoined
+	OpGetPivoted
+	OpGetMultiplied
+	OpGetRollupJoined
+	OpClientJoin
+	OpClientPivot
+	OpClientRollupJoin
+	OpProject
+	OpReplaceSlice
+	OpTransform
+	OpLabel
+)
+
+// Op is one plan operation. The fields used depend on Kind.
+type Op struct {
+	Kind  OpKind
+	Phase Phase
+	Dst   string // name of the produced (or mutated) cube
+	SrcA  string // primary input cube
+	SrcB  string // secondary input cube (client join)
+
+	Query  engine.Query // OpGet*, target query
+	QueryB engine.Query // OpGetJoined / OpGetMultiplied, benchmark query
+
+	On        []mdm.LevelRef // join levels
+	Alias     string         // prefix for benchmark measures
+	Outer     bool           // left-outer join (assess*)
+	Level     mdm.LevelRef   // pivot / multiply / replace-slice level
+	Ref       int32          // pivot reference member / replacement member
+	Members   []int32        // multiply-join slice members
+	Neighbors []int32        // pivot neighbor slices (nil infers from data)
+	Strict    bool           // pivot strictness (drop cells missing a slice)
+	Rename    func(measure, member string) string
+
+	Expr   semantic.Expr // OpTransform
+	OutCol string        // OpTransform output column
+
+	ProjKeep   []string          // OpProject: columns to keep
+	ProjRename map[string]string // OpProject: old → new column names
+
+	LabelCol string // OpLabel input column
+
+	note string // for Describe
+}
+
+// Plan is an executable operation sequence for one statement.
+type Plan struct {
+	Strategy Strategy
+	Bound    *semantic.Bound
+	Ops      []Op
+	// Result names the cube holding the final result, and ComparisonCol
+	// its comparison-value column.
+	Result        string
+	ComparisonCol string
+}
+
+// ComparisonColumn is the name given to the value produced by the using
+// clause.
+const ComparisonColumn = "comparison"
+
+const predColumn = "__pred"
+
+// Build constructs the plan of the given strategy for a bound statement.
+func Build(b *semantic.Bound, s Strategy) (*Plan, error) {
+	if !Feasible(s, b.Bench.Kind) {
+		return nil, fmt.Errorf("plan: %v is not feasible for %v benchmarks (Section 5.2)", s, b.Bench.Kind)
+	}
+	p := &Plan{Strategy: s, Bound: b, Result: "C", ComparisonCol: ComparisonColumn}
+	switch b.Bench.Kind {
+	case parser.BenchConstant:
+		p.buildConstant(b)
+	case parser.BenchExternal:
+		p.buildExternal(b, s)
+	case parser.BenchSibling:
+		p.buildSibling(b, s)
+	case parser.BenchPast:
+		p.buildPast(b, s)
+	case parser.BenchAncestor:
+		p.buildAncestor(b, s)
+	}
+	p.finish(b)
+	return p, nil
+}
+
+// targetQuery is the get of the target cube C.
+func targetQuery(b *semantic.Bound) engine.Query {
+	return engine.Query{Fact: b.Fact, Group: b.Group, Preds: b.Preds, Measures: b.Fetch}
+}
+
+// replacePred returns preds with the predicate on level replaced by one
+// on the given members.
+func replacePred(preds []engine.Predicate, level mdm.LevelRef, members []int32) []engine.Predicate {
+	out := make([]engine.Predicate, 0, len(preds)+1)
+	replaced := false
+	for _, p := range preds {
+		if p.Level == level {
+			out = append(out, engine.Predicate{Level: level, Members: members})
+			replaced = true
+			continue
+		}
+		out = append(out, p)
+	}
+	if !replaced {
+		out = append(out, engine.Predicate{Level: level, Members: members})
+	}
+	return out
+}
+
+func (p *Plan) buildConstant(b *semantic.Bound) {
+	p.Ops = append(p.Ops,
+		Op{Kind: OpGet, Phase: PhaseGetC, Dst: "C", Query: targetQuery(b)},
+		Op{
+			Kind: OpTransform, Phase: PhaseCompare, Dst: "C",
+			Expr:   constExpr(b.Bench.Constant),
+			OutCol: b.BenchColumn(),
+			note:   fmt.Sprintf("benchmark constant %g", b.Bench.Constant),
+		},
+	)
+}
+
+// constExpr broadcasts a constant as a column.
+func constExpr(v float64) semantic.Expr { return &semantic.NumberExpr{Value: v} }
+
+func (p *Plan) buildExternal(b *semantic.Bound, s Strategy) {
+	qc := targetQuery(b)
+	qb := engine.Query{
+		Fact:     b.Bench.ExtFact,
+		Group:    b.Group,
+		Measures: []int{b.Bench.ExtMeasureIdx},
+	}
+	on := append([]mdm.LevelRef(nil), b.Group...)
+	switch s {
+	case NP:
+		p.Ops = append(p.Ops,
+			Op{Kind: OpGet, Phase: PhaseGetC, Dst: "C", Query: qc},
+			Op{Kind: OpGet, Phase: PhaseGetB, Dst: "B", Query: qb},
+			Op{Kind: OpClientJoin, Phase: PhaseJoin, Dst: "C", SrcA: "C", SrcB: "B",
+				On: on, Alias: "benchmark.", Outer: b.Star},
+		)
+	case JOP:
+		p.Ops = append(p.Ops,
+			Op{Kind: OpGetJoined, Phase: PhaseGetCB, Dst: "C", Query: qc, QueryB: qb,
+				On: on, Alias: "benchmark.", Outer: b.Star},
+		)
+	}
+}
+
+func (p *Plan) buildSibling(b *semantic.Bound, s Strategy) {
+	qc := targetQuery(b)
+	level := b.Bench.SliceLevel
+	qb := qc
+	qb.Preds = replacePred(b.Preds, level, []int32{b.Bench.SiblingMember})
+	qb.Measures = []int{b.Measure}
+	on := b.Group.Without(level)
+	m := b.MeasureName()
+	bench := b.BenchColumn()
+	rename := func(measure, member string) string {
+		if measure == m {
+			return bench
+		}
+		return measure + "@" + member
+	}
+	switch s {
+	case NP:
+		p.Ops = append(p.Ops,
+			Op{Kind: OpGet, Phase: PhaseGetC, Dst: "C", Query: qc},
+			Op{Kind: OpGet, Phase: PhaseGetB, Dst: "B", Query: qb},
+			Op{Kind: OpClientJoin, Phase: PhaseJoin, Dst: "C", SrcA: "C", SrcB: "B",
+				On: on, Alias: "benchmark.", Outer: b.Star},
+		)
+	case JOP:
+		p.Ops = append(p.Ops,
+			Op{Kind: OpGetJoined, Phase: PhaseGetCB, Dst: "C", Query: qc, QueryB: qb,
+				On: on, Alias: "benchmark.", Outer: b.Star},
+		)
+	case POP:
+		qAll := qc
+		qAll.Preds = replacePred(b.Preds, level,
+			[]int32{b.Bench.SliceMember, b.Bench.SiblingMember})
+		p.Ops = append(p.Ops,
+			Op{Kind: OpGetPivoted, Phase: PhaseGetCB, Dst: "C", Query: qAll,
+				Level: level, Ref: b.Bench.SliceMember,
+				Neighbors: []int32{b.Bench.SiblingMember},
+				Strict:    !b.Star, Rename: rename},
+		)
+	}
+}
+
+func (p *Plan) buildPast(b *semantic.Bound, s Strategy) {
+	qc := targetQuery(b)
+	level := b.Bench.SliceLevel
+	past := b.Bench.PastMembers
+	qb := qc
+	qb.Preds = replacePred(b.Preds, level, past)
+	qb.Measures = []int{b.Measure}
+	on := b.Group.Without(level)
+	m := b.MeasureName()
+	bench := b.BenchColumn()
+	dict := b.Schema.Dict(level)
+	latest := past[len(past)-1]
+
+	switch s {
+	case NP:
+		// Paper Example 4.5 (past plan): get C, get B, pivot B on the
+		// latest past slice, regress, join, then compare and label.
+		series := make([]semantic.Expr, 0, len(past))
+		for _, id := range past[:len(past)-1] {
+			series = append(series, &semantic.ColumnExpr{Column: m + "@" + dict.Name(id)})
+		}
+		series = append(series, &semantic.ColumnExpr{Column: m})
+		p.Ops = append(p.Ops,
+			Op{Kind: OpGet, Phase: PhaseGetC, Dst: "C", Query: qc},
+			Op{Kind: OpGet, Phase: PhaseGetB, Dst: "B", Query: qb},
+			Op{Kind: OpClientPivot, Phase: PhaseTransform, Dst: "E", SrcA: "B",
+				Level: level, Ref: latest, Neighbors: past[:len(past)-1], Strict: !b.Star},
+			Op{Kind: OpTransform, Phase: PhaseTransform, Dst: "E",
+				Expr: regressionExpr(b, series), OutCol: predColumn, note: "regression"},
+			Op{Kind: OpProject, Phase: PhaseTransform, Dst: "E", SrcA: "E",
+				ProjKeep:   []string{predColumn},
+				ProjRename: map[string]string{predColumn: m},
+				note:       "project prediction as " + m},
+			Op{Kind: OpClientJoin, Phase: PhaseJoin, Dst: "C", SrcA: "C", SrcB: "E",
+				On: on, Alias: "benchmark.", Outer: b.Star},
+		)
+	case JOP:
+		// Property P2: the join C ⋈ B is pushed to the engine before the
+		// pivot and regression transformations (Example 5.3).
+		series := make([]semantic.Expr, 0, len(past))
+		for _, id := range past[:len(past)-1] {
+			series = append(series, &semantic.ColumnExpr{Column: bench + "@" + dict.Name(id)})
+		}
+		series = append(series, &semantic.ColumnExpr{Column: bench})
+		keep := append([]string(nil), b.Columns...)
+		keep = append(keep, predColumn)
+		renames := map[string]string{predColumn: bench}
+		p.Ops = append(p.Ops,
+			Op{Kind: OpGetMultiplied, Phase: PhaseGetCB, Dst: "D", Query: qc, QueryB: qb,
+				Level: level, Members: past, Alias: "benchmark.", Outer: b.Star},
+			Op{Kind: OpClientPivot, Phase: PhaseTransform, Dst: "E", SrcA: "D",
+				Level: level, Ref: latest, Neighbors: past[:len(past)-1], Strict: !b.Star},
+			Op{Kind: OpTransform, Phase: PhaseTransform, Dst: "E",
+				Expr: regressionExpr(b, series), OutCol: predColumn, note: "regression"},
+			Op{Kind: OpProject, Phase: PhaseTransform, Dst: "C", SrcA: "E",
+				ProjKeep: keep, ProjRename: renames,
+				note: "project prediction as " + bench},
+			Op{Kind: OpReplaceSlice, Phase: PhaseTransform, Dst: "C", SrcA: "C",
+				Level: level, Ref: b.Bench.SliceMember},
+		)
+	case POP:
+		// Property P3: one get covering the target and all past slices,
+		// pivoted engine-side on the target member (Example 5.4).
+		qAll := qc
+		qAll.Preds = replacePred(b.Preds, level, append(append([]int32(nil), past...), b.Bench.SliceMember))
+		series := make([]semantic.Expr, 0, len(past))
+		for _, id := range past {
+			series = append(series, &semantic.ColumnExpr{Column: m + "@" + dict.Name(id)})
+		}
+		p.Ops = append(p.Ops,
+			Op{Kind: OpGetPivoted, Phase: PhaseGetCB, Dst: "C", Query: qAll,
+				Level: level, Ref: b.Bench.SliceMember,
+				Neighbors: past, Strict: !b.Star},
+			Op{Kind: OpTransform, Phase: PhaseTransform, Dst: "C",
+				Expr: regressionExpr(b, series), OutCol: bench, note: "regression"},
+		)
+	}
+}
+
+func (p *Plan) buildAncestor(b *semantic.Bound, s Strategy) {
+	qc := targetQuery(b)
+	qb := ancestorBenchQuery(b, qc)
+	switch s {
+	case NP:
+		p.Ops = append(p.Ops,
+			Op{Kind: OpGet, Phase: PhaseGetC, Dst: "C", Query: qc},
+			Op{Kind: OpGet, Phase: PhaseGetB, Dst: "B", Query: qb},
+			Op{Kind: OpClientRollupJoin, Phase: PhaseJoin, Dst: "C", SrcA: "C", SrcB: "B",
+				Alias: "benchmark.", Outer: b.Star},
+		)
+	case JOP:
+		p.Ops = append(p.Ops,
+			Op{Kind: OpGetRollupJoined, Phase: PhaseGetCB, Dst: "C", Query: qc, QueryB: qb,
+				Alias: "benchmark.", Outer: b.Star},
+		)
+	}
+}
+
+// regressionExpr builds the prediction call over the chronological series
+// columns, using the bound statement's predictor (OLS regression by
+// default, Section 4.3).
+func regressionExpr(b *semantic.Bound, series []semantic.Expr) semantic.Expr {
+	return &semantic.CallExpr{Fn: b.Predictor, Args: series}
+}
+
+// finish appends the comparison and labeling steps shared by all plans.
+func (p *Plan) finish(b *semantic.Bound) {
+	p.Ops = append(p.Ops,
+		Op{Kind: OpTransform, Phase: PhaseCompare, Dst: p.Result,
+			Expr: b.Using, OutCol: ComparisonColumn, note: "comparison (using clause)"},
+		Op{Kind: OpLabel, Phase: PhaseLabel, Dst: p.Result, LabelCol: ComparisonColumn},
+	)
+}
+
+// DescribeOp renders the i-th operation of the plan (as Explain does),
+// for per-operation instrumentation.
+func (p *Plan) DescribeOp(i int) string {
+	return p.Ops[i].describe(p)
+}
+
+// Explain renders the plan as a numbered list of logical operations.
+func (p *Plan) Explain() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%v plan for %v benchmark:\n", p.Strategy, p.Bound.Bench.Kind)
+	for i, op := range p.Ops {
+		fmt.Fprintf(&sb, "  %d. [%s] %s\n", i+1, op.Phase, op.describe(p))
+	}
+	return sb.String()
+}
+
+func (op *Op) describe(p *Plan) string {
+	b := p.Bound
+	switch op.Kind {
+	case OpGet:
+		return fmt.Sprintf("get %s → %s%s", describeQuery(b, op.Query), op.Dst, noteSuffix(op))
+	case OpGetJoined:
+		return fmt.Sprintf("get %s ⋈ %s (engine-side join) → %s",
+			describeQuery(b, op.Query), describeQuery(b, op.QueryB), op.Dst)
+	case OpGetPivoted:
+		return fmt.Sprintf("get %s, pivot ⊞ on %s (engine-side) → %s",
+			describeQuery(b, op.Query), b.Schema.LevelName(op.Level), op.Dst)
+	case OpGetMultiplied:
+		return fmt.Sprintf("get %s ⋈ %s (engine-side 1:n join over %d slices) → %s",
+			describeQuery(b, op.Query), describeQuery(b, op.QueryB), len(op.Members), op.Dst)
+	case OpGetRollupJoined:
+		return fmt.Sprintf("get %s ⋈rup %s (engine-side roll-up join) → %s",
+			describeQuery(b, op.Query), describeQuery(b, op.QueryB), op.Dst)
+	case OpClientRollupJoin:
+		return fmt.Sprintf("%s ⋈rup %s (client-side roll-up join) → %s", op.SrcA, op.SrcB, op.Dst)
+	case OpClientJoin:
+		kind := "⋈"
+		if op.Outer {
+			kind = "*⟕"
+		}
+		return fmt.Sprintf("%s %s %s (client-side) → %s", op.SrcA, kind, op.SrcB, op.Dst)
+	case OpClientPivot:
+		return fmt.Sprintf("⊞ pivot %s on %s (client-side) → %s",
+			op.SrcA, b.Schema.LevelName(op.Level), op.Dst)
+	case OpProject:
+		return fmt.Sprintf("π project %s → %s%s", op.SrcA, op.Dst, noteSuffix(op))
+	case OpReplaceSlice:
+		return fmt.Sprintf("map coordinates of %s to slice %s = %s",
+			op.SrcA, b.Schema.LevelName(op.Level), b.Schema.Dict(op.Level).Name(op.Ref))
+	case OpTransform:
+		kind := "⊟"
+		if exprIsHolistic(op.Expr) {
+			kind = "⊡"
+		}
+		return fmt.Sprintf("%s transform %s: %s%s", kind, op.Dst, op.OutCol, noteSuffix(op))
+	case OpLabel:
+		return fmt.Sprintf("label %s(%s) on %s", b.Labeler.Name(), op.LabelCol, op.Dst)
+	}
+	return "?"
+}
+
+func noteSuffix(op *Op) string {
+	if op.note == "" {
+		return ""
+	}
+	return " (" + op.note + ")"
+}
+
+func describeQuery(b *semantic.Bound, q engine.Query) string {
+	var preds []string
+	var schema = b.Schema
+	if q.Fact == b.Bench.ExtFact && b.Bench.ExtSchema != nil {
+		schema = b.Bench.ExtSchema
+	}
+	for _, p := range q.Preds {
+		names := make([]string, len(p.Members))
+		for i, m := range p.Members {
+			names[i] = schema.Dict(p.Level).Name(m)
+		}
+		preds = append(preds, fmt.Sprintf("%s∈{%s}", schema.LevelName(p.Level), strings.Join(names, ",")))
+	}
+	sel := ""
+	if len(preds) > 0 {
+		sel = "; " + strings.Join(preds, ", ")
+	}
+	return fmt.Sprintf("[(%s, %s%s)]", q.Fact, q.Group.String(schema), sel)
+}
+
+// exprIsHolistic reports whether the expression needs a holistic scan.
+func exprIsHolistic(e semantic.Expr) bool {
+	call, ok := e.(*semantic.CallExpr)
+	if !ok {
+		return false
+	}
+	if call.Fn.HolFn != nil {
+		return true
+	}
+	for _, a := range call.Args {
+		if exprIsHolistic(a) {
+			return true
+		}
+	}
+	return false
+}

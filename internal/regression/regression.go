@@ -1,0 +1,84 @@
+// Package regression implements the time-series prediction used by past
+// benchmarks (Section 4.3): the benchmark measure of a past intention is
+// the value predicted from the k previous time slices. The paper's
+// prototype uses Scikit-learn linear regression; here the same model is an
+// ordinary-least-squares fit over the points (1, y1) … (k, yk), evaluated
+// at x = k+1. Naive (last value) and moving-average predictors are
+// provided as baselines.
+package regression
+
+import "math"
+
+// OLS holds the coefficients of a simple linear regression y = a + b·x.
+type OLS struct {
+	Intercept float64
+	Slope     float64
+}
+
+// FitOLS fits y = a + b·x over the points (1, ys[0]) … (n, ys[n-1]). NaN
+// observations are skipped. With fewer than two valid points the slope is
+// zero and the intercept is the mean of the valid points (or NaN when
+// there is none).
+func FitOLS(ys []float64) OLS {
+	var n, sx, sy, sxx, sxy float64
+	for i, y := range ys {
+		if math.IsNaN(y) {
+			continue
+		}
+		x := float64(i + 1)
+		n++
+		sx += x
+		sy += y
+		sxx += x * x
+		sxy += x * y
+	}
+	switch {
+	case n == 0:
+		return OLS{Intercept: math.NaN()}
+	case n == 1:
+		return OLS{Intercept: sy}
+	}
+	den := n*sxx - sx*sx
+	if den == 0 {
+		return OLS{Intercept: sy / n}
+	}
+	b := (n*sxy - sx*sy) / den
+	a := (sy - b*sx) / n
+	return OLS{Intercept: a, Slope: b}
+}
+
+// At evaluates the fitted line at x.
+func (m OLS) At(x float64) float64 { return m.Intercept + m.Slope*x }
+
+// PredictNext returns the OLS prediction for the time slice following the
+// series: the fit over (1..k, ys) evaluated at k+1.
+func PredictNext(ys []float64) float64 {
+	return FitOLS(ys).At(float64(len(ys) + 1))
+}
+
+// MovingAverage returns the mean of the valid (non-NaN) observations, the
+// simplest alternative predictor.
+func MovingAverage(ys []float64) float64 {
+	var n, s float64
+	for _, y := range ys {
+		if math.IsNaN(y) {
+			continue
+		}
+		n++
+		s += y
+	}
+	if n == 0 {
+		return math.NaN()
+	}
+	return s / n
+}
+
+// LastValue returns the last valid observation (the naive predictor).
+func LastValue(ys []float64) float64 {
+	for i := len(ys) - 1; i >= 0; i-- {
+		if !math.IsNaN(ys[i]) {
+			return ys[i]
+		}
+	}
+	return math.NaN()
+}

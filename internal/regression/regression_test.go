@@ -1,0 +1,108 @@
+package regression
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestFitOLSExactLine(t *testing.T) {
+	// y = 3 + 2x at x = 1..5
+	ys := []float64{5, 7, 9, 11, 13}
+	m := FitOLS(ys)
+	if math.Abs(m.Intercept-3) > 1e-9 || math.Abs(m.Slope-2) > 1e-9 {
+		t.Fatalf("fit = (%g, %g), want (3, 2)", m.Intercept, m.Slope)
+	}
+	if got := PredictNext(ys); math.Abs(got-15) > 1e-9 {
+		t.Errorf("PredictNext = %g, want 15", got)
+	}
+}
+
+func TestFitOLSConstantSeries(t *testing.T) {
+	m := FitOLS([]float64{4, 4, 4})
+	if m.Slope != 0 || m.Intercept != 4 {
+		t.Fatalf("constant series fit = %+v", m)
+	}
+}
+
+func TestFitOLSDegenerate(t *testing.T) {
+	if m := FitOLS(nil); !math.IsNaN(m.Intercept) {
+		t.Errorf("empty series intercept = %g, want NaN", m.Intercept)
+	}
+	if m := FitOLS([]float64{7}); m.Intercept != 7 || m.Slope != 0 {
+		t.Errorf("single-point fit = %+v", m)
+	}
+	if m := FitOLS([]float64{math.NaN(), 7, math.NaN()}); m.Intercept != 7 || m.Slope != 0 {
+		t.Errorf("single valid point fit = %+v", m)
+	}
+}
+
+func TestFitOLSSkipsNaN(t *testing.T) {
+	// Line with a hole: x=1,2,4 valid.
+	ys := []float64{5, 7, math.NaN(), 11}
+	m := FitOLS(ys)
+	if math.Abs(m.Intercept-3) > 1e-9 || math.Abs(m.Slope-2) > 1e-9 {
+		t.Fatalf("fit with NaN hole = (%g, %g), want (3, 2)", m.Intercept, m.Slope)
+	}
+}
+
+func TestMovingAverageAndLastValue(t *testing.T) {
+	if got := MovingAverage([]float64{1, 2, 3, math.NaN()}); got != 2 {
+		t.Errorf("MovingAverage = %g, want 2", got)
+	}
+	if !math.IsNaN(MovingAverage([]float64{math.NaN()})) {
+		t.Error("MovingAverage of all-NaN must be NaN")
+	}
+	if got := LastValue([]float64{1, 2, 3}); got != 3 {
+		t.Errorf("LastValue = %g, want 3", got)
+	}
+	if !math.IsNaN(LastValue(nil)) {
+		t.Error("LastValue of empty must be NaN")
+	}
+}
+
+func TestOLSResidualOrthogonality(t *testing.T) {
+	// Property: for random series the OLS residuals sum to ~0 and are
+	// uncorrelated with x (the normal equations).
+	rng := rand.New(rand.NewSource(7))
+	prop := func() bool {
+		n := 3 + rng.Intn(20)
+		ys := make([]float64, n)
+		for i := range ys {
+			ys[i] = rng.NormFloat64()*10 + float64(i)
+		}
+		m := FitOLS(ys)
+		var sumR, sumXR, scale float64
+		for i, y := range ys {
+			r := y - m.At(float64(i+1))
+			sumR += r
+			sumXR += float64(i+1) * r
+			scale += math.Abs(y)
+		}
+		tol := 1e-8 * (1 + scale)
+		return math.Abs(sumR) < tol && math.Abs(sumXR) < tol*float64(n)
+	}
+	if err := quick.Check(func() bool { return prop() }, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPredictNextBetweenForTrend(t *testing.T) {
+	// Property: for a strictly increasing series, the prediction exceeds
+	// the mean of the series.
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(10)
+		ys := make([]float64, n)
+		v := rng.Float64() * 100
+		for i := range ys {
+			v += 1 + rng.Float64()*10
+			ys[i] = v
+		}
+		return PredictNext(ys) > MovingAverage(ys)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,100 @@
+package sales
+
+import "testing"
+
+func TestSchemaMatchesExampleTwoTwo(t *testing.T) {
+	s := Schema()
+	if s.Name != "SALES" {
+		t.Errorf("name = %q", s.Name)
+	}
+	wantHiers := map[string][]string{
+		"Date":     {"date", "month", "year"},
+		"Customer": {"customer", "gender"},
+		"Product":  {"product", "type", "category"},
+		"Store":    {"store", "city", "country"},
+	}
+	for _, h := range s.Hiers {
+		want, ok := wantHiers[h.Name()]
+		if !ok {
+			t.Errorf("unexpected hierarchy %s", h.Name())
+			continue
+		}
+		levels := h.Levels()
+		if len(levels) != len(want) {
+			t.Errorf("%s levels = %v", h.Name(), levels)
+			continue
+		}
+		for i := range want {
+			if levels[i] != want[i] {
+				t.Errorf("%s level %d = %s, want %s", h.Name(), i, levels[i], want[i])
+			}
+		}
+	}
+	for _, m := range []string{"quantity", "storeSales", "storeCost"} {
+		if _, ok := s.MeasureIndex(m); !ok {
+			t.Errorf("measure %s missing", m)
+		}
+	}
+	if err := s.Validate(); err != nil {
+		t.Errorf("schema invalid: %v", err)
+	}
+	// Fresh Fruit ≥ Fruit, like the paper's part-of example.
+	ref, _ := s.FindLevel("type")
+	id, ok := s.Dict(ref).Lookup("Fresh Fruit")
+	if !ok {
+		t.Fatal("Fresh Fruit missing")
+	}
+	cat := s.Hiers[2].Rollup(id, 1, 2)
+	if s.Hiers[2].Dict(2).Name(cat) != "Fruit" {
+		t.Errorf("Fresh Fruit rolls up to %q", s.Hiers[2].Dict(2).Name(cat))
+	}
+}
+
+func TestGenerateDeterministicAndSane(t *testing.T) {
+	a := Generate(2000, 1)
+	b := Generate(2000, 1)
+	if a.Fact.Rows() != 2000 || b.Fact.Rows() != 2000 {
+		t.Fatalf("rows = %d, %d", a.Fact.Rows(), b.Fact.Rows())
+	}
+	for r := 0; r < 2000; r += 113 {
+		if a.Fact.Keys[2][r] != b.Fact.Keys[2][r] || a.Fact.Meas[0][r] != b.Fact.Meas[0][r] {
+			t.Fatal("generation not deterministic")
+		}
+	}
+	si, _ := a.Schema.MeasureIndex("storeSales")
+	ci, _ := a.Schema.MeasureIndex("storeCost")
+	for r := 0; r < 2000; r++ {
+		if a.Fact.Meas[ci][r] >= a.Fact.Meas[si][r] {
+			t.Fatalf("row %d: cost %g >= sales %g", r, a.Fact.Meas[ci][r], a.Fact.Meas[si][r])
+		}
+	}
+	if a.External.Rows() != 2000 {
+		t.Errorf("external rows = %d", a.External.Rows())
+	}
+	if a.ExternalSchema.Hiers[0] != a.Schema.Hiers[0] {
+		t.Error("external cube not reconciled with the target hierarchies")
+	}
+}
+
+func TestFigureOneTotals(t *testing.T) {
+	ds := FigureOne()
+	s := ds.Schema
+	qi, _ := s.MeasureIndex("quantity")
+	prodRef, _ := s.FindLevel("product")
+	countryRef, _ := s.FindLevel("country")
+	totals := map[[2]string]float64{}
+	for r := 0; r < ds.Fact.Rows(); r++ {
+		prod := s.Dict(prodRef).Name(ds.Fact.Keys[2][r])
+		country := s.Dict(countryRef).Name(s.Hiers[3].Rollup(ds.Fact.Keys[3][r], 0, 2))
+		totals[[2]string{prod, country}] += ds.Fact.Meas[qi][r]
+	}
+	want := map[[2]string]float64{
+		{"Apple", "Italy"}: 100, {"Pear", "Italy"}: 90, {"Lemon", "Italy"}: 30,
+		{"Apple", "France"}: 150, {"Pear", "France"}: 110, {"Lemon", "France"}: 20,
+	}
+	for k, v := range want {
+		if totals[k] != v {
+			t.Errorf("%v = %g, want %g", k, totals[k], v)
+		}
+	}
+}

@@ -1,0 +1,62 @@
+package semantic
+
+import (
+	"fmt"
+	"strings"
+)
+
+// didYouMean returns a ` (did you mean "x"?)` suffix when a candidate is
+// within a small edit distance of the unknown name, and "" otherwise.
+// Matching is case-insensitive; the threshold scales with the name's
+// length so short names don't produce absurd hints.
+func didYouMean(name string, candidates []string) string {
+	best, bestDist := "", 1<<30
+	for _, c := range candidates {
+		d := editDistance(strings.ToLower(name), strings.ToLower(c))
+		if d < bestDist {
+			best, bestDist = c, d
+		}
+	}
+	limit := 1 + len(name)/4
+	if limit > 3 {
+		limit = 3
+	}
+	if best == "" || bestDist > limit {
+		return ""
+	}
+	return fmt.Sprintf(" (did you mean %q?)", best)
+}
+
+// editDistance computes the Levenshtein distance with two rolling rows.
+func editDistance(a, b string) int {
+	if a == b {
+		return 0
+	}
+	prev := make([]int, len(b)+1)
+	cur := make([]int, len(b)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(a); i++ {
+		cur[0] = i
+		for j := 1; j <= len(b); j++ {
+			cost := 1
+			if a[i-1] == b[j-1] {
+				cost = 0
+			}
+			cur[j] = min3(prev[j]+1, cur[j-1]+1, prev[j-1]+cost)
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(b)]
+}
+
+func min3(a, b, c int) int {
+	if b < a {
+		a = b
+	}
+	if c < a {
+		a = c
+	}
+	return a
+}

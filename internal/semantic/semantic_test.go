@@ -1,0 +1,237 @@
+package semantic
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/assess-olap/assess/internal/engine"
+	"github.com/assess-olap/assess/internal/parser"
+	"github.com/assess-olap/assess/internal/sales"
+)
+
+func newBinder(t *testing.T) *Binder {
+	t.Helper()
+	ds := sales.Generate(1000, 5)
+	e := engine.New()
+	if err := e.Register("SALES", ds.Fact); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Register("SALES_TARGET", ds.External); err != nil {
+		t.Fatal(err)
+	}
+	return NewBinder(e)
+}
+
+func mustBind(t *testing.T, bd *Binder, stmt string) *Bound {
+	t.Helper()
+	st, err := parser.Parse(stmt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := bd.Bind(st)
+	if err != nil {
+		t.Fatalf("Bind(%s): %v", stmt, err)
+	}
+	return b
+}
+
+func bindErrContains(t *testing.T, bd *Binder, stmt, want string) {
+	t.Helper()
+	st, err := parser.Parse(stmt)
+	if err != nil {
+		t.Fatalf("Parse(%s): %v", stmt, err)
+	}
+	_, err = bd.Bind(st)
+	if err == nil {
+		t.Fatalf("Bind(%s) succeeded, want error containing %q", stmt, want)
+	}
+	if !strings.Contains(err.Error(), want) {
+		t.Errorf("Bind(%s) error %q lacks %q", stmt, err, want)
+	}
+}
+
+func TestBindConstantDefaults(t *testing.T) {
+	bd := newBinder(t)
+	b := mustBind(t, bd, `with SALES by month assess storeSales labels quartiles`)
+	if b.Bench.Kind != parser.BenchConstant || b.Bench.Constant != 0 {
+		t.Errorf("omitted against bound to %+v, want dummy zero constant", b.Bench)
+	}
+	// Default using for an absolute assessment is identity(m).
+	call, ok := b.Using.(*CallExpr)
+	if !ok || call.Fn.Name != "identity" {
+		t.Errorf("default using = %+v, want identity", b.Using)
+	}
+	b2 := mustBind(t, bd, `with SALES by month assess storeSales against 500 labels quartiles`)
+	call2 := b2.Using.(*CallExpr)
+	if call2.Fn.Name != "difference" {
+		t.Errorf("default using with benchmark = %s, want difference", call2.Fn.Name)
+	}
+	if b2.BenchColumn() != "benchmark.storeSales" {
+		t.Errorf("BenchColumn = %q", b2.BenchColumn())
+	}
+}
+
+func TestBindExternal(t *testing.T) {
+	bd := newBinder(t)
+	b := mustBind(t, bd, `with SALES by month, country assess storeSales
+		against SALES_TARGET.expectedSales labels quartiles`)
+	if b.Bench.Kind != parser.BenchExternal || b.Bench.ExtFact != "SALES_TARGET" {
+		t.Errorf("external bench = %+v", b.Bench)
+	}
+	if b.Bench.MeasureName != "expectedSales" || b.BenchColumn() != "benchmark.expectedSales" {
+		t.Errorf("benchmark measure = %q", b.Bench.MeasureName)
+	}
+}
+
+func TestBindSibling(t *testing.T) {
+	bd := newBinder(t)
+	b := mustBind(t, bd, `with SALES for country = 'Italy' by product, country
+		assess quantity against country = 'France' labels quartiles`)
+	if b.Bench.Kind != parser.BenchSibling {
+		t.Fatalf("kind = %v", b.Bench.Kind)
+	}
+	dict := b.Schema.Dict(b.Bench.SliceLevel)
+	if dict.Name(b.Bench.SliceMember) != "Italy" || dict.Name(b.Bench.SiblingMember) != "France" {
+		t.Errorf("slice %s sibling %s", dict.Name(b.Bench.SliceMember), dict.Name(b.Bench.SiblingMember))
+	}
+}
+
+func TestBindPastClampsK(t *testing.T) {
+	bd := newBinder(t)
+	// 1996-02 has exactly one predecessor month in the SALES hierarchy.
+	b := mustBind(t, bd, `with SALES for month = '1996-02' by month, store
+		assess storeSales against past 6 labels quartiles`)
+	if len(b.Bench.PastMembers) != 1 {
+		t.Errorf("%d past members, want 1 (clamped to available predecessors)", len(b.Bench.PastMembers))
+	}
+}
+
+func TestBindFetchesReferencedMeasures(t *testing.T) {
+	bd := newBinder(t)
+	b := mustBind(t, bd, `with SALES by month assess storeSales against 0
+		using difference(storeSales, storeCost) labels quartiles`)
+	if len(b.Fetch) != 2 || b.Columns[0] != "storeSales" || b.Columns[1] != "storeCost" {
+		t.Errorf("fetch columns = %v", b.Columns)
+	}
+}
+
+func TestBindErrors(t *testing.T) {
+	bd := newBinder(t)
+	cases := []struct{ stmt, want string }{
+		{`with NOPE by month assess x labels quartiles`, "unknown cube"},
+		{`with SALES by nosuch assess quantity labels quartiles`, "unknown level"},
+		{`with SALES by month, year assess quantity labels quartiles`, "same hierarchy"},
+		{`with SALES by month assess nosuch labels quartiles`, "no measure"},
+		{`with SALES for nosuch = 'x' by month assess quantity labels quartiles`, "unknown level"},
+		{`with SALES for country = 'Atlantis' by month assess quantity labels quartiles`, "no member"},
+		{`with SALES by month assess quantity against NOPE.m labels quartiles`, "unknown external"},
+		{`with SALES by month assess quantity against SALES_TARGET.nosuch labels quartiles`, "no measure"},
+		{`with SALES by month assess quantity against nosuch = 'x' labels quartiles`, "unknown sibling level"},
+		{`with SALES for country = 'Italy' by product assess quantity against country = 'France' labels quartiles`, "must appear in the by clause"},
+		{`with SALES by product, country assess quantity against country = 'France' labels quartiles`, "must include a predicate"},
+		{`with SALES for country in ('Italy', 'Spain') by product, country assess quantity against country = 'France' labels quartiles`, "single member"},
+		{`with SALES for country = 'Italy' by product, country assess quantity against country = 'Italy' labels quartiles`, "equals the target"},
+		{`with SALES by month, store assess storeSales against past 2 labels quartiles`, "needs a for-clause predicate"},
+		{`with SALES for month = '1996-01' by month, store assess storeSales against past 2 labels quartiles`, "no predecessors"},
+		{`with SALES by month assess storeSales using nosuch(storeSales) labels quartiles`, "unknown function"},
+		{`with SALES by month assess storeSales using ratio(storeSales) labels quartiles`, "takes 2 arguments"},
+		{`with SALES by month assess storeSales using ratio(storeSales, nosuch) labels quartiles`, "no measure"},
+		{`with SALES by month assess storeSales against 10 using ratio(storeSales, benchmark.wrong) labels quartiles`, "benchmark measure is"},
+		{`with SALES by month assess storeSales labels nosuch`, "unknown labeling function"},
+		{`with SALES by month assess storeSales labels {[0, 2]: a, [1, 3]: b}`, "invalid labels"},
+	}
+	for _, c := range cases {
+		bindErrContains(t, bd, c.stmt, c.want)
+	}
+}
+
+func TestBindExternalJoinabilityFailure(t *testing.T) {
+	// An external cube lacking a group-by level is not joinable
+	// (Definition 3.1).
+	ds := sales.Generate(100, 5)
+	e := engine.New()
+	if err := e.Register("SALES", ds.Fact); err != nil {
+		t.Fatal(err)
+	}
+	other := sales.Generate(100, 6) // different hierarchy objects
+	if err := e.Register("OTHER", other.External); err != nil {
+		t.Fatal(err)
+	}
+	bd := NewBinder(e)
+	bindErrContains(t, bd,
+		`with SALES by month assess storeSales against OTHER.expectedSales labels quartiles`,
+		"not reconciled")
+}
+
+func TestBindImplicitPercOfTotalArg(t *testing.T) {
+	bd := newBinder(t)
+	b := mustBind(t, bd, `with SALES for country = 'Italy' by product, country
+		assess quantity against country = 'France'
+		using percOfTotal(difference(quantity, benchmark.quantity))
+		labels quartiles`)
+	call := b.Using.(*CallExpr)
+	if call.Fn.Name != "percOfTotal" || len(call.Args) != 2 {
+		t.Fatalf("percOfTotal bound with %d args", len(call.Args))
+	}
+	col, ok := call.Args[1].(*ColumnExpr)
+	if !ok || col.Column != "quantity" {
+		t.Errorf("implicit arg = %+v, want quantity column", call.Args[1])
+	}
+}
+
+func TestBindErrorType(t *testing.T) {
+	bd := newBinder(t)
+	st, _ := parser.Parse(`with NOPE by month assess x labels quartiles`)
+	_, err := bd.Bind(st)
+	if _, ok := err.(*BindError); !ok {
+		t.Errorf("error type %T, want *BindError", err)
+	}
+	if !strings.HasPrefix(err.Error(), "semantic error:") {
+		t.Errorf("error = %q", err)
+	}
+}
+
+func TestDidYouMeanHints(t *testing.T) {
+	bd := newBinder(t)
+	cases := []struct{ stmt, hint string }{
+		{`with SALES by montg assess storeSales labels quartiles`, `did you mean "month"?`},
+		{`with SALES by month assess storeSale labels quartiles`, `did you mean "storeSales"?`},
+		{`with SALES for country = 'Itly' by month assess quantity labels quartiles`, `did you mean "Italy"?`},
+		{`with SALES by month assess storeSales using ratoi(storeSales, 1) labels quartiles`, `did you mean "ratio"?`},
+		{`with SALES by month assess storeSales labels quartles`, `did you mean "quartiles"?`},
+	}
+	for _, c := range cases {
+		st, err := parser.Parse(c.stmt)
+		if err != nil {
+			t.Fatalf("Parse(%s): %v", c.stmt, err)
+		}
+		_, err = bd.Bind(st)
+		if err == nil {
+			t.Fatalf("Bind(%s) succeeded", c.stmt)
+		}
+		if !strings.Contains(err.Error(), c.hint) {
+			t.Errorf("error %q lacks hint %q", err, c.hint)
+		}
+	}
+	// No hint for names nothing like any candidate.
+	st, _ := parser.Parse(`with SALES by zzzzqqqq assess storeSales labels quartiles`)
+	if _, err := bd.Bind(st); err == nil || strings.Contains(err.Error(), "did you mean") {
+		t.Errorf("far-off name produced a hint: %v", err)
+	}
+}
+
+func TestEditDistance(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want int
+	}{
+		{"", "", 0}, {"a", "", 1}, {"", "abc", 3},
+		{"month", "month", 0}, {"montg", "month", 1},
+		{"kitten", "sitting", 3},
+	}
+	for _, c := range cases {
+		if got := editDistance(c.a, c.b); got != c.want {
+			t.Errorf("editDistance(%q, %q) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}

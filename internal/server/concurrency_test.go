@@ -1,0 +1,50 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"sync"
+	"testing"
+)
+
+// TestConcurrentRequests hammers the server from several goroutines;
+// run with -race this verifies that concurrent query evaluation (and its
+// lazy roll-up memoization) is safe.
+func TestConcurrentRequests(t *testing.T) {
+	srv := newServer(t)
+	statements := []string{
+		siblingStatement,
+		`with SALES by month assess storeSales labels quartiles`,
+		`with SALES by product assess quantity against ancestor type
+			using ratio(quantity, benchmark.quantity) labels quartiles`,
+		`with SALES by country assess quantity labels quartiles`,
+	}
+	var wg sync.WaitGroup
+	errs := make(chan string, 64)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 8; i++ {
+				stmt := statements[(w+i)%len(statements)]
+				body, _ := json.Marshal(map[string]string{"statement": stmt})
+				resp, err := http.Post(srv.URL+"/assess", "application/json", bytes.NewReader(body))
+				if err != nil {
+					errs <- err.Error()
+					return
+				}
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					errs <- resp.Status
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Error(e)
+	}
+}

@@ -1,0 +1,325 @@
+// Package server exposes a session over HTTP/JSON for interactive
+// analysis: submit assess statements, explain plans and costs, validate,
+// complete partial statements, and inspect the catalog. All handlers are
+// stateless wrappers around a core.Session.
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"time"
+
+	"github.com/assess-olap/assess/internal/core"
+	"github.com/assess-olap/assess/internal/exec"
+	"github.com/assess-olap/assess/internal/parser"
+	"github.com/assess-olap/assess/internal/plan"
+	"github.com/assess-olap/assess/internal/semantic"
+)
+
+// Server serves one session.
+type Server struct {
+	session *core.Session
+	mux     *http.ServeMux
+}
+
+// New builds a server over the session.
+func New(session *core.Session) *Server {
+	s := &Server{session: session, mux: http.NewServeMux()}
+	s.mux.HandleFunc("GET /healthz", s.health)
+	s.mux.HandleFunc("GET /cubes", s.cubes)
+	s.mux.HandleFunc("POST /assess", s.assess)
+	s.mux.HandleFunc("POST /query", s.query)
+	s.mux.HandleFunc("POST /explain", s.explain)
+	s.mux.HandleFunc("POST /validate", s.validate)
+	s.mux.HandleFunc("POST /suggest", s.suggest)
+	return s
+}
+
+// Handler returns the HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// request is the common body of the POST endpoints.
+type request struct {
+	// Statement is the assess statement (possibly partial for /suggest).
+	Statement string `json:"statement"`
+	// Plan selects the strategy: "", "best", "cost", "np", "jop", "pop".
+	Plan string `json:"plan,omitempty"`
+	// Max bounds /suggest results.
+	Max int `json:"max,omitempty"`
+}
+
+// resultRow is one cell of an /assess response. NaN values (nulls from
+// assess*) are encoded as JSON nulls.
+type resultRow struct {
+	Coordinate []string `json:"coordinate"`
+	Measure    *float64 `json:"measure"`
+	Benchmark  *float64 `json:"benchmark"`
+	Comparison *float64 `json:"comparison"`
+	Label      string   `json:"label"`
+}
+
+type assessResponse struct {
+	Strategy  string             `json:"strategy"`
+	Cells     int                `json:"cells"`
+	TotalMs   float64            `json:"totalMs"`
+	Breakdown map[string]float64 `json:"breakdownMs"`
+	Rows      []resultRow        `json:"rows"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+	Kind  string `json:"kind"` // "syntax", "semantic", or "internal"
+}
+
+func (s *Server) health(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+type cubeInfo struct {
+	Name        string              `json:"name"`
+	Rows        int                 `json:"rows"`
+	Hierarchies map[string][]string `json:"hierarchies"`
+	Measures    []string            `json:"measures"`
+}
+
+func (s *Server) cubes(w http.ResponseWriter, r *http.Request) {
+	var out []cubeInfo
+	for _, name := range s.session.Engine.Facts() {
+		f, _ := s.session.Engine.Fact(name)
+		info := cubeInfo{Name: name, Rows: f.Rows(), Hierarchies: map[string][]string{}}
+		for _, h := range f.Schema.Hiers {
+			info.Hierarchies[h.Name()] = h.Levels()
+		}
+		for _, m := range f.Schema.Measures {
+			info.Measures = append(info.Measures, m.Name)
+		}
+		out = append(out, info)
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) assess(w http.ResponseWriter, r *http.Request) {
+	req, ok := readRequest(w, r)
+	if !ok {
+		return
+	}
+	var (
+		res *exec.Result
+		err error
+	)
+	switch req.Plan {
+	case "", "best":
+		res, err = s.session.Exec(req.Statement)
+	case "cost":
+		res, err = s.session.ExecCostBased(req.Statement)
+	default:
+		strategy, perr := parsePlan(req.Plan)
+		if perr != nil {
+			writeError(w, http.StatusBadRequest, perr)
+			return
+		}
+		res, err = s.session.ExecWith(req.Statement, strategy)
+	}
+	if err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	if res == nil {
+		// A declare statement registers a labeler and yields no cube.
+		writeJSON(w, http.StatusOK, map[string]bool{"declared": true})
+		return
+	}
+	rows, err := res.Rows()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	resp := assessResponse{
+		Strategy:  res.Plan.Strategy.String(),
+		Cells:     res.Cube.Len(),
+		TotalMs:   float64(res.Total) / float64(time.Millisecond),
+		Breakdown: map[string]float64{},
+		Rows:      make([]resultRow, len(rows)),
+	}
+	for p, d := range res.Breakdown {
+		if d > 0 {
+			resp.Breakdown[plan.Phase(p).String()] = float64(d) / float64(time.Millisecond)
+		}
+	}
+	for i, row := range rows {
+		resp.Rows[i] = resultRow{
+			Coordinate: row.Coordinate,
+			Measure:    jsonFloat(row.Measure),
+			Benchmark:  jsonFloat(row.Benchmark),
+			Comparison: jsonFloat(row.Comparison),
+			Label:      row.Label,
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// queryResponse is the body of a /query response: the derived cube.
+type queryResponse struct {
+	Levels   []string         `json:"levels"`
+	Measures []string         `json:"measures"`
+	Cells    int              `json:"cells"`
+	TotalMs  float64          `json:"totalMs"`
+	Rows     []map[string]any `json:"rows"`
+}
+
+// query evaluates a plain cube query (get statement).
+func (s *Server) query(w http.ResponseWriter, r *http.Request) {
+	req, ok := readRequest(w, r)
+	if !ok {
+		return
+	}
+	qr, err := s.session.Query(req.Statement)
+	if err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	c := qr.Cube
+	resp := queryResponse{
+		Measures: c.Names,
+		Cells:    c.Len(),
+		TotalMs:  float64(qr.Total) / float64(time.Millisecond),
+	}
+	for _, g := range c.Group {
+		resp.Levels = append(resp.Levels, c.Schema.LevelName(g))
+	}
+	for i, coord := range c.Coords {
+		row := map[string]any{}
+		for p, id := range coord {
+			row[resp.Levels[p]] = c.Schema.Dict(c.Group[p]).Name(id)
+		}
+		for j, name := range c.Names {
+			row[name] = jsonFloat(c.Cols[j][i])
+		}
+		resp.Rows = append(resp.Rows, row)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) explain(w http.ResponseWriter, r *http.Request) {
+	req, ok := readRequest(w, r)
+	if !ok {
+		return
+	}
+	var (
+		p   *plan.Plan
+		err error
+	)
+	switch req.Plan {
+	case "", "best":
+		p, err = s.session.Prepare(req.Statement)
+	case "cost":
+		p, err = s.session.PrepareCostBased(req.Statement)
+	default:
+		strategy, perr := parsePlan(req.Plan)
+		if perr != nil {
+			writeError(w, http.StatusBadRequest, perr)
+			return
+		}
+		p, err = s.session.PrepareWith(req.Statement, strategy)
+	}
+	if err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	costs, _ := s.session.ExplainCosts(req.Statement)
+	writeJSON(w, http.StatusOK, map[string]string{
+		"strategy": p.Strategy.String(),
+		"plan":     p.Explain(),
+		"costs":    costs,
+	})
+}
+
+func (s *Server) validate(w http.ResponseWriter, r *http.Request) {
+	req, ok := readRequest(w, r)
+	if !ok {
+		return
+	}
+	if err := s.session.Validate(req.Statement); err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]bool{"valid": true})
+}
+
+func (s *Server) suggest(w http.ResponseWriter, r *http.Request) {
+	req, ok := readRequest(w, r)
+	if !ok {
+		return
+	}
+	sugs, err := s.session.Suggest(req.Statement, req.Max)
+	if err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, sugs)
+}
+
+func readRequest(w http.ResponseWriter, r *http.Request) (request, bool) {
+	var req request
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("invalid JSON body: %w", err))
+		return req, false
+	}
+	if req.Statement == "" {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("missing statement"))
+		return req, false
+	}
+	return req, true
+}
+
+func parsePlan(name string) (plan.Strategy, error) {
+	switch name {
+	case "np", "NP":
+		return plan.NP, nil
+	case "jop", "JOP":
+		return plan.JOP, nil
+	case "pop", "POP":
+		return plan.POP, nil
+	}
+	return 0, fmt.Errorf("unknown plan %q (want best, cost, np, jop, or pop)", name)
+}
+
+// statusFor maps statement errors to 400 and everything else to 500.
+func statusFor(err error) int {
+	var syn *parser.SyntaxError
+	var sem *semantic.BindError
+	if errors.As(err, &syn) || errors.As(err, &sem) {
+		return http.StatusBadRequest
+	}
+	return http.StatusUnprocessableEntity
+}
+
+func jsonFloat(v float64) *float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return nil
+	}
+	return &v
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	kind := "internal"
+	var syn *parser.SyntaxError
+	var sem *semantic.BindError
+	switch {
+	case errors.As(err, &syn):
+		kind = "syntax"
+	case errors.As(err, &sem):
+		kind = "semantic"
+	}
+	writeJSON(w, status, errorResponse{Error: err.Error(), Kind: kind})
+}

@@ -1,0 +1,136 @@
+package sqlgen
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/assess-olap/assess/internal/engine"
+	"github.com/assess-olap/assess/internal/parser"
+	"github.com/assess-olap/assess/internal/plan"
+	"github.com/assess-olap/assess/internal/sales"
+	"github.com/assess-olap/assess/internal/semantic"
+)
+
+func planFor(t *testing.T, stmt string, s plan.Strategy) *plan.Plan {
+	t.Helper()
+	ds := sales.Generate(500, 9)
+	e := engine.New()
+	if err := e.Register("SALES", ds.Fact); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Register("SALES_TARGET", ds.External); err != nil {
+		t.Fatal(err)
+	}
+	st, err := parser.Parse(stmt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := semantic.NewBinder(e).Bind(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := plan.Build(b, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+const siblingStmt = `with SALES
+	for type = 'Fresh Fruit', country = 'Italy'
+	by product, country
+	assess quantity against country = 'France'
+	using percOfTotal(difference(quantity, benchmark.quantity))
+	labels {[-inf, -0.2): bad, [-0.2, 0.2]: ok, (0.2, inf]: good}`
+
+func TestSiblingNPGeneratesListingOne(t *testing.T) {
+	g := Generate(planFor(t, siblingStmt, plan.NP))
+	// Listing 1 shape: star join with selections and group by.
+	for _, want := range []string{
+		"from sales f",
+		"join product product on product.productkey = f.productkey",
+		"type = 'Fresh Fruit'",
+		"country = 'Italy'",
+		"country = 'France'",
+		"group by",
+		"sum(f.quantity) as quantity",
+	} {
+		if !strings.Contains(g.SQL, want) {
+			t.Errorf("NP SQL lacks %q:\n%s", want, g.SQL)
+		}
+	}
+	for _, want := range []string{"import pandas", "merge", "pd.cut"} {
+		if !strings.Contains(g.Python, want) {
+			t.Errorf("NP Python lacks %q:\n%s", want, g.Python)
+		}
+	}
+}
+
+func TestSiblingJOPGeneratesListingFour(t *testing.T) {
+	g := Generate(planFor(t, siblingStmt, plan.JOP))
+	for _, want := range []string{") t1", ") t2", "t1.product = t2.product", "as bc_quantity"} {
+		if !strings.Contains(g.SQL, want) {
+			t.Errorf("JOP SQL lacks %q:\n%s", want, g.SQL)
+		}
+	}
+	if strings.Contains(g.Python, ".merge(") {
+		t.Error("JOP Python still merges client-side")
+	}
+}
+
+func TestSiblingPOPGeneratesListingFive(t *testing.T) {
+	g := Generate(planFor(t, siblingStmt, plan.POP))
+	for _, want := range []string{
+		"pivot (",
+		"sum(quantity) for country in ('Italy' as quantity, 'France' as quantity_France)",
+		"is not null",
+		"country in ('Italy', 'France')",
+	} {
+		if !strings.Contains(g.SQL, want) {
+			t.Errorf("POP SQL lacks %q:\n%s", want, g.SQL)
+		}
+	}
+}
+
+func TestPastGeneratesRegression(t *testing.T) {
+	stmt := `with SALES for month = '1997-07' by month, store
+		assess storeSales against past 4
+		using ratio(storeSales, benchmark.storeSales)
+		labels {[0, 0.9): worse, [0.9, 1.1]: fine, (1.1, inf): better}`
+	for _, s := range []plan.Strategy{plan.NP, plan.JOP, plan.POP} {
+		g := Generate(planFor(t, stmt, s))
+		if !strings.Contains(g.Python, "LinearRegression") {
+			t.Errorf("%v Python lacks the regression step", s)
+		}
+	}
+}
+
+func TestFormulationEffortShape(t *testing.T) {
+	// Table 1 shape: the total SQL+Python effort exceeds the assess
+	// statement length by more than an order of magnitude.
+	p := planFor(t, siblingStmt, plan.NP)
+	g := Generate(p)
+	sql, py, total := g.Effort()
+	if sql == 0 || py == 0 || total != sql+py {
+		t.Fatalf("effort = (%d, %d, %d)", sql, py, total)
+	}
+	statement := len(p.Bound.Stmt.Text)
+	if total < 8*statement {
+		t.Errorf("SQL+Python effort %d not ≫ statement effort %d (Table 1 shape)", total, statement)
+	}
+}
+
+func TestQuartilesLabelGeneration(t *testing.T) {
+	g := Generate(planFor(t, `with SALES by month assess storeSales labels quartiles`, plan.NP))
+	if !strings.Contains(g.Python, "qcut") {
+		t.Errorf("quartile labeling lacks qcut:\n%s", g.Python)
+	}
+}
+
+func TestInPredicateSQL(t *testing.T) {
+	g := Generate(planFor(t, `with SALES for country in ('Italy', 'France') by product
+		assess quantity labels quartiles`, plan.NP))
+	if !strings.Contains(g.SQL, "country in ('Italy', 'France')") {
+		t.Errorf("SQL lacks in-list predicate:\n%s", g.SQL)
+	}
+}

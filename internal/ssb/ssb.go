@@ -1,0 +1,142 @@
+// Package ssb is a deterministic, dbgen-like generator for the Star
+// Schema Benchmark cube used in the paper's evaluation (Section 6): a
+// LINEORDER fact table described by four linear hierarchies,
+//
+//	date ⪰ month ⪰ year                    (7 years, 1992–1998)
+//	customer ⪰ ccity ⪰ cnation ⪰ cregion   (30,000·SF customers)
+//	supplier ⪰ scity ⪰ snation ⪰ sregion   (2,000·SF suppliers)
+//	part ⪰ brand ⪰ category ⪰ mfgr         (20,000·SF parts, 1000 brands)
+//
+// with the sum measures quantity, revenue, and supplycost. The fact table
+// holds 6,000,000·SF rows; cardinality ratios follow the SSB
+// specification so that target-cube cardinalities scale linearly with the
+// scale factor, as in Table 2 of the paper. A reconciled external
+// benchmark cube LINEORDER_BUDGET (measure expectedRevenue) is generated
+// alongside over the same hierarchies.
+package ssb
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/assess-olap/assess/internal/mdm"
+	"github.com/assess-olap/assess/internal/storage"
+)
+
+// Dataset bundles the SSB schema and fact tables.
+type Dataset struct {
+	Schema *mdm.Schema
+	Fact   *storage.FactTable
+	// Budget is the reconciled external-benchmark cube (expectedRevenue),
+	// with its own schema over the same hierarchies.
+	Budget       *storage.FactTable
+	BudgetSchema *mdm.Schema
+	SF           float64
+}
+
+// Regions are the five SSB regions.
+var Regions = []string{"AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"}
+
+// Rows returns the fact cardinality for a scale factor.
+func Rows(sf float64) int { return int(6_000_000 * sf) }
+
+func customers(sf float64) int { return clampMin(int(30_000*sf), 100) }
+func suppliers(sf float64) int { return clampMin(int(2_000*sf), 40) }
+func parts(sf float64) int     { return clampMin(int(20_000*sf), 500) }
+
+func clampMin(v, lo int) int {
+	if v < lo {
+		return lo
+	}
+	return v
+}
+
+// geography builds a customer- or supplier-style hierarchy with the SSB
+// cardinalities: 25 nations (5 per region) and 10 cities per nation.
+func geography(name, base, prefix string, n int, rng *rand.Rand) *mdm.Hierarchy {
+	h := mdm.NewHierarchy(name, base, prefix+"city", prefix+"nation", prefix+"region")
+	for i := 0; i < n; i++ {
+		nation := rng.Intn(25)
+		region := Regions[nation/5]
+		nationName := fmt.Sprintf("%sNATION-%02d", prefix, nation)
+		city := fmt.Sprintf("%sCITY-%02d-%d", prefix, nation, rng.Intn(10))
+		h.MustAddMember(fmt.Sprintf("%s#%09d", name, i+1), city, nationName, region)
+	}
+	return h
+}
+
+// Generate builds a deterministic SSB dataset at the given scale factor.
+// The same (sf, seed) pair always yields the same data.
+func Generate(sf float64, seed int64) *Dataset {
+	rng := rand.New(rand.NewSource(seed))
+
+	hDate := mdm.NewHierarchy("Date", "date", "month", "year")
+	for year := 1992; year <= 1998; year++ {
+		for m := 1; m <= 12; m++ {
+			month := fmt.Sprintf("%d-%02d", year, m)
+			for d := 1; d <= 28; d++ {
+				hDate.MustAddMember(fmt.Sprintf("%s-%02d", month, d), month, fmt.Sprintf("%d", year))
+			}
+		}
+	}
+	hCustomer := geography("Customer", "customer", "c", customers(sf), rng)
+	hSupplier := geography("Supplier", "supplier", "s", suppliers(sf), rng)
+
+	hPart := mdm.NewHierarchy("Part", "part", "brand", "category", "mfgr")
+	nParts := parts(sf)
+	for i := 0; i < nParts; i++ {
+		brand := rng.Intn(1000)
+		category := brand / 40
+		mfgr := category / 5
+		hPart.MustAddMember(
+			fmt.Sprintf("Part#%09d", i+1),
+			fmt.Sprintf("MFGR#%d%d%02d", mfgr+1, category%5+1, brand%40+1),
+			fmt.Sprintf("MFGR#%d%d", mfgr+1, category%5+1),
+			fmt.Sprintf("MFGR#%d", mfgr+1))
+	}
+
+	hiers := []*mdm.Hierarchy{hDate, hCustomer, hSupplier, hPart}
+	schema := mdm.NewSchema("LINEORDER", hiers, []mdm.Measure{
+		{Name: "quantity", Op: mdm.AggSum},
+		{Name: "revenue", Op: mdm.AggSum},
+		{Name: "supplycost", Op: mdm.AggSum},
+	})
+	budgetSchema := mdm.NewSchema("LINEORDER_BUDGET", hiers, []mdm.Measure{
+		{Name: "expectedRevenue", Op: mdm.AggSum},
+	})
+
+	n := Rows(sf)
+	fact := storage.NewFactTable(schema)
+	fact.Reserve(n)
+	budget := storage.NewFactTable(budgetSchema)
+	budget.Reserve(n)
+
+	nDates := hDate.Dict(0).Len()
+	nCust := hCustomer.Dict(0).Len()
+	nSupp := hSupplier.Dict(0).Len()
+
+	// Per-part base price, stable across the dataset.
+	price := make([]float64, nParts)
+	for i := range price {
+		price[i] = 900 + 1200*rng.Float64()
+	}
+
+	keys := make([]int32, 4)
+	for r := 0; r < n; r++ {
+		keys[0] = int32(rng.Intn(nDates))
+		keys[1] = int32(rng.Intn(nCust))
+		keys[2] = int32(rng.Intn(nSupp))
+		keys[3] = int32(rng.Intn(nParts))
+		qty := float64(1 + rng.Intn(50))
+		discount := float64(rng.Intn(11)) / 100
+		revenue := qty * price[keys[3]] * (1 - discount)
+		cost := revenue * (0.55 + 0.15*rng.Float64())
+		fact.MustAppend(keys, []float64{qty, revenue, cost})
+		budget.MustAppend(keys, []float64{revenue * (0.85 + 0.3*rng.Float64())})
+	}
+	return &Dataset{
+		Schema: schema, Fact: fact,
+		Budget: budget, BudgetSchema: budgetSchema,
+		SF: sf,
+	}
+}

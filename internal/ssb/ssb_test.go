@@ -1,0 +1,140 @@
+package ssb
+
+import (
+	"testing"
+
+	"github.com/assess-olap/assess/internal/mdm"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(0.001, 42)
+	b := Generate(0.001, 42)
+	if a.Fact.Rows() != b.Fact.Rows() {
+		t.Fatalf("row counts differ: %d vs %d", a.Fact.Rows(), b.Fact.Rows())
+	}
+	for r := 0; r < a.Fact.Rows(); r += 97 {
+		for h := range a.Fact.Keys {
+			if a.Fact.Keys[h][r] != b.Fact.Keys[h][r] {
+				t.Fatalf("row %d hierarchy %d keys differ", r, h)
+			}
+		}
+		for m := range a.Fact.Meas {
+			if a.Fact.Meas[m][r] != b.Fact.Meas[m][r] {
+				t.Fatalf("row %d measure %d differs", r, m)
+			}
+		}
+	}
+	c := Generate(0.001, 43)
+	same := true
+	for r := 0; r < 100 && same; r++ {
+		same = a.Fact.Keys[0][r] == c.Fact.Keys[0][r]
+	}
+	if same {
+		t.Error("different seeds produced identical data")
+	}
+}
+
+func TestCardinalities(t *testing.T) {
+	ds := Generate(0.01, 1)
+	if got := ds.Fact.Rows(); got != 60_000 {
+		t.Errorf("rows = %d, want 60000", got)
+	}
+	s := ds.Schema
+	if got := s.Hiers[1].Dict(0).Len(); got != 300 {
+		t.Errorf("customers = %d, want 300", got)
+	}
+	if got := s.Hiers[2].Dict(0).Len(); got != 40 {
+		t.Errorf("suppliers = %d, want 40 (clamped)", got)
+	}
+	if got := s.Hiers[3].Dict(0).Len(); got != 500 {
+		t.Errorf("parts = %d, want 500 (clamped)", got)
+	}
+	if got := s.Hiers[0].Dict(0).Len(); got != 7*12*28 {
+		t.Errorf("dates = %d, want %d", got, 7*12*28)
+	}
+	// SSB dimension cardinalities at the coarser levels.
+	if got := s.Hiers[1].Dict(3).Len(); got != 5 {
+		t.Errorf("customer regions = %d, want 5", got)
+	}
+	if got := s.Hiers[3].Dict(3).Len(); got > 5 {
+		t.Errorf("mfgrs = %d, want ≤5", got)
+	}
+	if got := s.Hiers[3].Dict(1).Len(); got > 1000 {
+		t.Errorf("brands = %d, want ≤1000", got)
+	}
+	if got := s.Hiers[0].Dict(2).Len(); got != 7 {
+		t.Errorf("years = %d, want 7", got)
+	}
+}
+
+func TestSchemaValid(t *testing.T) {
+	ds := Generate(0.001, 7)
+	if err := ds.Schema.Validate(); err != nil {
+		t.Errorf("fact schema invalid: %v", err)
+	}
+	if err := ds.BudgetSchema.Validate(); err != nil {
+		t.Errorf("budget schema invalid: %v", err)
+	}
+	if ds.Budget.Rows() != ds.Fact.Rows() {
+		t.Errorf("budget has %d rows, fact %d", ds.Budget.Rows(), ds.Fact.Rows())
+	}
+	// Budget shares the fact's hierarchies (reconciled external cube).
+	for h := range ds.Schema.Hiers {
+		if ds.Schema.Hiers[h] != ds.BudgetSchema.Hiers[h] {
+			t.Errorf("hierarchy %d not shared with the budget cube", h)
+		}
+	}
+}
+
+func TestScalingLinear(t *testing.T) {
+	small := Generate(0.001, 1)
+	big := Generate(0.01, 1)
+	if big.Fact.Rows() != 10*small.Fact.Rows() {
+		t.Errorf("rows: %d vs %d, want 10×", big.Fact.Rows(), small.Fact.Rows())
+	}
+	// Customers scale linearly too (they drive Table 2 cardinalities).
+	cs, cb := small.Schema.Hiers[1].Dict(0).Len(), big.Schema.Hiers[1].Dict(0).Len()
+	if cs != 100 || cb != 300 { // 0.001 clamps to 100; 0.01 → 300
+		t.Errorf("customers = %d and %d", cs, cb)
+	}
+}
+
+func TestMeasuresSane(t *testing.T) {
+	ds := Generate(0.001, 3)
+	f := ds.Fact
+	qi, _ := ds.Schema.MeasureIndex("quantity")
+	ri, _ := ds.Schema.MeasureIndex("revenue")
+	ci, _ := ds.Schema.MeasureIndex("supplycost")
+	for r := 0; r < f.Rows(); r++ {
+		q, rev, cost := f.Meas[qi][r], f.Meas[ri][r], f.Meas[ci][r]
+		if q < 1 || q > 50 {
+			t.Fatalf("row %d: quantity %g out of [1, 50]", r, q)
+		}
+		if rev <= 0 || cost <= 0 || cost >= rev {
+			t.Fatalf("row %d: revenue %g cost %g", r, rev, cost)
+		}
+	}
+}
+
+func TestRowsHelper(t *testing.T) {
+	if Rows(1) != 6_000_000 || Rows(0.01) != 60_000 {
+		t.Error("Rows scaling wrong")
+	}
+	if len(Regions) != 5 {
+		t.Error("SSB has five regions")
+	}
+}
+
+func TestMonthsSortChronologically(t *testing.T) {
+	ds := Generate(0.001, 1)
+	months := ds.Schema.Hiers[0].Dict(1).SortedNames()
+	if months[0] != "1992-01" || months[len(months)-1] != "1998-12" {
+		t.Errorf("month range = %s … %s", months[0], months[len(months)-1])
+	}
+	for i := 1; i < len(months); i++ {
+		if months[i] <= months[i-1] {
+			t.Fatalf("months not strictly increasing at %d", i)
+		}
+	}
+	_ = mdm.LevelRef{}
+}

@@ -1,0 +1,82 @@
+// Package storage implements the physical layer standing in for the star
+// schema stored in the Oracle DBMS of the paper's prototype: an in-memory
+// columnar fact table whose foreign-key columns reference the base-level
+// member dictionaries of the cube's hierarchies. A FactTable is exactly a
+// detailed cube C0 (Definition 2.4): a partial function from base
+// coordinates to measure tuples, stored as one row per business event.
+package storage
+
+import (
+	"fmt"
+
+	"github.com/assess-olap/assess/internal/mdm"
+)
+
+// FactTable is a columnar fact table: Keys[h][r] is the base-level member
+// id of hierarchy h for row r, and Meas[m][r] the value of measure m.
+type FactTable struct {
+	Schema *mdm.Schema
+	Keys   [][]int32
+	Meas   [][]float64
+	rows   int
+}
+
+// NewFactTable creates an empty fact table for the schema.
+func NewFactTable(s *mdm.Schema) *FactTable {
+	return &FactTable{
+		Schema: s,
+		Keys:   make([][]int32, len(s.Hiers)),
+		Meas:   make([][]float64, len(s.Measures)),
+	}
+}
+
+// Rows returns the number of fact rows, i.e. |C0|.
+func (f *FactTable) Rows() int { return f.rows }
+
+// Append adds one fact row: keys are base-level member ids, one per
+// hierarchy in schema order; vals are measure values in schema order.
+func (f *FactTable) Append(keys []int32, vals []float64) error {
+	if len(keys) != len(f.Keys) {
+		return fmt.Errorf("storage: %s expects %d keys, got %d", f.Schema.Name, len(f.Keys), len(keys))
+	}
+	if len(vals) != len(f.Meas) {
+		return fmt.Errorf("storage: %s expects %d measures, got %d", f.Schema.Name, len(f.Meas), len(vals))
+	}
+	for h, k := range keys {
+		if k < 0 || int(k) >= f.Schema.Hiers[h].Dict(0).Len() {
+			return fmt.Errorf("storage: %s row %d: key %d out of range for hierarchy %s",
+				f.Schema.Name, f.rows, k, f.Schema.Hiers[h].Name())
+		}
+		f.Keys[h] = append(f.Keys[h], k)
+	}
+	for m, v := range vals {
+		f.Meas[m] = append(f.Meas[m], v)
+	}
+	f.rows++
+	return nil
+}
+
+// MustAppend is Append that panics on error; intended for generators.
+func (f *FactTable) MustAppend(keys []int32, vals []float64) {
+	if err := f.Append(keys, vals); err != nil {
+		panic(err)
+	}
+}
+
+// Reserve pre-allocates capacity for n rows.
+func (f *FactTable) Reserve(n int) {
+	for h := range f.Keys {
+		if cap(f.Keys[h]) < n {
+			col := make([]int32, len(f.Keys[h]), n)
+			copy(col, f.Keys[h])
+			f.Keys[h] = col
+		}
+	}
+	for m := range f.Meas {
+		if cap(f.Meas[m]) < n {
+			col := make([]float64, len(f.Meas[m]), n)
+			copy(col, f.Meas[m])
+			f.Meas[m] = col
+		}
+	}
+}

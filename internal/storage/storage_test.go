@@ -1,0 +1,74 @@
+package storage
+
+import (
+	"testing"
+
+	"github.com/assess-olap/assess/internal/mdm"
+)
+
+func schema(t *testing.T) *mdm.Schema {
+	t.Helper()
+	h := mdm.NewHierarchy("K", "k")
+	h.MustAddMember("a")
+	h.MustAddMember("b")
+	return mdm.NewSchema("T", []*mdm.Hierarchy{h}, []mdm.Measure{
+		{Name: "m", Op: mdm.AggSum},
+	})
+}
+
+func TestAppendAndRows(t *testing.T) {
+	f := NewFactTable(schema(t))
+	if f.Rows() != 0 {
+		t.Fatalf("fresh table has %d rows", f.Rows())
+	}
+	if err := f.Append([]int32{0}, []float64{1.5}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Append([]int32{1}, []float64{2.5}); err != nil {
+		t.Fatal(err)
+	}
+	if f.Rows() != 2 {
+		t.Fatalf("Rows = %d, want 2", f.Rows())
+	}
+	if f.Keys[0][1] != 1 || f.Meas[0][1] != 2.5 {
+		t.Error("columns not populated")
+	}
+}
+
+func TestAppendValidation(t *testing.T) {
+	f := NewFactTable(schema(t))
+	if err := f.Append([]int32{0, 1}, []float64{1}); err == nil {
+		t.Error("wrong key arity accepted")
+	}
+	if err := f.Append([]int32{0}, []float64{1, 2}); err == nil {
+		t.Error("wrong measure arity accepted")
+	}
+	if err := f.Append([]int32{99}, []float64{1}); err == nil {
+		t.Error("out-of-range key accepted")
+	}
+	if err := f.Append([]int32{-1}, []float64{1}); err == nil {
+		t.Error("negative key accepted")
+	}
+}
+
+func TestReserve(t *testing.T) {
+	f := NewFactTable(schema(t))
+	f.MustAppend([]int32{0}, []float64{1})
+	f.Reserve(100)
+	if cap(f.Keys[0]) < 100 || cap(f.Meas[0]) < 100 {
+		t.Error("Reserve did not grow capacity")
+	}
+	if f.Rows() != 1 || f.Keys[0][0] != 0 || f.Meas[0][0] != 1 {
+		t.Error("Reserve lost existing rows")
+	}
+}
+
+func TestMustAppendPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustAppend did not panic on invalid row")
+		}
+	}()
+	f := NewFactTable(schema(t))
+	f.MustAppend([]int32{99}, []float64{1})
+}

@@ -1,0 +1,30 @@
+package assess
+
+import (
+	"io"
+
+	"github.com/assess-olap/assess/internal/persist"
+)
+
+// SaveCube writes a detailed cube — schema, hierarchies, dictionaries,
+// part-of links, level properties, and fact data — in the library's
+// binary format.
+func SaveCube(w io.Writer, f *FactTable) error { return persist.SaveCube(w, f) }
+
+// LoadCube reads a cube written by SaveCube, rebuilding the schema and
+// the fact table. The returned table is ready to register on a session.
+func LoadCube(r io.Reader) (*FactTable, error) { return persist.LoadCube(r) }
+
+// SaveCubeFile writes a cube to a file.
+func SaveCubeFile(path string, f *FactTable) error { return persist.SaveCubeFile(path, f) }
+
+// LoadCubeFile reads a cube from a file.
+func LoadCubeFile(path string) (*FactTable, error) { return persist.LoadCubeFile(path) }
+
+// ExportCSV writes the fact rows as CSV: a header with the base level of
+// every hierarchy and the measure names, then one row per fact.
+func ExportCSV(w io.Writer, f *FactTable) error { return persist.ExportCSV(w, f) }
+
+// ImportCSV reads fact rows in the ExportCSV layout into a new fact
+// table over an existing schema; member names must already be registered.
+func ImportCSV(r io.Reader, s *Schema) (*FactTable, error) { return persist.ImportCSV(r, s) }

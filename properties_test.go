@@ -1,0 +1,119 @@
+package assess_test
+
+import (
+	"math"
+	"testing"
+
+	assess "github.com/assess-olap/assess"
+)
+
+// TestPerCapitaProperty exercises the level-property extension (future
+// work, Section 8): per-capita sales across countries via the
+// country.population property.
+func TestPerCapitaProperty(t *testing.T) {
+	s := figureOneSession(t)
+	res, err := s.Exec(`with SALES by country
+		assess quantity
+		using ratio(quantity, country.population)
+		labels quartiles`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := res.Rows()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 { // Italy and France have data in FigureOne
+		t.Fatalf("%d rows, want 2", len(rows))
+	}
+	// Italy: 220 units / 59.0M; France: 280 / 68.0M.
+	want := map[string]float64{"Italy": 220.0 / 59.0, "France": 280.0 / 68.0}
+	for _, r := range rows {
+		if math.Abs(r.Comparison-want[r.Coordinate[0]]) > 1e-9 {
+			t.Errorf("%s: per-capita = %g, want %g", r.Coordinate[0], r.Comparison, want[r.Coordinate[0]])
+		}
+	}
+}
+
+// TestPropertyRollsUpFromFinerLevel uses a property at a level coarser
+// than the group-by level of the same hierarchy: each store's cell reads
+// its country's population through the roll-up.
+func TestPropertyRollsUpFromFinerLevel(t *testing.T) {
+	s := figureOneSession(t)
+	res, err := s.Exec(`with SALES by store
+		assess quantity
+		using ratio(quantity, country.population)
+		labels quartiles`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := res.Rows()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) == 0 {
+		t.Fatal("no rows")
+	}
+	for _, r := range rows {
+		if math.IsNaN(r.Comparison) {
+			t.Errorf("%v: per-capita NaN", r.Coordinate)
+		}
+	}
+}
+
+func TestPropertyValidation(t *testing.T) {
+	s := figureOneSession(t)
+	bad := map[string]string{
+		"unknown level": `with SALES by country assess quantity
+			using ratio(quantity, nosuch.population) labels quartiles`,
+		"unknown property": `with SALES by country assess quantity
+			using ratio(quantity, country.nosuch) labels quartiles`,
+		"hierarchy not grouped": `with SALES by month assess quantity
+			using ratio(quantity, country.population) labels quartiles`,
+	}
+	for name, stmt := range bad {
+		if err := s.Validate(stmt); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestPropertyAPI(t *testing.T) {
+	h := assess.NewHierarchy("Geo", "city", "country")
+	if _, err := h.AddMember("Bologna", "Italy"); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.AddProperty("country", "population"); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.AddProperty("country", "population"); err == nil {
+		t.Error("duplicate property accepted")
+	}
+	if err := h.AddProperty("nosuch", "x"); err == nil {
+		t.Error("property on unknown level accepted")
+	}
+	if err := h.SetProperty("country", "Italy", "population", 59); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.SetProperty("country", "Atlantis", "population", 1); err == nil {
+		t.Error("property on unknown member accepted")
+	}
+	if err := h.SetProperty("country", "Italy", "nosuch", 1); err == nil {
+		t.Error("undeclared property set accepted")
+	}
+	if err := h.SetProperty("nosuch", "Italy", "population", 1); err == nil {
+		t.Error("set on unknown level accepted")
+	}
+	if got := h.PropertyValue(1, "population", 0); got != 59 {
+		t.Errorf("PropertyValue = %g", got)
+	}
+	if !math.IsNaN(h.PropertyValue(1, "population", 99)) {
+		t.Error("unset member property not NaN")
+	}
+	if !math.IsNaN(h.PropertyValue(0, "population", 0)) {
+		t.Error("property on wrong level not NaN")
+	}
+	if !h.HasProperty(1, "population") || h.HasProperty(0, "population") {
+		t.Error("HasProperty wrong")
+	}
+}

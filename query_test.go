@@ -1,0 +1,71 @@
+package assess_test
+
+import (
+	"strings"
+	"testing"
+
+	assess "github.com/assess-olap/assess"
+)
+
+// TestGetStatement exercises the plain cube queries of the get operator
+// (Example 2.7: fresh-fruit quantities by product and country in Italy).
+func TestGetStatement(t *testing.T) {
+	s := figureOneSession(t)
+	stmt := `with SALES
+		for type = 'Fresh Fruit', country = 'Italy'
+		by product, country
+		get quantity`
+	if !assess.IsGetStatement(stmt) {
+		t.Fatal("get statement not recognized")
+	}
+	qr, err := s.Query(stmt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qr.Cube.Len() != 3 {
+		t.Fatalf("|C| = %d, want 3", qr.Cube.Len())
+	}
+	out := qr.Render()
+	for _, want := range []string{"Apple", "100", "Pear", "90", "Lemon", "30"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render lacks %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestGetStatementMultiMeasure(t *testing.T) {
+	s := figureOneSession(t)
+	qr, err := s.Query(`with SALES by country get quantity, storeSales, storeCost`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(qr.Cube.Names) != 3 {
+		t.Errorf("measures = %v", qr.Cube.Names)
+	}
+}
+
+func TestGetStatementErrors(t *testing.T) {
+	s := figureOneSession(t)
+	bad := []string{
+		`with NOPE by product get quantity`,
+		`with SALES by nosuch get quantity`,
+		`with SALES by product get nosuch`,
+		`with SALES by product get quantity, quantity`,
+		`with SALES by product get quantity labels quartiles`, // trailing input
+	}
+	for _, stmt := range bad {
+		if _, err := s.Query(stmt); err == nil {
+			t.Errorf("accepted: %s", stmt)
+		}
+	}
+	// Query rejects assess statements and Exec-side binding rejects gets.
+	if _, err := s.Query(`with SALES by product assess quantity labels quartiles`); err == nil {
+		t.Error("assess statement accepted by Query")
+	}
+	if _, err := s.Exec(`with SALES by product get quantity`); err == nil {
+		t.Error("get statement accepted by Exec")
+	}
+	if assess.IsGetStatement(`with SALES by product assess quantity labels quartiles`) {
+		t.Error("assess statement detected as get")
+	}
+}

@@ -1,0 +1,120 @@
+package assess_test
+
+import (
+	"strings"
+	"testing"
+
+	assess "github.com/assess-olap/assess"
+)
+
+// TestSuggestCompletesAgainstAndLabels exercises the statement-completion
+// extension (future work, Section 8): a partial statement missing its
+// against and labels clauses gets executable, ranked completions.
+func TestSuggestCompletesAgainstAndLabels(t *testing.T) {
+	s := figureOneSession(t)
+	sugs, err := s.Suggest(`with SALES
+		for type = 'Fresh Fruit', country = 'Italy'
+		by product, country
+		assess quantity`, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sugs) == 0 {
+		t.Fatal("no suggestions")
+	}
+	for i, sg := range sugs {
+		if err := s.Validate(sg.Statement); err != nil {
+			t.Errorf("suggestion %d invalid: %v\n%s", i, err, sg.Statement)
+		}
+		if sg.Cells == 0 {
+			t.Errorf("suggestion %d has no cells", i)
+		}
+		if i > 0 && sugs[i-1].Score < sg.Score {
+			t.Errorf("suggestions not sorted by score: %g then %g", sugs[i-1].Score, sg.Score)
+		}
+	}
+	// The France sibling must be among the candidates (the data has a
+	// matching slice).
+	var sawSibling bool
+	for _, sg := range sugs {
+		if strings.Contains(sg.Statement, "country = 'France'") {
+			sawSibling = true
+		}
+	}
+	if !sawSibling {
+		t.Errorf("no France sibling suggestion among:\n%v", statements(sugs))
+	}
+}
+
+func TestSuggestLabelsOnly(t *testing.T) {
+	s := figureOneSession(t)
+	sugs, err := s.Suggest(`with SALES by product assess quantity against 100
+		using ratio(quantity, 100)`, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sawRatioBands, sawQuartiles bool
+	for _, sg := range sugs {
+		if strings.Contains(sg.Statement, "worse") {
+			sawRatioBands = true
+		}
+		if strings.Contains(sg.Statement, "quartiles") {
+			sawQuartiles = true
+		}
+	}
+	if !sawRatioBands || !sawQuartiles {
+		t.Errorf("expected ratio-band and quartile completions, got:\n%v", statements(sugs))
+	}
+}
+
+func TestSuggestCompleteStatementPassesThrough(t *testing.T) {
+	s := figureOneSession(t)
+	sugs, err := s.Suggest(`with SALES by product assess quantity against 100
+		using ratio(quantity, 100) labels quartiles`, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sugs) != 1 || sugs[0].Note != "as written" {
+		t.Errorf("complete statement expanded: %v", statements(sugs))
+	}
+}
+
+func TestSuggestTreatsMissingAgainstAsPartial(t *testing.T) {
+	// A statement with labels but no against is still completed: omitted
+	// benchmarks are one of the paper's explicit completion cases.
+	s := figureOneSession(t)
+	sugs, err := s.Suggest(`with SALES by product assess quantity labels quartiles`, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sawAncestor, sawAbsolute bool
+	for _, sg := range sugs {
+		if strings.Contains(sg.Statement, "ancestor") {
+			sawAncestor = true
+		}
+		if !strings.Contains(sg.Statement, "against") {
+			sawAbsolute = true
+		}
+	}
+	if !sawAncestor || !sawAbsolute {
+		t.Errorf("expected ancestor and absolute candidates, got:\n%v", statements(sugs))
+	}
+}
+
+func TestSuggestErrors(t *testing.T) {
+	s := figureOneSession(t)
+	if _, err := s.Suggest(`with NOPE by product assess quantity`, 3); err == nil {
+		t.Error("unknown cube accepted")
+	}
+	if _, err := s.Suggest(`garbage`, 3); err == nil {
+		t.Error("unparsable partial accepted")
+	}
+}
+
+func statements(sugs []assess.Suggestion) []string {
+	out := make([]string, len(sugs))
+	for i, sg := range sugs {
+		out[i] = sg.Statement
+	}
+	return out
+}

@@ -1,0 +1,95 @@
+package assess_test
+
+import (
+	"testing"
+
+	assess "github.com/assess-olap/assess"
+)
+
+// TestWithinLabeling verifies coordinate-dependent labeling (future
+// work, Section 8): quartiles computed within each country rank every
+// country's products independently.
+func TestWithinLabeling(t *testing.T) {
+	s, _, err := assess.NewSalesSession(40_000, 55)
+	if err != nil {
+		t.Fatal(err)
+	}
+	global, err := s.Exec(`with SALES by product, country
+		assess quantity labels quartiles`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	within, err := s.Exec(`with SALES by product, country
+		assess quantity labels quartiles within country`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grows, err := global.Rows()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrows, err := within.Rows()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(grows) != len(wrows) || len(wrows) == 0 {
+		t.Fatalf("cardinalities differ: %d vs %d", len(grows), len(wrows))
+	}
+	// Per-country quartiles must be balanced inside every country.
+	perCountry := map[string]map[string]int{}
+	for _, r := range wrows {
+		country := r.Coordinate[1]
+		if perCountry[country] == nil {
+			perCountry[country] = map[string]int{}
+		}
+		perCountry[country][r.Label]++
+	}
+	for country, counts := range perCountry {
+		var total, top1 int
+		for l, n := range counts {
+			total += n
+			if l == "top-1" {
+				top1 = n
+			}
+		}
+		if total < 4 {
+			continue
+		}
+		lo, hi := total/4, (total+3)/4
+		if top1 < lo || top1 > hi {
+			t.Errorf("%s: top-1 has %d of %d cells, want ≈%d (per-slice quartiles)",
+				country, top1, total, total/4)
+		}
+	}
+	// And the labelings must actually differ somewhere (different value
+	// distributions per country).
+	same := true
+	for i := range grows {
+		if grows[i].Label != wrows[i].Label {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("within-labeling identical to global labeling (suspicious)")
+	}
+}
+
+func TestWithinValidation(t *testing.T) {
+	s := figureOneSession(t)
+	if err := s.Validate(`with SALES by product assess quantity labels quartiles within nosuch`); err == nil {
+		t.Error("unknown within level accepted")
+	}
+	if err := s.Validate(`with SALES by product assess quantity labels quartiles within country`); err == nil {
+		t.Error("within level of an ungrouped hierarchy accepted")
+	}
+	// Coarser level of a grouped hierarchy is fine (store ⪰ country).
+	if err := s.Validate(`with SALES by store assess quantity labels quartiles within country`); err != nil {
+		t.Errorf("valid within rejected: %v", err)
+	}
+	// Inline ranges combine with within too.
+	if err := s.Validate(`with SALES by store assess quantity
+		labels {[0, inf): some} within country`); err != nil {
+		t.Errorf("inline ranges with within rejected: %v", err)
+	}
+}
