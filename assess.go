@@ -35,6 +35,7 @@ import (
 	"github.com/assess-olap/assess/internal/mdm"
 	"github.com/assess-olap/assess/internal/parser"
 	"github.com/assess-olap/assess/internal/plan"
+	"github.com/assess-olap/assess/internal/qcache"
 	"github.com/assess-olap/assess/internal/storage"
 )
 
@@ -91,6 +92,12 @@ type (
 	// QueryResult is the outcome of a plain cube query (get statement,
 	// Session.Query).
 	QueryResult = core.QueryResult
+	// CacheStats is a snapshot of the query-result cache counters
+	// (Session.CacheStats).
+	CacheStats = qcache.Stats
+	// CacheState reports whether a statement hit the query-result cache
+	// (Session.ExecTracked).
+	CacheState = core.CacheState
 )
 
 // IsGetStatement reports whether the statement is a plain cube query

@@ -6,19 +6,25 @@
 //	POST /validate {"statement": "..."}
 //	POST /suggest  {"statement": "<partial>", "max": 3}
 //	GET  /cubes
+//	GET  /stats
 //	GET  /healthz
 //
 // Usage:
 //
 //	assessd [-addr :8080] [-data sales|ssb] [-rows 50000] [-sf 0.01]
 //	        [-seed 42] [-load cube.bin] [-parallel 0]
+//	        [-cache on|off] [-cache-mb 64]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	assess "github.com/assess-olap/assess"
@@ -34,6 +40,8 @@ func main() {
 		seed     = flag.Int64("seed", 42, "generator seed")
 		load     = flag.String("load", "", "serve a cube loaded from a file instead of generating one")
 		parallel = flag.Int("parallel", 1, "fact-scan parallelism (0 = all cores)")
+		cache    = flag.String("cache", "on", "query-result cache: on or off")
+		cacheMB  = flag.Int("cache-mb", 64, "query-result cache budget in MiB")
 	)
 	flag.Parse()
 
@@ -44,13 +52,38 @@ func main() {
 	if *parallel != 1 {
 		session.Engine.SetParallelism(*parallel)
 	}
+	switch *cache {
+	case "on":
+		session.EnableCache(int64(*cacheMB) << 20)
+	case "off":
+	default:
+		log.Fatalf("assessd: -cache must be on or off, got %q", *cache)
+	}
 	srv := &http.Server{
 		Addr:              *addr,
 		Handler:           server.New(session).Handler(),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
-	log.Printf("assessd listening on %s (cubes: %v)", *addr, session.Engine.Facts())
-	log.Fatal(srv.ListenAndServe())
+	log.Printf("assessd listening on %s (cubes: %v, cache: %s)", *addr, session.Engine.Facts(), *cache)
+
+	// Serve until SIGINT/SIGTERM, then drain in-flight requests for up
+	// to 5 s before exiting.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case <-ctx.Done():
+		stop()
+		log.Print("assessd: signal received, shutting down")
+		sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(sctx); err != nil {
+			log.Printf("assessd: shutdown: %v", err)
+		}
+	}
 }
 
 func open(data string, rows int, sf float64, seed int64, load string) (*assess.Session, error) {

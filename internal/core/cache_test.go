@@ -1,0 +1,148 @@
+package core
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"github.com/assess-olap/assess/internal/qcache"
+	"github.com/assess-olap/assess/internal/sales"
+)
+
+func newCachedSession(t *testing.T, rows int) (*Session, *sales.Dataset) {
+	t.Helper()
+	s := NewSession()
+	ds := sales.Generate(rows, 2)
+	if err := s.RegisterCube("SALES", ds.Fact); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RegisterCube("SALES_TARGET", ds.External); err != nil {
+		t.Fatal(err)
+	}
+	s.EnableCache(0) // default 64 MiB budget
+	return s, ds
+}
+
+const cachedStmt = `with SALES for country = 'Italy' by product, country
+	assess quantity against country = 'France' labels quartiles`
+
+// TestSessionCacheSingleflight hammers one statement from 16 goroutines
+// and asserts exactly one evaluation ran: the miss counter counts
+// evaluations, and every other goroutine either joined the in-flight
+// call or hit the stored entry. Run with -race.
+func TestSessionCacheSingleflight(t *testing.T) {
+	s, _ := newCachedSession(t, 5000)
+
+	const workers = 16
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	start := make(chan struct{})
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			res, _, err := s.ExecTracked(cachedStmt)
+			if err != nil {
+				errs <- err
+				return
+			}
+			if res == nil || res.Cube.Len() == 0 {
+				errs <- errEmptyResult
+			}
+		}()
+	}
+	close(start)
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	st, ok := s.CacheStats()
+	if !ok {
+		t.Fatal("cache not enabled")
+	}
+	if st.Misses != 1 {
+		t.Fatalf("%d evaluations ran, want exactly 1 (stats %+v)", st.Misses, st)
+	}
+	if st.Hits+st.DedupJoins != workers-1 {
+		t.Fatalf("hits(%d) + dedup joins(%d) != %d (stats %+v)", st.Hits, st.DedupJoins, workers-1, st)
+	}
+}
+
+var errEmptyResult = errors.New("empty result")
+
+// TestSessionCacheInvalidation proves an entry stored under an older
+// catalog generation misses: appending fact rows (a load) and
+// materializing a view both bump the generation.
+func TestSessionCacheInvalidation(t *testing.T) {
+	s, ds := newCachedSession(t, 5000)
+
+	if _, state, err := s.ExecTracked(cachedStmt); err != nil || state != qcache.StateMiss {
+		t.Fatalf("cold exec = (%q, %v), want miss", state, err)
+	}
+	if _, state, err := s.ExecTracked(cachedStmt); err != nil || state != qcache.StateHit {
+		t.Fatalf("warm exec = (%q, %v), want hit", state, err)
+	}
+
+	// A FactTable.Append-backed load advances the generation; the cached
+	// entry is stale and a fresh evaluation sees the new row.
+	gen := s.Generation()
+	keys := make([]int32, len(ds.Fact.Keys))
+	for h := range keys {
+		keys[h] = ds.Fact.Keys[h][0]
+	}
+	vals := make([]float64, len(ds.Fact.Meas))
+	for m := range vals {
+		vals[m] = 1
+	}
+	if err := ds.Fact.Append(keys, vals); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Generation(); got != gen+1 {
+		t.Fatalf("generation after append = %d, want %d", got, gen+1)
+	}
+	if _, state, err := s.ExecTracked(cachedStmt); err != nil || state != qcache.StateMiss {
+		t.Fatalf("exec after append = (%q, %v), want miss", state, err)
+	}
+	if _, state, err := s.ExecTracked(cachedStmt); err != nil || state != qcache.StateHit {
+		t.Fatalf("re-exec after append = (%q, %v), want hit", state, err)
+	}
+
+	// Materialize also bumps the generation.
+	if err := s.Materialize("SALES", "product", "country"); err != nil {
+		t.Fatal(err)
+	}
+	if _, state, err := s.ExecTracked(cachedStmt); err != nil || state != qcache.StateMiss {
+		t.Fatalf("exec after materialize = (%q, %v), want miss", state, err)
+	}
+}
+
+// TestSessionCacheOffByDefault: without EnableCache every exec evaluates
+// and reports the off state.
+func TestSessionCacheOffByDefault(t *testing.T) {
+	s := newSession(t)
+	if _, state, err := s.ExecTracked(`with SALES by month assess storeSales labels quartiles`); err != nil || state != qcache.StateOff {
+		t.Fatalf("state = %q, err = %v; want off", state, err)
+	}
+	if _, ok := s.CacheStats(); ok {
+		t.Fatal("CacheStats ok without a cache")
+	}
+}
+
+// TestSessionCacheDeclareInvalidates: registering a labeler mid-session
+// (declare) advances the generation so stale labelings cannot be served.
+func TestSessionCacheDeclareInvalidates(t *testing.T) {
+	s, _ := newCachedSession(t, 2000)
+	stmt := `with SALES by month assess storeSales labels quartiles`
+	if _, state, err := s.ExecTracked(stmt); err != nil || state != qcache.StateMiss {
+		t.Fatalf("cold exec = (%q, %v)", state, err)
+	}
+	if err := s.Declare(`declare labels highlow {[-inf, 0): low, [0, inf]: high}`); err != nil {
+		t.Fatal(err)
+	}
+	if _, state, err := s.ExecTracked(stmt); err != nil || state != qcache.StateMiss {
+		t.Fatalf("exec after declare = (%q, %v), want miss", state, err)
+	}
+}

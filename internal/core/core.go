@@ -9,6 +9,7 @@ package core
 
 import (
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"github.com/assess-olap/assess/internal/cube"
@@ -19,15 +20,27 @@ import (
 	"github.com/assess-olap/assess/internal/mdm"
 	"github.com/assess-olap/assess/internal/parser"
 	"github.com/assess-olap/assess/internal/plan"
+	"github.com/assess-olap/assess/internal/qcache"
 	"github.com/assess-olap/assess/internal/semantic"
 	"github.com/assess-olap/assess/internal/storage"
 )
+
+// CacheState reports whether a statement's result came from the
+// query-result cache ("hit"), was evaluated ("miss"), or whether no
+// cache is configured ("").
+type CacheState = qcache.State
 
 // Session holds the engine catalog and the function and labeler
 // registries for a sequence of assess statements.
 type Session struct {
 	Engine *engine.Engine
 	Binder *semantic.Binder
+	// cache, when non-nil, memoizes finished execution results keyed by
+	// the fingerprint of the bound plan. Enable with EnableCache.
+	cache *qcache.Cache
+	// regGen counts registry mutations (functions, labelers); folded into
+	// the cache generation so redefinitions invalidate cached results.
+	regGen atomic.Uint64
 }
 
 // NewSession returns an empty session with the default library functions
@@ -35,6 +48,29 @@ type Session struct {
 func NewSession() *Session {
 	e := engine.New()
 	return &Session{Engine: e, Binder: semantic.NewBinder(e)}
+}
+
+// EnableCache attaches a query-result cache with the given byte budget
+// (<= 0 selects the 64 MiB default). Cached results are shared across
+// callers and must be treated as read-only. Call before serving traffic.
+func (s *Session) EnableCache(maxBytes int64) {
+	s.cache = qcache.New(maxBytes)
+}
+
+// CacheStats snapshots the cache counters; ok is false when no cache is
+// configured.
+func (s *Session) CacheStats() (stats qcache.Stats, ok bool) {
+	if s.cache == nil {
+		return qcache.Stats{}, false
+	}
+	return s.cache.Stats(), true
+}
+
+// Generation is the session's cache-invalidation generation: the engine
+// catalog generation (registrations, materializations, fact appends)
+// plus registry mutations.
+func (s *Session) Generation() uint64 {
+	return s.Engine.Generation() + s.regGen.Load()
 }
 
 // RegisterCube adds a detailed cube (fact table) to the catalog.
@@ -60,11 +96,13 @@ func (s *Session) Materialize(cubeName string, levels ...string) error {
 
 // RegisterFunc adds a comparison/transformation function to the library.
 func (s *Session) RegisterFunc(f *funcs.Func) error {
+	s.regGen.Add(1)
 	return s.Binder.Funcs.Register(f)
 }
 
 // RegisterLabeler adds a predeclared labeling function to the library.
 func (s *Session) RegisterLabeler(l labeling.Labeler) error {
+	s.regGen.Add(1)
 	return s.Binder.Labelers.Register(l)
 }
 
@@ -111,11 +149,45 @@ func (s *Session) PrepareCostBased(stmt string) (*plan.Plan, error) {
 // ExecCostBased runs a statement with the cheapest plan according to the
 // cost model.
 func (s *Session) ExecCostBased(stmt string) (*exec.Result, error) {
+	r, _, err := s.ExecCostBasedTracked(stmt)
+	return r, err
+}
+
+// ExecCostBasedTracked is ExecCostBased, also reporting whether the
+// result came from the query-result cache.
+func (s *Session) ExecCostBasedTracked(stmt string) (*exec.Result, CacheState, error) {
 	p, err := s.PrepareCostBased(stmt)
 	if err != nil {
-		return nil, err
+		return nil, qcache.StateOff, err
 	}
-	return exec.Run(s.Engine, p)
+	return s.run(p)
+}
+
+// run executes a built plan, consulting the query-result cache when one
+// is enabled: the cache key is the fingerprint of the bound plan and its
+// strategy, validated against the current catalog generation, and
+// concurrent identical statements share one evaluation (singleflight).
+func (s *Session) run(p *plan.Plan) (*exec.Result, CacheState, error) {
+	if s.cache == nil {
+		r, err := exec.Run(s.Engine, p)
+		return r, qcache.StateOff, err
+	}
+	key := qcache.Fingerprint(p.Bound, p.Strategy)
+	return s.cache.Do(key, s.Generation(), func() (*exec.Result, error) {
+		return exec.Run(s.Engine, p)
+	})
+}
+
+// CacheProbe reports whether executing the plan now would hit the cache
+// (used by /explain); it does not touch counters or recency.
+func (s *Session) CacheProbe(p *plan.Plan) CacheState {
+	if s.cache == nil {
+		return qcache.StateOff
+	}
+	if s.cache.Peek(qcache.Fingerprint(p.Bound, p.Strategy), s.Generation()) {
+		return qcache.StateHit
+	}
+	return qcache.StateMiss
 }
 
 // ExplainCosts renders the estimated cost of every feasible plan for a
@@ -133,14 +205,21 @@ func (s *Session) ExplainCosts(stmt string) (string, error) {
 // labeling function instead of producing a result, and returns (nil,
 // nil).
 func (s *Session) Exec(stmt string) (*exec.Result, error) {
+	r, _, err := s.ExecTracked(stmt)
+	return r, err
+}
+
+// ExecTracked is Exec, also reporting whether the result came from the
+// query-result cache.
+func (s *Session) ExecTracked(stmt string) (*exec.Result, CacheState, error) {
 	if parser.IsDeclaration(stmt) {
-		return nil, s.Declare(stmt)
+		return nil, qcache.StateOff, s.Declare(stmt)
 	}
 	p, err := s.Prepare(stmt)
 	if err != nil {
-		return nil, err
+		return nil, qcache.StateOff, err
 	}
-	return exec.Run(s.Engine, p)
+	return s.run(p)
 }
 
 // QueryResult is the outcome of a plain cube query (get statement).
@@ -204,11 +283,18 @@ func (s *Session) Declare(stmt string) error {
 
 // ExecWith runs a statement with an explicit strategy.
 func (s *Session) ExecWith(stmt string, strategy plan.Strategy) (*exec.Result, error) {
+	r, _, err := s.ExecWithTracked(stmt, strategy)
+	return r, err
+}
+
+// ExecWithTracked is ExecWith, also reporting whether the result came
+// from the query-result cache.
+func (s *Session) ExecWithTracked(stmt string, strategy plan.Strategy) (*exec.Result, CacheState, error) {
 	p, err := s.PrepareWith(stmt, strategy)
 	if err != nil {
-		return nil, err
+		return nil, qcache.StateOff, err
 	}
-	return exec.Run(s.Engine, p)
+	return s.run(p)
 }
 
 // Explain returns the plan description for a statement under the best

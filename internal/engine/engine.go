@@ -16,6 +16,7 @@ package engine
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"github.com/assess-olap/assess/internal/cube"
 	"github.com/assess-olap/assess/internal/mdm"
@@ -55,6 +56,10 @@ type Engine struct {
 	noFusion bool
 	// workers is the fact-scan parallelism (1 = serial, the default).
 	workers int
+	// gen counts catalog mutations (Register, Materialize); together
+	// with the fact tables' append versions it forms the monotonic
+	// generation that invalidates query-result cache entries.
+	gen atomic.Uint64
 }
 
 type rollupKey struct {
@@ -77,7 +82,22 @@ func (e *Engine) Register(name string, f *storage.FactTable) error {
 		return fmt.Errorf("engine: cube %s already registered", name)
 	}
 	e.facts[name] = f
+	e.gen.Add(1)
 	return nil
+}
+
+// Generation is the monotonic catalog generation: it advances whenever a
+// cube is registered or materialized and whenever rows are appended to a
+// registered fact table. Query-result cache entries are tagged with the
+// generation observed at evaluation time; a later generation makes them
+// stale. Registering facts concurrently with queries is already
+// unsupported (see Engine doc), so summing fact versions here is safe.
+func (e *Engine) Generation() uint64 {
+	g := e.gen.Load()
+	for _, f := range e.facts {
+		g += f.Version()
+	}
+	return g
 }
 
 // Fact returns the registered detailed cube.

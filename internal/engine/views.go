@@ -52,6 +52,7 @@ func (e *Engine) Materialize(fact string, g mdm.GroupBy) error {
 		return err
 	}
 	e.views[key] = v
+	e.gen.Add(1)
 	return nil
 }
 

@@ -1,0 +1,194 @@
+// Canonical plan fingerprints. The key is computed from the *bound*
+// logical plan — after parsing and semantic analysis — so syntactic
+// variants of one statement (whitespace, keyword case, predicate order,
+// member-list order, group-by order) hash to the same entry: the binder
+// has already resolved names to catalog indices, canonicalized the
+// group-by set by hierarchy, and normalized literals to member ids.
+package qcache
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"hash"
+	"math"
+	"sort"
+
+	"github.com/assess-olap/assess/internal/engine"
+	"github.com/assess-olap/assess/internal/labeling"
+	"github.com/assess-olap/assess/internal/mdm"
+	"github.com/assess-olap/assess/internal/plan"
+	"github.com/assess-olap/assess/internal/semantic"
+)
+
+// Key identifies one (bound statement, strategy) pair.
+type Key [sha256.Size]byte
+
+// fpWriter streams length-prefixed fields into the hash so that
+// adjacent fields cannot alias ("ab"+"c" vs "a"+"bc").
+type fpWriter struct{ h hash.Hash }
+
+func (w fpWriter) str(s string) {
+	w.i64(int64(len(s)))
+	w.h.Write([]byte(s))
+}
+
+func (w fpWriter) i64(v int64) {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(v))
+	w.h.Write(buf[:])
+}
+
+func (w fpWriter) f64(v float64) { w.i64(int64(math.Float64bits(v))) }
+
+func (w fpWriter) boolean(v bool) {
+	if v {
+		w.i64(1)
+	} else {
+		w.i64(0)
+	}
+}
+
+func (w fpWriter) level(r mdm.LevelRef) {
+	w.i64(int64(r.Hier))
+	w.i64(int64(r.Level))
+}
+
+func (w fpWriter) members(ids []int32) {
+	w.i64(int64(len(ids)))
+	for _, id := range ids {
+		w.i64(int64(id))
+	}
+}
+
+// Fingerprint hashes a bound statement and its chosen strategy. Two
+// statements with equal fingerprints produce identical results over the
+// same catalog generation.
+func Fingerprint(b *semantic.Bound, strat plan.Strategy) Key {
+	w := fpWriter{h: sha256.New()}
+	w.str("qcache/v1")
+	w.str(b.Fact)
+	w.i64(int64(strat))
+	w.boolean(b.Star)
+
+	w.i64(int64(len(b.Group)))
+	for _, g := range b.Group {
+		w.level(g)
+	}
+	fpPredicates(w, b.Preds)
+
+	w.i64(int64(b.Measure))
+	w.i64(int64(len(b.Fetch)))
+	for _, m := range b.Fetch {
+		w.i64(int64(m))
+	}
+
+	fpBenchmark(w, &b.Bench)
+	fpExpr(w, b.Using)
+	fpLabeler(w, b.Labeler)
+
+	if b.Predictor != nil {
+		w.str(b.Predictor.Name)
+	} else {
+		w.str("")
+	}
+	w.boolean(b.Within != nil)
+	if b.Within != nil {
+		w.level(*b.Within)
+	}
+
+	var key Key
+	w.h.Sum(key[:0])
+	return key
+}
+
+// fpPredicates hashes the selection predicates as a set: sorted by level,
+// member lists sorted (a member list is a set — "in ('a','b')" and
+// "in ('b','a')" select the same slice).
+func fpPredicates(w fpWriter, preds []engine.Predicate) {
+	sorted := make([]engine.Predicate, len(preds))
+	copy(sorted, preds)
+	sort.Slice(sorted, func(i, j int) bool {
+		a, b := sorted[i].Level, sorted[j].Level
+		if a.Hier != b.Hier {
+			return a.Hier < b.Hier
+		}
+		return a.Level < b.Level
+	})
+	w.i64(int64(len(sorted)))
+	for _, p := range sorted {
+		w.level(p.Level)
+		ids := make([]int32, len(p.Members))
+		copy(ids, p.Members)
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		w.members(ids)
+	}
+}
+
+func fpBenchmark(w fpWriter, b *semantic.Benchmark) {
+	w.i64(int64(b.Kind))
+	w.str(b.MeasureName)
+	w.f64(b.Constant)
+	w.str(b.ExtFact)
+	w.i64(int64(b.ExtMeasureIdx))
+	w.level(b.SliceLevel)
+	w.i64(int64(b.SliceMember))
+	w.i64(int64(b.SiblingMember))
+	w.members(b.PastMembers) // chronological — order is meaningful, keep it
+	w.i64(int64(b.K))
+	w.level(b.AncestorLevel)
+	w.level(b.ChildLevel)
+}
+
+func fpExpr(w fpWriter, e semantic.Expr) {
+	switch v := e.(type) {
+	case nil:
+		w.str("nil")
+	case *semantic.CallExpr:
+		w.str("call")
+		w.str(v.Fn.Name)
+		w.i64(int64(len(v.Args)))
+		for _, a := range v.Args {
+			fpExpr(w, a)
+		}
+	case *semantic.NumberExpr:
+		w.str("num")
+		w.f64(v.Value)
+	case *semantic.ColumnExpr:
+		w.str("col")
+		w.str(v.Column)
+	case *semantic.PropertyExpr:
+		w.str("prop")
+		w.level(v.Level)
+		w.str(v.Name)
+	default:
+		// Future node kinds: fall back to the full value so distinct
+		// expressions cannot silently collide.
+		w.str(fmt.Sprintf("%#v", e))
+	}
+}
+
+// fpLabeler hashes the labeling function. Inline `labels {…}` clauses
+// build anonymous Ranges labelers, so those hash by their intervals;
+// registry labelers have unique names (the registry rejects duplicates).
+func fpLabeler(w fpWriter, l labeling.Labeler) {
+	switch v := l.(type) {
+	case nil:
+		w.str("nil")
+	case *labeling.Ranges:
+		w.str("ranges")
+		w.str(v.Name())
+		ivs := v.Intervals()
+		w.i64(int64(len(ivs)))
+		for _, iv := range ivs {
+			w.f64(iv.Lo)
+			w.f64(iv.Hi)
+			w.boolean(iv.LoOpen)
+			w.boolean(iv.HiOpen)
+			w.str(iv.Label)
+		}
+	default:
+		w.str("named")
+		w.str(l.Name())
+	}
+}

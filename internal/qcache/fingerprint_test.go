@@ -1,0 +1,120 @@
+package qcache_test
+
+import (
+	"testing"
+
+	"github.com/assess-olap/assess/internal/engine"
+	"github.com/assess-olap/assess/internal/parser"
+	"github.com/assess-olap/assess/internal/plan"
+	"github.com/assess-olap/assess/internal/qcache"
+	"github.com/assess-olap/assess/internal/sales"
+	"github.com/assess-olap/assess/internal/semantic"
+)
+
+func newBinder(t *testing.T) *semantic.Binder {
+	t.Helper()
+	e := engine.New()
+	ds := sales.Generate(2000, 2)
+	if err := e.Register("SALES", ds.Fact); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Register("SALES_TARGET", ds.External); err != nil {
+		t.Fatal(err)
+	}
+	return semantic.NewBinder(e)
+}
+
+func fingerprint(t *testing.T, bd *semantic.Binder, stmt string, s plan.Strategy) qcache.Key {
+	t.Helper()
+	st, err := parser.Parse(stmt)
+	if err != nil {
+		t.Fatalf("parse %q: %v", stmt, err)
+	}
+	b, err := bd.Bind(st)
+	if err != nil {
+		t.Fatalf("bind %q: %v", stmt, err)
+	}
+	return qcache.Fingerprint(b, s)
+}
+
+// TestFingerprintSyntacticVariants: the key is computed from the bound
+// plan, so formatting, predicate order, and group-by order do not matter.
+func TestFingerprintSyntacticVariants(t *testing.T) {
+	bd := newBinder(t)
+	base := fingerprint(t, bd, `with SALES for type = 'Fresh Fruit', country = 'Italy' by product, country
+		assess quantity against country = 'France' labels quartiles`, plan.POP)
+
+	variants := []string{
+		// Whitespace and line breaks.
+		`with SALES   for type = 'Fresh Fruit',   country = 'Italy'
+			by product, country assess quantity
+			against country = 'France' labels quartiles`,
+		// Predicate order.
+		`with SALES for country = 'Italy', type = 'Fresh Fruit' by product, country
+			assess quantity against country = 'France' labels quartiles`,
+		// Group-by order (the binder canonicalizes by hierarchy).
+		`with SALES for type = 'Fresh Fruit', country = 'Italy' by country, product
+			assess quantity against country = 'France' labels quartiles`,
+	}
+	for _, v := range variants {
+		if got := fingerprint(t, bd, v, plan.POP); got != base {
+			t.Errorf("variant fingerprints differ:\n%s", v)
+		}
+	}
+}
+
+func TestFingerprintDistinguishesStatements(t *testing.T) {
+	bd := newBinder(t)
+	base := fingerprint(t, bd, `with SALES for country = 'Italy' by product, country
+		assess quantity against country = 'France' labels quartiles`, plan.POP)
+
+	different := []string{
+		// Different slice member.
+		`with SALES for country = 'Spain' by product, country
+			assess quantity against country = 'France' labels quartiles`,
+		// Different benchmark member.
+		`with SALES for country = 'Italy' by product, country
+			assess quantity against country = 'Spain' labels quartiles`,
+		// Different measure.
+		`with SALES for country = 'Italy' by product, country
+			assess storeSales against country = 'France' labels quartiles`,
+		// Different group-by.
+		`with SALES for country = 'Italy' by type, country
+			assess quantity against country = 'France' labels quartiles`,
+		// Different labeler.
+		`with SALES for country = 'Italy' by product, country
+			assess quantity against country = 'France' labels terciles`,
+		// Different inline label ranges.
+		`with SALES for country = 'Italy' by product, country
+			assess quantity against country = 'France'
+			labels {[-inf, 0): bad, [0, inf]: good}`,
+	}
+	seen := map[qcache.Key]string{base: "base"}
+	for _, d := range different {
+		k := fingerprint(t, bd, d, plan.POP)
+		if prev, dup := seen[k]; dup {
+			t.Errorf("fingerprint collision between %q and:\n%s", prev, d)
+		}
+		seen[k] = d
+	}
+}
+
+func TestFingerprintIncludesStrategy(t *testing.T) {
+	bd := newBinder(t)
+	stmt := `with SALES for country = 'Italy' by product, country
+		assess quantity against country = 'France' labels quartiles`
+	if fingerprint(t, bd, stmt, plan.POP) == fingerprint(t, bd, stmt, plan.JOP) {
+		t.Error("POP and JOP runs of one statement share a fingerprint")
+	}
+}
+
+func TestFingerprintInlineRangesDiffer(t *testing.T) {
+	bd := newBinder(t)
+	a := fingerprint(t, bd, `with SALES by month assess storeSales
+		labels {[-inf, 0): bad, [0, inf]: good}`, plan.NP)
+	b := fingerprint(t, bd, `with SALES by month assess storeSales
+		labels {[-inf, 1): bad, [1, inf]: good}`, plan.NP)
+	if a == b {
+		t.Error("distinct inline label ranges share a fingerprint")
+	}
+}

@@ -1,0 +1,258 @@
+// Package qcache is the query-result cache in front of plan execution:
+// the serving-layer counterpart of the engine's materialized views. The
+// paper's prototype leans on Oracle so that interactive assess sessions —
+// an analyst re-running near-identical statements while drilling around a
+// cube — pay aggregate-sized costs rather than fact-scan costs; qcache
+// closes the remaining gap by memoizing finished execution results keyed
+// by a canonical fingerprint of the bound logical plan.
+//
+// The cache is a sharded LRU with byte-size accounting (so a budget in
+// MiB bounds resident results, not entry counts), a singleflight layer
+// (N concurrent identical statements run one evaluation and share the
+// result), and generation-based invalidation: every entry is tagged with
+// the catalog generation observed when its evaluation started, and a
+// lookup under a newer generation treats the entry as stale, evicting it.
+//
+// Cached *exec.Result values are shared between callers and must be
+// treated as read-only.
+package qcache
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+
+	"github.com/assess-olap/assess/internal/exec"
+)
+
+// State reports how a statement's result was obtained.
+type State string
+
+// The cache states surfaced in server responses.
+const (
+	// StateOff means no cache is configured.
+	StateOff State = ""
+	// StateHit means the result came from the cache (or was shared from a
+	// concurrent identical evaluation via singleflight).
+	StateHit State = "hit"
+	// StateMiss means the statement was evaluated.
+	StateMiss State = "miss"
+)
+
+// DefaultMaxBytes is the default cache budget (64 MiB).
+const DefaultMaxBytes = 64 << 20
+
+// numShards is the fixed shard count; keys spread by their first byte.
+const numShards = 16
+
+// Stats is a point-in-time snapshot of the cache counters.
+type Stats struct {
+	Hits        int64 `json:"hits"`
+	Misses      int64 `json:"misses"`
+	Evictions   int64 `json:"evictions"`
+	DedupJoins  int64 `json:"dedupJoins"`
+	Entries     int64 `json:"entries"`
+	Bytes       int64 `json:"bytes"`
+	BudgetBytes int64 `json:"budgetBytes"`
+}
+
+// entry is one cached result.
+type entry struct {
+	key  Key
+	res  *exec.Result
+	gen  uint64
+	size int64
+}
+
+// call is one in-flight evaluation that concurrent identical statements
+// wait on (the singleflight layer; stdlib only — a mutex plus a per-key
+// wait channel).
+type call struct {
+	done chan struct{}
+	gen  uint64
+	res  *exec.Result
+	err  error
+}
+
+// shard is one lock domain of the cache: an LRU list with its index and
+// the in-flight calls for keys hashing here.
+type shard struct {
+	mu       sync.Mutex
+	lru      *list.List // front = most recent; values are *entry
+	index    map[Key]*list.Element
+	inflight map[Key]*call
+	bytes    int64
+	budget   int64
+}
+
+// Cache is a sharded LRU over finished execution results.
+type Cache struct {
+	shards [numShards]shard
+	budget int64
+
+	hits       atomic.Int64
+	misses     atomic.Int64
+	evictions  atomic.Int64
+	dedupJoins atomic.Int64
+	entries    atomic.Int64
+	bytes      atomic.Int64
+}
+
+// New builds a cache with the given total byte budget; a non-positive
+// budget falls back to DefaultMaxBytes.
+func New(maxBytes int64) *Cache {
+	if maxBytes <= 0 {
+		maxBytes = DefaultMaxBytes
+	}
+	c := &Cache{budget: maxBytes}
+	per := maxBytes / numShards
+	if per < 1 {
+		per = 1
+	}
+	for i := range c.shards {
+		c.shards[i] = shard{
+			lru:      list.New(),
+			index:    make(map[Key]*list.Element),
+			inflight: make(map[Key]*call),
+			budget:   per,
+		}
+	}
+	return c
+}
+
+func (c *Cache) shard(key Key) *shard { return &c.shards[key[0]%numShards] }
+
+// Do returns the cached result for key if one exists at the current
+// generation; otherwise it evaluates. Concurrent Do calls for the same
+// (key, gen) run eval exactly once and share the result. Entries stored
+// under an older generation are treated as misses and evicted. The
+// returned result is shared — callers must not mutate it.
+func (c *Cache) Do(key Key, gen uint64, eval func() (*exec.Result, error)) (*exec.Result, State, error) {
+	s := c.shard(key)
+	s.mu.Lock()
+	if el, ok := s.index[key]; ok {
+		e := el.Value.(*entry)
+		if e.gen == gen {
+			s.lru.MoveToFront(el)
+			s.mu.Unlock()
+			c.hits.Add(1)
+			return e.res, StateHit, nil
+		}
+		c.removeLocked(s, el) // stale generation
+	}
+	if cl, ok := s.inflight[key]; ok && cl.gen == gen {
+		s.mu.Unlock()
+		c.dedupJoins.Add(1)
+		<-cl.done
+		if cl.err != nil {
+			return nil, StateMiss, cl.err
+		}
+		return cl.res, StateHit, nil
+	}
+	cl := &call{done: make(chan struct{}), gen: gen}
+	s.inflight[key] = cl
+	s.mu.Unlock()
+
+	c.misses.Add(1)
+	defer func() {
+		// On success the fields were filled below; on a panic in eval the
+		// zero res/err still lets waiters return instead of hanging.
+		s.mu.Lock()
+		if s.inflight[key] == cl {
+			delete(s.inflight, key)
+		}
+		s.mu.Unlock()
+		close(cl.done)
+	}()
+	res, err := eval()
+	cl.res, cl.err = res, err
+	if err == nil {
+		c.store(s, key, res, gen)
+	}
+	return res, StateMiss, err
+}
+
+// Peek reports whether a valid entry exists for key at the generation,
+// without perturbing counters, recency, or in-flight calls.
+func (c *Cache) Peek(key Key, gen uint64) bool {
+	s := c.shard(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, ok := s.index[key]
+	return ok && el.Value.(*entry).gen == gen
+}
+
+// store inserts the result, evicting from the shard's LRU tail until the
+// shard is within budget. Results larger than a whole shard's budget are
+// not cached.
+func (c *Cache) store(s *shard, key Key, res *exec.Result, gen uint64) {
+	size := resultBytes(res)
+	if size > s.budget {
+		return
+	}
+	s.mu.Lock()
+	if el, ok := s.index[key]; ok {
+		c.removeLocked(s, el) // replaced by a fresher evaluation
+	}
+	el := s.lru.PushFront(&entry{key: key, res: res, gen: gen, size: size})
+	s.index[key] = el
+	s.bytes += size
+	c.entries.Add(1)
+	c.bytes.Add(size)
+	for s.bytes > s.budget {
+		back := s.lru.Back()
+		if back == nil || back == el {
+			break
+		}
+		c.removeLocked(s, back)
+		c.evictions.Add(1)
+	}
+	s.mu.Unlock()
+}
+
+// removeLocked unlinks an entry; the shard lock must be held.
+func (c *Cache) removeLocked(s *shard, el *list.Element) {
+	e := el.Value.(*entry)
+	s.lru.Remove(el)
+	delete(s.index, e.key)
+	s.bytes -= e.size
+	c.entries.Add(-1)
+	c.bytes.Add(-e.size)
+}
+
+// Stats snapshots the counters.
+func (c *Cache) Stats() Stats {
+	return Stats{
+		Hits:        c.hits.Load(),
+		Misses:      c.misses.Load(),
+		Evictions:   c.evictions.Load(),
+		DedupJoins:  c.dedupJoins.Load(),
+		Entries:     c.entries.Load(),
+		Bytes:       c.bytes.Load(),
+		BudgetBytes: c.budget,
+	}
+}
+
+// resultBytes estimates the resident size of a finished result: the
+// cube's coordinate and measure columns dominate, plus labels, the
+// coordinate index, and per-operation stats. An estimate is enough —
+// the budget bounds order-of-magnitude memory, not exact bytes.
+func resultBytes(r *exec.Result) int64 {
+	const (
+		sliceHeader = 24
+		fixed       = 256 // Result + Plan pointers, breakdown array, cube header
+	)
+	c := r.Cube
+	n := int64(c.Len())
+	size := int64(fixed)
+	size += n * (sliceHeader + 4*int64(len(c.Group))) // Coords
+	for range c.Cols {
+		size += sliceHeader + 8*n // measure columns
+	}
+	if c.Labels != nil {
+		size += n * (sliceHeader + 8) // label headers; label text is interned per labeler
+	}
+	size += n * (sliceHeader + 4*int64(len(c.Group)) + 8) // coordinate index map
+	size += int64(len(r.OpStats)) * 64
+	return size
+}

@@ -1,0 +1,217 @@
+package qcache_test
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/assess-olap/assess/internal/cube"
+	"github.com/assess-olap/assess/internal/exec"
+	"github.com/assess-olap/assess/internal/mdm"
+	"github.com/assess-olap/assess/internal/qcache"
+	"github.com/assess-olap/assess/internal/sales"
+)
+
+// fakeResult builds a result with n cells of one measure, big enough to
+// exercise byte accounting.
+func fakeResult(t testing.TB, n int) *exec.Result {
+	t.Helper()
+	s := sales.Schema()
+	g, err := mdm.NewGroupBy(s, "month")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := cube.New(s, g, "m")
+	for i := 0; i < n; i++ {
+		if err := c.AddCell(mdm.Coordinate{int32(i)}, []float64{float64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return &exec.Result{Cube: c}
+}
+
+// keyInShard crafts a key landing in shard b with a distinguishing tail.
+func keyInShard(b byte, tail byte) qcache.Key {
+	var k qcache.Key
+	k[0] = b
+	k[31] = tail
+	return k
+}
+
+func TestDoCachesAndHits(t *testing.T) {
+	c := qcache.New(1 << 20)
+	res := fakeResult(t, 4)
+	var evals int
+	eval := func() (*exec.Result, error) { evals++; return res, nil }
+
+	got, state, err := c.Do(keyInShard(0, 1), 7, eval)
+	if err != nil || got != res || state != qcache.StateMiss {
+		t.Fatalf("first Do = (%p, %q, %v), want miss of %p", got, state, err, res)
+	}
+	got, state, err = c.Do(keyInShard(0, 1), 7, eval)
+	if err != nil || got != res || state != qcache.StateHit {
+		t.Fatalf("second Do = (%p, %q, %v), want hit", got, state, err)
+	}
+	if evals != 1 {
+		t.Fatalf("evaluations = %d, want 1", evals)
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Entries != 1 || st.Bytes <= 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if !c.Peek(keyInShard(0, 1), 7) {
+		t.Fatal("Peek should see the entry at its generation")
+	}
+	if c.Peek(keyInShard(0, 1), 8) {
+		t.Fatal("Peek should reject a newer generation")
+	}
+}
+
+func TestGenerationInvalidation(t *testing.T) {
+	c := qcache.New(1 << 20)
+	key := keyInShard(3, 0)
+	var evals int
+	eval := func() (*exec.Result, error) { evals++; return fakeResult(t, 2), nil }
+
+	if _, state, _ := c.Do(key, 1, eval); state != qcache.StateMiss {
+		t.Fatalf("cold Do state = %q", state)
+	}
+	// Same generation: served from cache.
+	if _, state, _ := c.Do(key, 1, eval); state != qcache.StateHit {
+		t.Fatalf("warm Do state = %q", state)
+	}
+	// Newer generation: the entry is stale and must be re-evaluated.
+	if _, state, _ := c.Do(key, 2, eval); state != qcache.StateMiss {
+		t.Fatalf("stale Do state = %q", state)
+	}
+	if evals != 2 {
+		t.Fatalf("evaluations = %d, want 2", evals)
+	}
+	if st := c.Stats(); st.Entries != 1 {
+		t.Fatalf("stale entry not replaced: %+v", st)
+	}
+}
+
+func TestErrorsAreNotCached(t *testing.T) {
+	c := qcache.New(1 << 20)
+	boom := errors.New("boom")
+	_, _, err := c.Do(keyInShard(1, 1), 1, func() (*exec.Result, error) { return nil, boom })
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if st := c.Stats(); st.Entries != 0 {
+		t.Fatalf("error was cached: %+v", st)
+	}
+	// The next call evaluates again (and can succeed).
+	res := fakeResult(t, 1)
+	got, state, err := c.Do(keyInShard(1, 1), 1, func() (*exec.Result, error) { return res, nil })
+	if err != nil || got != res || state != qcache.StateMiss {
+		t.Fatalf("retry = (%p, %q, %v)", got, state, err)
+	}
+}
+
+func TestLRUEvictionByBytes(t *testing.T) {
+	// 16 shards split the budget; all keys below land in shard 0, whose
+	// slice of 16 KiB holds a handful of 40-cell results but not dozens.
+	c := qcache.New(16 * 16 << 10)
+	for i := 0; i < 64; i++ {
+		res := fakeResult(t, 40)
+		if _, _, err := c.Do(keyInShard(0, byte(i)), 1, func() (*exec.Result, error) { return res, nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := c.Stats()
+	if st.Evictions == 0 {
+		t.Fatalf("no evictions under byte pressure: %+v", st)
+	}
+	if st.Bytes > 16<<10 {
+		t.Fatalf("shard over budget: %+v", st)
+	}
+	if st.Entries == 0 {
+		t.Fatalf("cache emptied itself: %+v", st)
+	}
+	// The most recently stored entry survives; the first was evicted.
+	if !c.Peek(keyInShard(0, 63), 1) {
+		t.Fatal("most recent entry evicted")
+	}
+	if c.Peek(keyInShard(0, 0), 1) {
+		t.Fatal("oldest entry survived 63 newer insertions")
+	}
+}
+
+func TestOversizedResultNotCached(t *testing.T) {
+	c := qcache.New(16 * 1024) // 1 KiB per shard
+	res := fakeResult(t, 500)  // far larger than a shard budget
+	if _, state, err := c.Do(keyInShard(0, 1), 1, func() (*exec.Result, error) { return res, nil }); err != nil || state != qcache.StateMiss {
+		t.Fatalf("Do = (%q, %v)", state, err)
+	}
+	if st := c.Stats(); st.Entries != 0 {
+		t.Fatalf("oversized result cached: %+v", st)
+	}
+}
+
+// TestSingleflight hammers one key from 16 goroutines and asserts that
+// exactly one evaluation runs: the leader blocks until the cache reports
+// 15 dedup joins, so every other goroutine provably joined the in-flight
+// call rather than racing past it. Run with -race.
+func TestSingleflight(t *testing.T) {
+	c := qcache.New(1 << 20)
+	key := keyInShard(9, 9)
+	res := fakeResult(t, 8)
+
+	const workers = 16
+	var evals atomic.Int32
+	release := make(chan struct{})
+	eval := func() (*exec.Result, error) {
+		evals.Add(1)
+		<-release
+		return res, nil
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			got, state, err := c.Do(key, 1, eval)
+			if err != nil {
+				errs <- err
+				return
+			}
+			if got != res {
+				errs <- fmt.Errorf("got %p, want shared %p", got, res)
+			}
+			if state != qcache.StateHit && state != qcache.StateMiss {
+				errs <- fmt.Errorf("unexpected state %q", state)
+			}
+		}()
+	}
+
+	// Hold the evaluation open until all 15 followers joined it.
+	deadline := time.After(10 * time.Second)
+	for c.Stats().DedupJoins < workers-1 {
+		select {
+		case <-deadline:
+			t.Fatalf("only %d dedup joins after 10s", c.Stats().DedupJoins)
+		case <-time.After(time.Millisecond):
+		}
+	}
+	close(release)
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	if n := evals.Load(); n != 1 {
+		t.Fatalf("evaluations = %d, want exactly 1", n)
+	}
+	st := c.Stats()
+	if st.Misses != 1 || st.DedupJoins != workers-1 {
+		t.Fatalf("stats = %+v, want 1 miss and %d dedup joins", st, workers-1)
+	}
+}

@@ -1,0 +1,207 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"github.com/assess-olap/assess/internal/core"
+	"github.com/assess-olap/assess/internal/sales"
+)
+
+// newCachedServer serves a session with the query-result cache enabled.
+func newCachedServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	session := core.NewSession()
+	ds := sales.FigureOne()
+	if err := session.RegisterCube("SALES", ds.Fact); err != nil {
+		t.Fatal(err)
+	}
+	session.EnableCache(0)
+	srv := httptest.NewServer(New(session).Handler())
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func TestAssessCacheField(t *testing.T) {
+	srv := newCachedServer(t)
+	req := map[string]any{"statement": siblingStatement}
+	var out struct {
+		Cache string `json:"cache"`
+		Cells int    `json:"cells"`
+	}
+
+	resp, body := post(t, srv, "/assess", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Cache != "miss" {
+		t.Fatalf("first call cache = %q, want miss", out.Cache)
+	}
+
+	resp, body = post(t, srv, "/assess", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	cells := out.Cells
+	out = struct {
+		Cache string `json:"cache"`
+		Cells int    `json:"cells"`
+	}{}
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Cache != "hit" {
+		t.Fatalf("second call cache = %q, want hit", out.Cache)
+	}
+	if out.Cells != cells {
+		t.Fatalf("cached result has %d cells, evaluated had %d", out.Cells, cells)
+	}
+
+	// A syntactic variant of the same statement also hits.
+	variant := strings.ReplaceAll(siblingStatement, "\n\t", " ")
+	resp, body = post(t, srv, "/assess", map[string]any{"statement": variant})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Cache != "hit" {
+		t.Fatalf("syntactic variant cache = %q, want hit", out.Cache)
+	}
+}
+
+func TestAssessCacheFieldOmittedWhenOff(t *testing.T) {
+	srv := newServer(t) // no cache
+	resp, body := post(t, srv, "/assess", map[string]any{"statement": siblingStatement})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var raw map[string]any
+	if err := json.Unmarshal(body, &raw); err != nil {
+		t.Fatal(err)
+	}
+	if _, present := raw["cache"]; present {
+		t.Fatal("cache field present with caching off")
+	}
+}
+
+func TestExplainCacheField(t *testing.T) {
+	srv := newCachedServer(t)
+	var out struct {
+		Cache string `json:"cache"`
+	}
+
+	_, body := post(t, srv, "/explain", map[string]any{"statement": siblingStatement})
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Cache != "miss" {
+		t.Fatalf("explain before exec cache = %q, want miss", out.Cache)
+	}
+
+	post(t, srv, "/assess", map[string]any{"statement": siblingStatement})
+	_, body = post(t, srv, "/explain", map[string]any{"statement": siblingStatement})
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Cache != "hit" {
+		t.Fatalf("explain after exec cache = %q, want hit", out.Cache)
+	}
+}
+
+func TestStatsEndpoint(t *testing.T) {
+	srv := newCachedServer(t)
+	post(t, srv, "/assess", map[string]any{"statement": siblingStatement})
+	post(t, srv, "/assess", map[string]any{"statement": siblingStatement})
+
+	resp, err := http.Get(srv.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var out struct {
+		Cache *struct {
+			Hits        int64 `json:"hits"`
+			Misses      int64 `json:"misses"`
+			Entries     int64 `json:"entries"`
+			Bytes       int64 `json:"bytes"`
+			BudgetBytes int64 `json:"budgetBytes"`
+		} `json:"cache"`
+		Generation uint64   `json:"generation"`
+		Cubes      []string `json:"cubes"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Cache == nil {
+		t.Fatal("stats lacks cache counters with caching on")
+	}
+	if out.Cache.Hits != 1 || out.Cache.Misses != 1 || out.Cache.Entries != 1 {
+		t.Fatalf("cache counters = %+v", *out.Cache)
+	}
+	if out.Cache.Bytes <= 0 || out.Cache.BudgetBytes != 64<<20 {
+		t.Fatalf("byte accounting = %+v", *out.Cache)
+	}
+	if out.Generation == 0 {
+		t.Fatal("generation is zero after registering a cube")
+	}
+	if len(out.Cubes) != 1 || out.Cubes[0] != "SALES" {
+		t.Fatalf("cubes = %v", out.Cubes)
+	}
+}
+
+func TestStatsEndpointCacheOff(t *testing.T) {
+	srv := newServer(t)
+	resp, err := http.Get(srv.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out struct {
+		Cache *struct{} `json:"cache"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Cache != nil {
+		t.Fatal("stats reports cache counters with caching off")
+	}
+}
+
+func TestOversizedBodyGets413(t *testing.T) {
+	srv := newServer(t)
+	big := map[string]any{"statement": strings.Repeat("x", maxBodyBytes+1)}
+	buf, err := json.Marshal(big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(srv.URL+"/assess", "application/json", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("status = %d, want 413", resp.StatusCode)
+	}
+	var out struct {
+		Error string `json:"error"`
+		Kind  string `json:"kind"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("413 body is not JSON: %v", err)
+	}
+	if out.Error == "" || out.Kind != "internal" {
+		t.Fatalf("413 body = %+v", out)
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"github.com/assess-olap/assess/internal/exec"
 	"github.com/assess-olap/assess/internal/parser"
 	"github.com/assess-olap/assess/internal/plan"
+	"github.com/assess-olap/assess/internal/qcache"
 	"github.com/assess-olap/assess/internal/semantic"
 )
 
@@ -29,6 +30,7 @@ type Server struct {
 func New(session *core.Session) *Server {
 	s := &Server{session: session, mux: http.NewServeMux()}
 	s.mux.HandleFunc("GET /healthz", s.health)
+	s.mux.HandleFunc("GET /stats", s.stats)
 	s.mux.HandleFunc("GET /cubes", s.cubes)
 	s.mux.HandleFunc("POST /assess", s.assess)
 	s.mux.HandleFunc("POST /query", s.query)
@@ -66,7 +68,10 @@ type assessResponse struct {
 	Cells     int                `json:"cells"`
 	TotalMs   float64            `json:"totalMs"`
 	Breakdown map[string]float64 `json:"breakdownMs"`
-	Rows      []resultRow        `json:"rows"`
+	// Cache is "hit" or "miss" when the session has a query-result
+	// cache, omitted when caching is off.
+	Cache string      `json:"cache,omitempty"`
+	Rows  []resultRow `json:"rows"`
 }
 
 type errorResponse struct {
@@ -107,21 +112,22 @@ func (s *Server) assess(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var (
-		res *exec.Result
-		err error
+		res   *exec.Result
+		state core.CacheState
+		err   error
 	)
 	switch req.Plan {
 	case "", "best":
-		res, err = s.session.Exec(req.Statement)
+		res, state, err = s.session.ExecTracked(req.Statement)
 	case "cost":
-		res, err = s.session.ExecCostBased(req.Statement)
+		res, state, err = s.session.ExecCostBasedTracked(req.Statement)
 	default:
 		strategy, perr := parsePlan(req.Plan)
 		if perr != nil {
 			writeError(w, http.StatusBadRequest, perr)
 			return
 		}
-		res, err = s.session.ExecWith(req.Statement, strategy)
+		res, state, err = s.session.ExecWithTracked(req.Statement, strategy)
 	}
 	if err != nil {
 		writeError(w, statusFor(err), err)
@@ -142,6 +148,7 @@ func (s *Server) assess(w http.ResponseWriter, r *http.Request) {
 		Cells:     res.Cube.Len(),
 		TotalMs:   float64(res.Total) / float64(time.Millisecond),
 		Breakdown: map[string]float64{},
+		Cache:     string(state),
 		Rows:      make([]resultRow, len(rows)),
 	}
 	for p, d := range res.Breakdown {
@@ -230,11 +237,38 @@ func (s *Server) explain(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	costs, _ := s.session.ExplainCosts(req.Statement)
-	writeJSON(w, http.StatusOK, map[string]string{
+	resp := map[string]string{
 		"strategy": p.Strategy.String(),
 		"plan":     p.Explain(),
 		"costs":    costs,
-	})
+	}
+	if state := s.session.CacheProbe(p); state != "" {
+		// Whether executing this statement right now would hit the cache.
+		resp["cache"] = string(state)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// statsResponse is the body of GET /stats.
+type statsResponse struct {
+	// Cache holds the query-result cache counters, null when caching is
+	// off.
+	Cache      *qcache.Stats `json:"cache"`
+	Generation uint64        `json:"generation"`
+	Cubes      []string      `json:"cubes"`
+	Views      int           `json:"views"`
+}
+
+func (s *Server) stats(w http.ResponseWriter, r *http.Request) {
+	resp := statsResponse{
+		Generation: s.session.Generation(),
+		Cubes:      s.session.Engine.Facts(),
+		Views:      s.session.Engine.Views(),
+	}
+	if st, ok := s.session.CacheStats(); ok {
+		resp.Cache = &st
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) validate(w http.ResponseWriter, r *http.Request) {
@@ -262,10 +296,19 @@ func (s *Server) suggest(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, sugs)
 }
 
+// maxBodyBytes bounds POST bodies (1 MiB); larger requests get a 413.
+const maxBodyBytes = 1 << 20
+
 func readRequest(w http.ResponseWriter, r *http.Request) (request, bool) {
 	var req request
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
 	if err := dec.Decode(&req); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				fmt.Errorf("request body exceeds %d bytes", tooLarge.Limit))
+			return req, false
+		}
 		writeError(w, http.StatusBadRequest, fmt.Errorf("invalid JSON body: %w", err))
 		return req, false
 	}

@@ -8,6 +8,7 @@ package storage
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"github.com/assess-olap/assess/internal/mdm"
 )
@@ -19,7 +20,14 @@ type FactTable struct {
 	Keys   [][]int32
 	Meas   [][]float64
 	rows   int
+	// version counts Appends; readable concurrently with queries so the
+	// engine can derive a catalog generation for result-cache validity.
+	version atomic.Uint64
 }
+
+// Version is the number of rows ever appended; it only grows, so it
+// serves as a monotonic data version for cache invalidation.
+func (f *FactTable) Version() uint64 { return f.version.Load() }
 
 // NewFactTable creates an empty fact table for the schema.
 func NewFactTable(s *mdm.Schema) *FactTable {
@@ -53,6 +61,7 @@ func (f *FactTable) Append(keys []int32, vals []float64) error {
 		f.Meas[m] = append(f.Meas[m], v)
 	}
 	f.rows++
+	f.version.Add(1)
 	return nil
 }
 
