@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	assess "github.com/assess-olap/assess"
+	"github.com/assess-olap/assess/internal/testutil"
 )
 
 const siblingStatement = `
@@ -61,7 +62,7 @@ func TestSiblingFigureOne(t *testing.T) {
 				t.Errorf("%v %s: measure/benchmark = %g/%g, want %g/%g",
 					strat, prod, r.Measure, r.Benchmark, w.qty, w.bench)
 			}
-			if math.Abs(r.Comparison-w.cmp) > 1e-9 {
+			if !testutil.FloatNear(r.Comparison, w.cmp, 1e-9) {
 				t.Errorf("%v %s: comparison = %g, want %g", strat, prod, r.Comparison, w.cmp)
 			}
 			if r.Label != w.label {
@@ -218,7 +219,7 @@ func TestPastBenchmarkPrediction(t *testing.T) {
 		t.Fatalf("%d rows, want 1", len(rows))
 	}
 	// Series 100,110,120,130 → OLS predicts 140; actual is 140.
-	if math.Abs(rows[0].Benchmark-140) > 1e-9 {
+	if !testutil.FloatNear(rows[0].Benchmark, 140, 1e-9) {
 		t.Errorf("predicted = %g, want 140", rows[0].Benchmark)
 	}
 	if rows[0].Label != "fine" {
@@ -425,13 +426,7 @@ func assertSameResult(t *testing.T, a, b *assess.Result) {
 }
 
 func floatEq(a, b float64) bool {
-	if math.IsNaN(a) || math.IsNaN(b) {
-		return math.IsNaN(a) && math.IsNaN(b)
-	}
-	if a == b {
-		return true
-	}
-	return math.Abs(a-b) <= 1e-9*(1+math.Abs(a)+math.Abs(b))
+	return testutil.FloatNear(a, b, 1e-9)
 }
 
 func newMonths(t *testing.T, months ...string) *assess.Hierarchy {

@@ -56,6 +56,9 @@ type Engine struct {
 	noFusion bool
 	// workers is the fact-scan parallelism (1 = serial, the default).
 	workers int
+	// minParRows is the minimum rows per worker before a scan is
+	// partitioned (0 selects the parallelThreshold default).
+	minParRows int
 	// gen counts catalog mutations (Register, Materialize); together
 	// with the fact tables' append versions it forms the monotonic
 	// generation that invalidates query-result cache entries.
@@ -228,7 +231,7 @@ func (e *Engine) scanAggregate(q Query) (*cube.Cube, error) {
 	}
 	var st scanState
 	if e.workers > 1 {
-		st = prep.runParallel(e.workers)
+		st = prep.runParallel(e.workers, e.parallelMinRows())
 	} else {
 		st = prep.run(0, prep.f.rows)
 	}

@@ -18,7 +18,7 @@ import (
 // matching the paper's single-client prototype — and only engages on
 // scans large enough to amortize the merge.
 
-// parallelThreshold is the minimum row count per worker.
+// parallelThreshold is the default minimum row count per worker.
 const parallelThreshold = 65536
 
 // SetParallelism sets the number of workers used by fact scans. Values
@@ -28,6 +28,26 @@ func (e *Engine) SetParallelism(n int) {
 		n = runtime.NumCPU()
 	}
 	e.workers = n
+}
+
+// SetParallelMinRows sets the minimum number of fact rows each worker
+// must receive before a scan is partitioned (values below 1 restore the
+// 64 Ki default). Production keeps the default — partitioning tiny scans
+// costs more than it saves — while the differential oracle lowers it to
+// exercise the partial-state merge on small generated facts.
+func (e *Engine) SetParallelMinRows(n int) {
+	if n < 1 {
+		n = parallelThreshold
+	}
+	e.minParRows = n
+}
+
+// parallelMinRows returns the effective per-worker row threshold.
+func (e *Engine) parallelMinRows() int {
+	if e.minParRows < 1 {
+		return parallelThreshold
+	}
+	return e.minParRows
 }
 
 // scanPartition aggregates the half-open row range [lo, hi) of a
@@ -141,10 +161,11 @@ func (p *preparedScan) finalize(schema *cube.Cube, st scanState) (*cube.Cube, er
 }
 
 // runParallel executes a prepared scan across the workers and merges the
-// partitions pairwise.
-func (p *preparedScan) runParallel(workers int) scanState {
-	if workers > p.f.rows/parallelThreshold {
-		workers = p.f.rows / parallelThreshold
+// partitions pairwise. minRows caps the worker count so each partition
+// scans at least that many rows.
+func (p *preparedScan) runParallel(workers, minRows int) scanState {
+	if workers > p.f.rows/minRows {
+		workers = p.f.rows / minRows
 	}
 	if workers < 2 {
 		return p.run(0, p.f.rows)

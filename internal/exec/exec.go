@@ -194,6 +194,13 @@ func runOp(e *engine.Engine, p *plan.Plan, op *plan.Op, ctx map[string]*cube.Cub
 		if err != nil {
 			return err
 		}
+		// Holistic functions (rank, quantile-style normalizations) break
+		// value ties by row order, and row order differs between plan
+		// shapes and between serial and partitioned scans. Canonicalize
+		// first so every evaluation strategy labels ties identically.
+		if exprIsHolistic(op.Expr) {
+			c.SortByCoordinate()
+		}
 		col, err := evalColumn(op.Expr, c)
 		if err != nil {
 			return err
@@ -206,6 +213,10 @@ func runOp(e *engine.Engine, p *plan.Plan, op *plan.Op, ctx map[string]*cube.Cub
 		if err != nil {
 			return err
 		}
+		// Distribution labelers (quantiles, clusters) split ties by row
+		// order; sort first so the split is a function of the result set,
+		// not of the evaluation strategy.
+		c.SortByCoordinate()
 		j, ok := c.MeasureIndex(op.LabelCol)
 		if !ok {
 			return fmt.Errorf("no comparison column %q to label", op.LabelCol)

@@ -1,0 +1,65 @@
+package oracle
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/assess-olap/assess/internal/exec"
+	"github.com/assess-olap/assess/internal/testutil"
+)
+
+// canonRows extracts the result rows in canonical order: sorted by the
+// member names of the joined coordinate. Coordinates are unique within a
+// result, so the order is total and any two equivalent results align
+// row-by-row.
+func canonRows(r *exec.Result) ([]exec.Row, error) {
+	rows, err := r.Rows()
+	if err != nil {
+		return nil, err
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		return coordLess(rows[i].Coordinate, rows[j].Coordinate)
+	})
+	return rows, nil
+}
+
+func coordLess(a, b []string) bool {
+	for k := range a {
+		if k >= len(b) {
+			return false
+		}
+		if a[k] != b[k] {
+			return a[k] < b[k]
+		}
+	}
+	return len(a) < len(b)
+}
+
+// diffRows compares two canonicalized result sets and describes the
+// first difference ("" when equivalent). Coordinates and labels must
+// match exactly; the numeric columns are compared ULP-tolerantly
+// (NaN == NaN, so assess* null benchmarks compare equal).
+func diffRows(want, got []exec.Row) string {
+	if len(want) != len(got) {
+		return fmt.Sprintf("result has %d cells, reference has %d", len(got), len(want))
+	}
+	for i := range want {
+		w, g := want[i], got[i]
+		if coordLess(w.Coordinate, g.Coordinate) || coordLess(g.Coordinate, w.Coordinate) {
+			return fmt.Sprintf("cell %d: coordinate %v, reference has %v", i, g.Coordinate, w.Coordinate)
+		}
+		if !testutil.FloatEq(w.Measure, g.Measure) {
+			return fmt.Sprintf("cell %d %v: measure %v, reference %v", i, w.Coordinate, g.Measure, w.Measure)
+		}
+		if !testutil.FloatEq(w.Benchmark, g.Benchmark) {
+			return fmt.Sprintf("cell %d %v: benchmark %v, reference %v", i, w.Coordinate, g.Benchmark, w.Benchmark)
+		}
+		if !testutil.FloatEq(w.Comparison, g.Comparison) {
+			return fmt.Sprintf("cell %d %v: comparison %v, reference %v", i, w.Coordinate, g.Comparison, w.Comparison)
+		}
+		if w.Label != g.Label {
+			return fmt.Sprintf("cell %d %v: label %q, reference %q", i, w.Coordinate, g.Label, w.Label)
+		}
+	}
+	return ""
+}

@@ -1,0 +1,191 @@
+package oracle
+
+import (
+	"fmt"
+
+	"github.com/assess-olap/assess/internal/core"
+	"github.com/assess-olap/assess/internal/parser"
+	"github.com/assess-olap/assess/internal/plan"
+	"github.com/assess-olap/assess/internal/qcache"
+)
+
+// Discrepancy is one observed divergence between an execution axis and
+// the reference evaluation, with everything needed to reproduce it.
+type Discrepancy struct {
+	Seed   int64
+	Stmt   string
+	Axis   string // e.g. "par+views/JOP", "cache/POP warm"
+	Detail string
+}
+
+// String renders the discrepancy with a one-line repro command.
+func (d Discrepancy) String() string {
+	return fmt.Sprintf("seed %d, axis %s: %s\n  stmt:  %s\n  repro: ORACLE_SEED=%d go test ./internal/oracle -run TestDifferential",
+		d.Seed, d.Axis, d.Detail, d.Stmt, d.Seed)
+}
+
+// Report summarizes one differential run.
+type Report struct {
+	Seed          int64
+	Statements    int
+	Comparisons   int // result sets checked against the reference
+	Discrepancies []Discrepancy
+}
+
+// axes are the session configurations the harness cross-checks. The
+// reference is NP on the first (serial, no views, no cache); every other
+// axis must reproduce it bit-for-bit on coordinates and labels and
+// ULP-exactly on numeric columns, for every feasible strategy.
+var axes = []struct {
+	name                   string
+	parallel, views, cache bool
+}{
+	{"base", false, false, false},
+	{"par", true, false, false},
+	{"views", false, true, false},
+	{"par+views", true, true, false},
+	{"cache", false, false, true},
+	{"cache+par+views", true, true, true},
+}
+
+// oracleWorkers is the scan parallelism of the parallel axes, and
+// oracleMinParRows the per-worker row floor: low enough that the
+// generated facts (hundreds to a few thousand rows) genuinely partition,
+// so the partial-state merge is on the tested path.
+const (
+	oracleWorkers    = 4
+	oracleMinParRows = 97
+)
+
+func buildSession(c *Case, parallel, views, cache bool) (*core.Session, error) {
+	s := core.NewSession()
+	if err := s.RegisterCube(TargetCube, c.Fact); err != nil {
+		return nil, err
+	}
+	if err := s.RegisterCube(ExtCube, c.ExtFact); err != nil {
+		return nil, err
+	}
+	if parallel {
+		s.Engine.SetParallelism(oracleWorkers)
+		s.Engine.SetParallelMinRows(oracleMinParRows)
+	}
+	if views {
+		// The hierarchies are shared, so every view level set applies to
+		// the external cube too, putting the view path under the benchmark
+		// queries as well as the target queries.
+		for _, v := range c.Views {
+			if err := s.Materialize(TargetCube, v...); err != nil {
+				return nil, err
+			}
+			if err := s.Materialize(ExtCube, v...); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if cache {
+		s.EnableCache(0)
+	}
+	return s, nil
+}
+
+// Run generates the case for a seed and cross-checks every statement
+// along every axis. Generator-level failures (a statement that fails to
+// parse, render round-trip, or bind) are reported as discrepancies too:
+// the generator is constrained to emit well-typed statements, so any
+// rejection is a bug on one side of that contract.
+func Run(seed int64) *Report {
+	c := Generate(seed)
+	rep := &Report{Seed: seed, Statements: len(c.Statements)}
+	add := func(stmt, axis, detail string) {
+		rep.Discrepancies = append(rep.Discrepancies, Discrepancy{
+			Seed: seed, Stmt: stmt, Axis: axis, Detail: detail,
+		})
+	}
+
+	sessions := make([]*core.Session, len(axes))
+	for i, ax := range axes {
+		s, err := buildSession(c, ax.parallel, ax.views, ax.cache)
+		if err != nil {
+			add("", "setup/"+ax.name, err.Error())
+			return rep
+		}
+		sessions[i] = s
+	}
+	base := sessions[0]
+
+	for _, stmt := range c.Statements {
+		// Parse → render → parse round trip: the generator renders from an
+		// AST, so the text is already canonical and must survive unchanged.
+		st, err := parser.Parse(stmt)
+		if err != nil {
+			add(stmt, "parse", err.Error())
+			continue
+		}
+		if got := st.Render(); got != stmt {
+			add(stmt, "render-roundtrip", fmt.Sprintf("re-rendered as %q", got))
+		}
+		kind, err := base.BenchmarkKind(stmt)
+		if err != nil {
+			add(stmt, "bind", err.Error())
+			continue
+		}
+		ref, _, err := base.ExecWithTracked(stmt, plan.NP)
+		if err != nil {
+			add(stmt, "base/NP", err.Error())
+			continue
+		}
+		want, err := canonRows(ref)
+		if err != nil {
+			add(stmt, "base/NP", err.Error())
+			continue
+		}
+
+		for i, ax := range axes {
+			sess := sessions[i]
+			for _, strat := range core.FeasibleStrategies(kind) {
+				runs := 1
+				if ax.cache {
+					runs = 2 // cold fill, then warm hit
+				}
+				for r := 0; r < runs; r++ {
+					axis := fmt.Sprintf("%s/%v", ax.name, strat)
+					if ax.cache {
+						axis += map[int]string{0: " cold", 1: " warm"}[r]
+					}
+					// The cache-state expectation comes from a probe of the
+					// same session, so statements whose bound plans collide on
+					// one fingerprint (e.g. an explicit using clause spelling
+					// out the default) are expected to hit on their first run.
+					expect := qcache.StateOff
+					if ax.cache {
+						expect = qcache.StateMiss
+						if p, perr := sess.PrepareWith(stmt, strat); perr == nil {
+							expect = sess.CacheProbe(p)
+						}
+						if r == 1 {
+							expect = qcache.StateHit
+						}
+					}
+					res, state, err := sess.ExecWithTracked(stmt, strat)
+					if err != nil {
+						add(stmt, axis, err.Error())
+						break
+					}
+					if state != expect {
+						add(stmt, axis, fmt.Sprintf("cache state %q, expected %q", state, expect))
+					}
+					got, err := canonRows(res)
+					if err != nil {
+						add(stmt, axis, err.Error())
+						break
+					}
+					if d := diffRows(want, got); d != "" {
+						add(stmt, axis, d)
+					}
+					rep.Comparisons++
+				}
+			}
+		}
+	}
+	return rep
+}

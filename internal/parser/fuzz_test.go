@@ -1,6 +1,8 @@
 package parser
 
 import (
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 	"unicode/utf8"
@@ -70,6 +72,74 @@ func hasNestedQuote(st *Statement) bool {
 		}
 	}
 	return false
+}
+
+// corpusStatements harvests every assess/declare statement quoted in the
+// language reference and the runnable examples, so the round-trip corpus
+// tracks the documentation instead of a hand-maintained copy. Statements
+// in both sources sit between backticks (fenced code blocks in the
+// Markdown, raw string literals in the Go examples).
+func corpusStatements(f *testing.F) []string {
+	f.Helper()
+	var sources []string
+	if md, err := os.ReadFile(filepath.Join("..", "..", "docs", "language.md")); err == nil {
+		sources = append(sources, string(md))
+	} else {
+		f.Logf("language reference unavailable: %v", err)
+	}
+	paths, _ := filepath.Glob(filepath.Join("..", "..", "examples", "*", "*.go"))
+	for _, p := range paths {
+		if src, err := os.ReadFile(p); err == nil {
+			sources = append(sources, string(src))
+		}
+	}
+	var out []string
+	for _, src := range sources {
+		for _, chunk := range strings.Split(src, "`") {
+			s := strings.TrimSpace(chunk)
+			if strings.HasPrefix(s, "with ") || strings.HasPrefix(s, "declare ") {
+				out = append(out, s)
+			}
+		}
+	}
+	if len(out) == 0 {
+		f.Log("no documentation statements found; fuzzing from the inline seeds only")
+	}
+	return out
+}
+
+// FuzzRenderRoundTrip checks that Render is a canonicalizing fixed
+// point: any accepted input renders to a statement that re-parses, and
+// rendering the re-parsed AST reproduces the first rendering verbatim.
+// (FuzzParse only checks that the rendering re-parses; this target pins
+// the text itself, which the differential oracle and the query-result
+// cache rely on — equal statements must stay equal through a round
+// trip.)
+func FuzzRenderRoundTrip(f *testing.F) {
+	for _, s := range corpusStatements(f) {
+		f.Add(s)
+	}
+	f.Add(`with SALES by month assess storeSales labels quartiles`)
+	f.Add(`with CUBE for lv0a = 'h0l0m011' by lv0a, lv1a assess* m0 against past 3 labels zscore`)
+	f.Add(`with X by y assess m against B.mb using ratio(m, benchmark.mb) labels {[-inf, 0): lo, [0, inf]: hi} within y`)
+	f.Fuzz(func(t *testing.T, src string) {
+		st, err := Parse(src)
+		if err != nil {
+			return
+		}
+		if hasNestedQuote(st) {
+			return // Render cannot re-quote names containing quotes
+		}
+		first := st.Render()
+		st2, err := Parse(first)
+		if err != nil {
+			t.Fatalf("render of %q does not re-parse: %q: %v", src, first, err)
+		}
+		second := st2.Render()
+		if first != second {
+			t.Fatalf("render is not a fixed point for %q:\n  first:  %q\n  second: %q", src, first, second)
+		}
+	})
 }
 
 // FuzzParseDeclaration checks the declare parser never panics.

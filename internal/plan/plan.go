@@ -329,6 +329,36 @@ func (p *Plan) buildPast(b *semantic.Bound, s Strategy) {
 
 	switch s {
 	case NP:
+		if b.Star {
+			// assess*: anchor the client pivot on the target member, not on
+			// the latest past slice. A pivot anchored on the latest slice
+			// emits no row for a coordinate whose latest past slice is
+			// empty, dropping the partial series that the NaN-tolerant
+			// predictors (and the JOP/POP shapes of this plan) still
+			// predict from.
+			qbs := qb
+			qbs.Preds = replacePred(b.Preds, level,
+				append(append([]int32(nil), past...), b.Bench.SliceMember))
+			series := make([]semantic.Expr, 0, len(past))
+			for _, id := range past {
+				series = append(series, &semantic.ColumnExpr{Column: m + "@" + dict.Name(id)})
+			}
+			p.Ops = append(p.Ops,
+				Op{Kind: OpGet, Phase: PhaseGetC, Dst: "C", Query: qc},
+				Op{Kind: OpGet, Phase: PhaseGetB, Dst: "B", Query: qbs},
+				Op{Kind: OpClientPivot, Phase: PhaseTransform, Dst: "E", SrcA: "B",
+					Level: level, Ref: b.Bench.SliceMember, Neighbors: past, Strict: false},
+				Op{Kind: OpTransform, Phase: PhaseTransform, Dst: "E",
+					Expr: regressionExpr(b, series), OutCol: predColumn, note: "regression"},
+				Op{Kind: OpProject, Phase: PhaseTransform, Dst: "E", SrcA: "E",
+					ProjKeep:   []string{predColumn},
+					ProjRename: map[string]string{predColumn: m},
+					note:       "project prediction as " + m},
+				Op{Kind: OpClientJoin, Phase: PhaseJoin, Dst: "C", SrcA: "C", SrcB: "E",
+					On: on, Alias: "benchmark.", Outer: true},
+			)
+			break
+		}
 		// Paper Example 4.5 (past plan): get C, get B, pivot B on the
 		// latest past slice, regress, join, then compare and label.
 		series := make([]semantic.Expr, 0, len(past))
@@ -340,7 +370,7 @@ func (p *Plan) buildPast(b *semantic.Bound, s Strategy) {
 			Op{Kind: OpGet, Phase: PhaseGetC, Dst: "C", Query: qc},
 			Op{Kind: OpGet, Phase: PhaseGetB, Dst: "B", Query: qb},
 			Op{Kind: OpClientPivot, Phase: PhaseTransform, Dst: "E", SrcA: "B",
-				Level: level, Ref: latest, Neighbors: past[:len(past)-1], Strict: !b.Star},
+				Level: level, Ref: latest, Neighbors: past[:len(past)-1], Strict: true},
 			Op{Kind: OpTransform, Phase: PhaseTransform, Dst: "E",
 				Expr: regressionExpr(b, series), OutCol: predColumn, note: "regression"},
 			Op{Kind: OpProject, Phase: PhaseTransform, Dst: "E", SrcA: "E",
@@ -348,7 +378,7 @@ func (p *Plan) buildPast(b *semantic.Bound, s Strategy) {
 				ProjRename: map[string]string{predColumn: m},
 				note:       "project prediction as " + m},
 			Op{Kind: OpClientJoin, Phase: PhaseJoin, Dst: "C", SrcA: "C", SrcB: "E",
-				On: on, Alias: "benchmark.", Outer: b.Star},
+				On: on, Alias: "benchmark.", Outer: false},
 		)
 	case JOP:
 		// Property P2: the join C ⋈ B is pushed to the engine before the

@@ -1,0 +1,63 @@
+package sqlgen
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/assess-olap/assess/internal/plan"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files under testdata/")
+
+// TestGoldenSQL pins the exact SQL and Python emitted for one plan of
+// each strategy, so any change to the generated formulation (Table 1's
+// manual-effort baseline) shows up as a reviewable diff. Regenerate
+// with: go test ./internal/sqlgen -run TestGoldenSQL -update
+func TestGoldenSQL(t *testing.T) {
+	cases := []struct {
+		name     string
+		stmt     string
+		strategy plan.Strategy
+	}{
+		{"sibling_np", siblingStmt, plan.NP},
+		{"sibling_jop", siblingStmt, plan.JOP},
+		{"sibling_pop", siblingStmt, plan.POP},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			g := Generate(planFor(t, c.stmt, c.strategy))
+			got := "-- SQL --\n" + g.SQL + "\n-- Python --\n" + g.Python
+			path := filepath.Join("testdata", c.name+".golden")
+			if *update {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden file (run with -update to create): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("%s: generated formulation differs from %s (rerun with -update if intended)\n--- got ---\n%s\n--- want ---\n%s",
+					c.name, path, got, want)
+			}
+		})
+	}
+}
+
+// TestGoldenDeterministic guards the premise of the golden files: the
+// generator must emit byte-identical output for the same plan.
+func TestGoldenDeterministic(t *testing.T) {
+	a := Generate(planFor(t, siblingStmt, plan.JOP))
+	b := Generate(planFor(t, siblingStmt, plan.JOP))
+	if a.SQL != b.SQL || a.Python != b.Python {
+		t.Fatal("sqlgen output is not deterministic; golden files cannot work")
+	}
+}

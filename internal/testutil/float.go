@@ -1,0 +1,67 @@
+// Package testutil holds small helpers shared by the test suites and
+// the differential oracle: principled floating-point comparison in
+// place of the ad-hoc absolute tolerances that used to be scattered
+// through the tests.
+//
+// The helpers treat NaN as equal to NaN: in assess results a NaN is a
+// legitimate value (the null benchmark of an assess* cell, a ratio
+// against a zero benchmark), and two evaluation strategies that both
+// produce it agree.
+package testutil
+
+import "math"
+
+// DefaultULPs is the unit-in-the-last-place distance within which two
+// floats are considered equal by FloatEq. Merged partial aggregates
+// (parallel scans) and re-associated sums stay well inside this bound.
+const DefaultULPs = 64
+
+// FloatEq reports whether a and b are equal within DefaultULPs
+// units-in-the-last-place (NaN equals NaN, infinities must match sign).
+func FloatEq(a, b float64) bool { return FloatEqULP(a, b, DefaultULPs) }
+
+// FloatEqULP reports whether a and b are within ulps
+// units-in-the-last-place of each other. NaN equals NaN; an infinity is
+// only equal to an infinity of the same sign; +0 and -0 are equal.
+func FloatEqULP(a, b float64, ulps uint64) bool {
+	if math.IsNaN(a) || math.IsNaN(b) {
+		return math.IsNaN(a) && math.IsNaN(b)
+	}
+	if a == b {
+		return true // also covers +0 == -0 and equal infinities
+	}
+	if math.IsInf(a, 0) || math.IsInf(b, 0) {
+		return false
+	}
+	ia, ib := orderedBits(a), orderedBits(b)
+	d := ia - ib
+	if d < 0 {
+		d = -d
+	}
+	return uint64(d) <= ulps
+}
+
+// orderedBits maps a float64 to an int64 such that the integer order
+// matches the float order and adjacent integers are adjacent floats
+// (the standard lexicographic ULP mapping).
+func orderedBits(f float64) int64 {
+	b := int64(math.Float64bits(f))
+	if b < 0 {
+		b = math.MinInt64 - b
+	}
+	return b
+}
+
+// FloatNear reports whether a and b agree within the relative tolerance
+// rel, scaled as |a-b| <= rel·(1 + |a| + |b|). NaN equals NaN;
+// infinities must match exactly. It is the drop-in replacement for the
+// `math.Abs(x-y) > 1e-9` checks the tests used to hand-roll.
+func FloatNear(a, b, rel float64) bool {
+	if math.IsNaN(a) || math.IsNaN(b) {
+		return math.IsNaN(a) && math.IsNaN(b)
+	}
+	if math.IsInf(a, 0) || math.IsInf(b, 0) {
+		return a == b
+	}
+	return math.Abs(a-b) <= rel*(1+math.Abs(a)+math.Abs(b))
+}

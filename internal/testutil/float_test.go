@@ -1,0 +1,67 @@
+package testutil
+
+import (
+	"math"
+	"testing"
+)
+
+func TestFloatEq(t *testing.T) {
+	nan, inf := math.NaN(), math.Inf(1)
+	next := math.Nextafter
+	cases := []struct {
+		a, b float64
+		want bool
+	}{
+		{1, 1, true},
+		{0, math.Copysign(0, -1), true},
+		{nan, nan, true},
+		{nan, 1, false},
+		{1, nan, false},
+		{inf, inf, true},
+		{inf, -inf, false},
+		{inf, math.MaxFloat64, false},
+		{1, next(1, 2), true},                      // 1 ULP apart
+		{1, 1 + 1e-10, false},                      // far outside 64 ULPs
+		{1e300, next(next(1e300, inf), inf), true}, // ULP scale-invariance
+		{-1, next(-1, -2), true},                   // negative side
+		{next(0, 1), next(0, -1), true},            // straddling zero by 2 ULPs
+		{1, -1, false},
+	}
+	for _, c := range cases {
+		if got := FloatEq(c.a, c.b); got != c.want {
+			t.Errorf("FloatEq(%g, %g) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestFloatEqULP(t *testing.T) {
+	a := 1.0
+	b := a
+	for i := 0; i < 4; i++ {
+		b = math.Nextafter(b, 2)
+	}
+	if !FloatEqULP(a, b, 4) {
+		t.Errorf("4 ULPs apart not equal at tolerance 4")
+	}
+	if FloatEqULP(a, b, 3) {
+		t.Errorf("4 ULPs apart equal at tolerance 3")
+	}
+}
+
+func TestFloatNear(t *testing.T) {
+	if !FloatNear(100, 100+1e-8, 1e-9) {
+		t.Errorf("relative tolerance should scale with magnitude")
+	}
+	if FloatNear(1, 1.1, 1e-9) {
+		t.Errorf("1 vs 1.1 near at 1e-9")
+	}
+	if !FloatNear(math.NaN(), math.NaN(), 1e-9) {
+		t.Errorf("NaN should equal NaN")
+	}
+	if !FloatNear(math.Inf(1), math.Inf(1), 1e-9) {
+		t.Errorf("inf should equal inf")
+	}
+	if FloatNear(math.Inf(1), math.Inf(-1), 1e-9) {
+		t.Errorf("inf should not equal -inf")
+	}
+}

@@ -1,0 +1,51 @@
+#!/usr/bin/env bash
+# Run the full Benchmark* suite and snapshot the results as a committed
+# baseline (BENCH_seed.json), so later PRs can diff performance against
+# the tree state that produced it.
+#
+# Usage:
+#   scripts/bench.sh            # run with -count=5, write BENCH_seed.json
+#   COUNT=1 scripts/bench.sh    # quicker smoke run
+#   OUT=/tmp/bench.json scripts/bench.sh  # write elsewhere (e.g. to compare)
+#
+# Compare two snapshots with: go run golang.org/x/perf/cmd/benchstat (if
+# available) or scripts/bench.sh plus any JSON diff; each record carries
+# the benchmark name, iterations, and ns/op exactly as reported by go
+# test -bench.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+COUNT="${COUNT:-5}"
+OUT="${OUT:-BENCH_seed.json}"
+BENCHTIME="${BENCHTIME:-1x}"
+
+# -benchtime=1x: the paper-replication benchmarks are macro-benchmarks
+# (full experiment tables); one iteration per -count repetition keeps the
+# suite minutes-scale while -count=5 still yields a spread.
+raw="$(go test -run '^$' -bench . -benchtime "$BENCHTIME" -count "$COUNT" ./... 2>&1 | grep -E '^Benchmark')"
+
+# Render the raw `go test -bench` lines as a JSON array of
+# {name, iterations, ns_per_op, extras...} records.
+RAW="$raw" python3 - "$OUT" <<'EOF'
+import json, os, sys
+
+out = []
+for line in os.environ["RAW"].splitlines():
+    parts = line.split()
+    if len(parts) < 3 or not parts[0].startswith("Benchmark"):
+        continue
+    rec = {"name": parts[0], "iterations": int(parts[1])}
+    # Remaining fields come in value/unit pairs: 123456 ns/op 42 extra/op …
+    for value, unit in zip(parts[2::2], parts[3::2]):
+        key = unit.replace("/", "_per_").replace("-", "_")
+        try:
+            rec[key] = float(value)
+        except ValueError:
+            rec[key] = value
+    out.append(rec)
+
+with open(sys.argv[1], "w") as f:
+    json.dump(out, f, indent=2, sort_keys=True)
+    f.write("\n")
+print(f"wrote {len(out)} benchmark records to {sys.argv[1]}")
+EOF
