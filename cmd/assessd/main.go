@@ -5,15 +5,22 @@
 //	POST /explain  {"statement": "..."}
 //	POST /validate {"statement": "..."}
 //	POST /suggest  {"statement": "<partial>", "max": 3}
+//	POST /query    {"statement": "with C by G get m"}
 //	GET  /cubes
 //	GET  /stats
+//	GET  /metrics
 //	GET  /healthz
+//
+// Every POST endpoint accepts ?trace=1 to return the query's span tree.
+// With -debug-addr set, a second listener serves net/http/pprof,
+// expvar (/debug/vars), and /metrics, kept off the serving port.
 //
 // Usage:
 //
 //	assessd [-addr :8080] [-data sales|ssb] [-rows 50000] [-sf 0.01]
 //	        [-seed 42] [-load cube.bin] [-parallel 0]
 //	        [-cache on|off] [-cache-mb 64]
+//	        [-debug-addr :6060] [-slow-query-ms 500] [-slow-query-log path]
 package main
 
 import (
@@ -21,6 +28,8 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -28,22 +37,28 @@ import (
 	"time"
 
 	assess "github.com/assess-olap/assess"
+	"github.com/assess-olap/assess/internal/obsv"
 	"github.com/assess-olap/assess/internal/server"
 )
 
 func main() {
 	var (
-		addr     = flag.String("addr", ":8080", "listen address")
-		data     = flag.String("data", "sales", "dataset: sales or ssb")
-		rows     = flag.Int("rows", 50_000, "fact rows for the sales dataset")
-		sf       = flag.Float64("sf", 0.01, "scale factor for the ssb dataset")
-		seed     = flag.Int64("seed", 42, "generator seed")
-		load     = flag.String("load", "", "serve a cube loaded from a file instead of generating one")
-		parallel = flag.Int("parallel", 1, "fact-scan parallelism (0 = all cores)")
-		cache    = flag.String("cache", "on", "query-result cache: on or off")
-		cacheMB  = flag.Int("cache-mb", 64, "query-result cache budget in MiB")
+		addr      = flag.String("addr", ":8080", "listen address")
+		data      = flag.String("data", "sales", "dataset: sales or ssb")
+		rows      = flag.Int("rows", 50_000, "fact rows for the sales dataset")
+		sf        = flag.Float64("sf", 0.01, "scale factor for the ssb dataset")
+		seed      = flag.Int64("seed", 42, "generator seed")
+		load      = flag.String("load", "", "serve a cube loaded from a file instead of generating one")
+		parallel  = flag.Int("parallel", 1, "fact-scan parallelism (0 = all cores)")
+		cache     = flag.String("cache", "on", "query-result cache: on or off")
+		cacheMB   = flag.Int("cache-mb", 64, "query-result cache budget in MiB")
+		debugAddr = flag.String("debug-addr", "", "debug listener (pprof, expvar, metrics); empty disables")
+		slowMS    = flag.Int("slow-query-ms", 500, "slow-query log threshold in ms (0 disables)")
+		slowPath  = flag.String("slow-query-log", "", "slow-query log file (default stderr)")
 	)
 	flag.Parse()
+
+	logger := slog.New(slog.NewJSONHandler(os.Stderr, nil))
 
 	session, err := open(*data, *rows, *sf, *seed, *load)
 	if err != nil {
@@ -59,31 +74,69 @@ func main() {
 	default:
 		log.Fatalf("assessd: -cache must be on or off, got %q", *cache)
 	}
-	srv := &http.Server{
-		Addr:              *addr,
-		Handler:           server.New(session).Handler(),
-		ReadHeaderTimeout: 5 * time.Second,
+
+	slow, err := openSlowLog(*slowPath, time.Duration(*slowMS)*time.Millisecond)
+	if err != nil {
+		log.Fatal(err)
 	}
-	log.Printf("assessd listening on %s (cubes: %v, cache: %s)", *addr, session.Engine.Facts(), *cache)
+	defer slow.Close()
+
+	srv := server.New(session,
+		server.WithLogger(logger),
+		server.WithSlowLog(slow),
+	)
 
 	// Serve until SIGINT/SIGTERM, then drain in-flight requests for up
-	// to 5 s before exiting.
+	// to 5 s, close the debug listener, and flush the slow-query log.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	errc := make(chan error, 1)
-	go func() { errc <- srv.ListenAndServe() }()
-	select {
-	case err := <-errc:
+	err = serve(ctx, serveConfig{
+		addr:      *addr,
+		debugAddr: *debugAddr,
+		handler:   srv.Handler(),
+		metrics:   http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) { metricsHandler(w) }),
+		slow:      slow,
+		logger:    logger,
+		drain:     5 * time.Second,
+		ready: func(api, debug net.Addr) {
+			logger.Info("assessd listening",
+				"addr", api.String(),
+				"debugAddr", addrString(debug),
+				"cubes", session.Engine.Facts(),
+				"cache", *cache,
+				"slowQueryMs", *slowMS)
+		},
+	})
+	if err != nil {
 		log.Fatal(err)
-	case <-ctx.Done():
-		stop()
-		log.Print("assessd: signal received, shutting down")
-		sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
-		defer cancel()
-		if err := srv.Shutdown(sctx); err != nil {
-			log.Printf("assessd: shutdown: %v", err)
-		}
 	}
+}
+
+func addrString(a net.Addr) string {
+	if a == nil {
+		return ""
+	}
+	return a.String()
+}
+
+// metricsHandler renders the default registry (the debug listener's
+// /metrics mirror; the API listener serves its own via the server).
+func metricsHandler(w http.ResponseWriter) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	obsv.Default.WritePrometheus(w)
+}
+
+// openSlowLog builds the slow-query log: to a file when a path is
+// given, else stderr. A non-positive threshold disables logging.
+func openSlowLog(path string, threshold time.Duration) (*obsv.SlowLog, error) {
+	if path == "" {
+		return obsv.NewSlowLog(os.Stderr, threshold), nil
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("assessd: slow-query log: %w", err)
+	}
+	return obsv.NewSlowLog(f, threshold), nil
 }
 
 func open(data string, rows int, sf float64, seed int64, load string) (*assess.Session, error) {

@@ -1,0 +1,119 @@
+package main
+
+import (
+	"context"
+	"expvar"
+	"log/slog"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+
+	"github.com/assess-olap/assess/internal/obsv"
+)
+
+// serveConfig wires the main API listener, the optional debug listener
+// (pprof + expvar + metrics), and the slow-query log into one lifecycle
+// so a regression test can drive startup and shutdown end to end.
+type serveConfig struct {
+	addr      string       // main listener address
+	debugAddr string       // debug listener address, "" disables
+	handler   http.Handler // main API handler
+	metrics   http.Handler // /metrics handler mounted on the debug mux too
+	slow      *obsv.SlowLog
+	logger    *slog.Logger
+	drain     time.Duration // shutdown drain budget
+	// ready, when non-nil, receives the bound listener addresses once
+	// both listeners accept connections (debug nil when disabled).
+	ready func(api net.Addr, debug net.Addr)
+}
+
+// debugMux builds the debug listener's handler: net/http/pprof, expvar,
+// and the Prometheus metrics endpoint. Kept off the main listener so
+// profiling endpoints are never exposed on the serving port.
+func debugMux(metrics http.Handler) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+	if metrics != nil {
+		mux.Handle("/metrics", metrics)
+	}
+	return mux
+}
+
+// serve runs the listeners until ctx is cancelled, then drains in-flight
+// requests (bounded by cfg.drain), closes the debug listener, and
+// flushes the slow-query log. It returns the first listener error, or
+// nil on a clean shutdown.
+func serve(ctx context.Context, cfg serveConfig) error {
+	if cfg.drain <= 0 {
+		cfg.drain = 5 * time.Second
+	}
+	ln, err := net.Listen("tcp", cfg.addr)
+	if err != nil {
+		return err
+	}
+	api := &http.Server{Handler: cfg.handler, ReadHeaderTimeout: 5 * time.Second}
+
+	var (
+		debug   *http.Server
+		debugLn net.Listener
+	)
+	if cfg.debugAddr != "" {
+		debugLn, err = net.Listen("tcp", cfg.debugAddr)
+		if err != nil {
+			ln.Close()
+			return err
+		}
+		debug = &http.Server{Handler: debugMux(cfg.metrics), ReadHeaderTimeout: 5 * time.Second}
+	}
+
+	errc := make(chan error, 2)
+	go func() { errc <- api.Serve(ln) }()
+	if debug != nil {
+		go func() { errc <- debug.Serve(debugLn) }()
+	}
+	if cfg.ready != nil {
+		var daddr net.Addr
+		if debugLn != nil {
+			daddr = debugLn.Addr()
+		}
+		cfg.ready(ln.Addr(), daddr)
+	}
+
+	select {
+	case err := <-errc:
+		// A listener died on its own; tear the rest down.
+		api.Close()
+		if debug != nil {
+			debug.Close()
+		}
+		cfg.slow.Flush()
+		return err
+	case <-ctx.Done():
+	}
+
+	if cfg.logger != nil {
+		cfg.logger.Info("shutting down", "drain", cfg.drain)
+	}
+	sctx, cancel := context.WithTimeout(context.Background(), cfg.drain)
+	defer cancel()
+	// Drain the API listener first (in-flight statements finish), then
+	// the debug listener (an attached profiler should not hold shutdown
+	// beyond the drain budget), then flush the slow-query log so every
+	// statement served before the drain is on disk.
+	serr := api.Shutdown(sctx)
+	if debug != nil {
+		if derr := debug.Shutdown(sctx); serr == nil {
+			serr = derr
+		}
+	}
+	if ferr := cfg.slow.Flush(); serr == nil {
+		serr = ferr
+	}
+	return serr
+}

@@ -8,6 +8,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sync/atomic"
 	"time"
@@ -18,12 +19,42 @@ import (
 	"github.com/assess-olap/assess/internal/funcs"
 	"github.com/assess-olap/assess/internal/labeling"
 	"github.com/assess-olap/assess/internal/mdm"
+	"github.com/assess-olap/assess/internal/obsv"
 	"github.com/assess-olap/assess/internal/parser"
 	"github.com/assess-olap/assess/internal/plan"
 	"github.com/assess-olap/assess/internal/qcache"
 	"github.com/assess-olap/assess/internal/semantic"
 	"github.com/assess-olap/assess/internal/storage"
 )
+
+// Session-level metrics. Error counters are split by the lifecycle stage
+// that rejected the statement; query totals are labeled by strategy and
+// benchmark kind so /metrics can answer "how many POP past-benchmark
+// queries ran" directly.
+var (
+	mQuerySeconds = obsv.Default.Histogram("assess_query_seconds",
+		"End-to-end assess statement latency, parse through sorted result.")
+	mGetQueries = obsv.Default.Counter("assess_get_queries_total",
+		"Plain cube queries (get statements) executed.")
+	mDeclares = obsv.Default.Counter("assess_declares_total",
+		"Declare statements executed (labeler registrations).")
+	mErrParse = obsv.Default.Counter("assess_query_errors_total",
+		"Statements rejected, by lifecycle stage.", "stage", "parse")
+	mErrBind = obsv.Default.Counter("assess_query_errors_total",
+		"Statements rejected, by lifecycle stage.", "stage", "bind")
+	mErrPlan = obsv.Default.Counter("assess_query_errors_total",
+		"Statements rejected, by lifecycle stage.", "stage", "plan")
+	mErrExec = obsv.Default.Counter("assess_query_errors_total",
+		"Statements rejected, by lifecycle stage.", "stage", "exec")
+)
+
+// queryCounter returns the assess_queries_total series for one
+// (strategy, benchmark kind) pair.
+func queryCounter(strat plan.Strategy, kind parser.BenchmarkKind) *obsv.Counter {
+	return obsv.Default.Counter("assess_queries_total",
+		"Assess statements executed, by strategy and benchmark kind.",
+		"strategy", strat.String(), "kind", kind.String())
+}
 
 // CacheState reports whether a statement's result came from the
 // query-result cache ("hit"), was evaluated ("miss"), or whether no
@@ -109,29 +140,74 @@ func (s *Session) RegisterLabeler(l labeling.Labeler) error {
 // Prepare parses, binds, and plans a statement with the best feasible
 // strategy without executing it.
 func (s *Session) Prepare(stmt string) (*plan.Plan, error) {
-	b, err := s.bind(stmt)
+	return s.PrepareContext(context.Background(), stmt)
+}
+
+// PrepareContext is Prepare with the query lifecycle traced into the
+// context's span tree (obsv.NewTrace): parse → bind → plan-select.
+func (s *Session) PrepareContext(ctx context.Context, stmt string) (*plan.Plan, error) {
+	b, err := s.bindContext(ctx, stmt)
 	if err != nil {
 		return nil, err
 	}
-	return plan.Build(b, BestStrategy(b.Bench.Kind))
+	return s.buildPlan(ctx, b, func() (*plan.Plan, error) {
+		return plan.Build(b, BestStrategy(b.Bench.Kind))
+	})
 }
 
 // PrepareWith parses, binds, and plans a statement with an explicit
 // strategy.
 func (s *Session) PrepareWith(stmt string, strategy plan.Strategy) (*plan.Plan, error) {
-	b, err := s.bind(stmt)
+	return s.PrepareWithContext(context.Background(), stmt, strategy)
+}
+
+// PrepareWithContext is PrepareWith with lifecycle tracing.
+func (s *Session) PrepareWithContext(ctx context.Context, stmt string, strategy plan.Strategy) (*plan.Plan, error) {
+	b, err := s.bindContext(ctx, stmt)
 	if err != nil {
 		return nil, err
 	}
-	return plan.Build(b, strategy)
+	return s.buildPlan(ctx, b, func() (*plan.Plan, error) {
+		return plan.Build(b, strategy)
+	})
+}
+
+// buildPlan wraps strategy selection + plan construction in the
+// "plan" span, noting the chosen strategy.
+func (s *Session) buildPlan(ctx context.Context, b *semantic.Bound, build func() (*plan.Plan, error)) (*plan.Plan, error) {
+	_, sp := obsv.StartSpan(ctx, "plan")
+	p, err := build()
+	if err != nil {
+		mErrPlan.Inc()
+	} else if sp != nil {
+		sp.SetNote(fmt.Sprintf("%v/%v", p.Strategy, b.Bench.Kind))
+	}
+	sp.End()
+	return p, err
 }
 
 func (s *Session) bind(stmt string) (*semantic.Bound, error) {
+	return s.bindContext(context.Background(), stmt)
+}
+
+// bindContext parses and binds under "parse" and "bind" spans, counting
+// rejections into the per-stage error counters.
+func (s *Session) bindContext(ctx context.Context, stmt string) (*semantic.Bound, error) {
+	_, sp := obsv.StartSpan(ctx, "parse")
 	st, err := parser.Parse(stmt)
+	sp.End()
 	if err != nil {
+		mErrParse.Inc()
 		return nil, err
 	}
-	return s.Binder.Bind(st)
+	_, sp = obsv.StartSpan(ctx, "bind")
+	b, err := s.Binder.Bind(st)
+	sp.End()
+	if err != nil {
+		mErrBind.Inc()
+		return nil, err
+	}
+	return b, nil
 }
 
 // PrepareCostBased plans a statement by choosing the feasible strategy
@@ -139,11 +215,18 @@ func (s *Session) bind(stmt string) (*semantic.Bound, error) {
 // paper's future work, Section 8), using the engine's statistics:
 // fact-table cardinalities, dictionary sizes, and materialized views.
 func (s *Session) PrepareCostBased(stmt string) (*plan.Plan, error) {
-	b, err := s.bind(stmt)
+	return s.PrepareCostBasedContext(context.Background(), stmt)
+}
+
+// PrepareCostBasedContext is PrepareCostBased with lifecycle tracing.
+func (s *Session) PrepareCostBasedContext(ctx context.Context, stmt string) (*plan.Plan, error) {
+	b, err := s.bindContext(ctx, stmt)
 	if err != nil {
 		return nil, err
 	}
-	return plan.ChooseByCost(b, s.Engine)
+	return s.buildPlan(ctx, b, func() (*plan.Plan, error) {
+		return plan.ChooseByCost(b, s.Engine)
+	})
 }
 
 // ExecCostBased runs a statement with the cheapest plan according to the
@@ -156,26 +239,63 @@ func (s *Session) ExecCostBased(stmt string) (*exec.Result, error) {
 // ExecCostBasedTracked is ExecCostBased, also reporting whether the
 // result came from the query-result cache.
 func (s *Session) ExecCostBasedTracked(stmt string) (*exec.Result, CacheState, error) {
-	p, err := s.PrepareCostBased(stmt)
+	return s.ExecCostBasedTrackedContext(context.Background(), stmt)
+}
+
+// ExecCostBasedTrackedContext is ExecCostBasedTracked with lifecycle
+// tracing threaded through the context.
+func (s *Session) ExecCostBasedTrackedContext(ctx context.Context, stmt string) (*exec.Result, CacheState, error) {
+	start := time.Now()
+	p, err := s.PrepareCostBasedContext(ctx, stmt)
 	if err != nil {
 		return nil, qcache.StateOff, err
 	}
-	return s.run(p)
+	return s.finishRun(ctx, p, start)
 }
 
 // run executes a built plan, consulting the query-result cache when one
 // is enabled: the cache key is the fingerprint of the bound plan and its
 // strategy, validated against the current catalog generation, and
 // concurrent identical statements share one evaluation (singleflight).
-func (s *Session) run(p *plan.Plan) (*exec.Result, CacheState, error) {
+// The "execute" span nests the cache probe/store and the per-operation
+// engine spans.
+func (s *Session) run(ctx context.Context, p *plan.Plan) (*exec.Result, CacheState, error) {
+	ctx, sp := obsv.StartSpan(ctx, "execute")
+	var (
+		res   *exec.Result
+		state CacheState
+		err   error
+	)
 	if s.cache == nil {
-		r, err := exec.Run(s.Engine, p)
-		return r, qcache.StateOff, err
+		res, err = exec.RunContext(ctx, s.Engine, p)
+		state = qcache.StateOff
+	} else {
+		key := qcache.Fingerprint(p.Bound, p.Strategy)
+		res, state, err = s.cache.DoContext(ctx, key, s.Generation(), func() (*exec.Result, error) {
+			return exec.RunContext(ctx, s.Engine, p)
+		})
 	}
-	key := qcache.Fingerprint(p.Bound, p.Strategy)
-	return s.cache.Do(key, s.Generation(), func() (*exec.Result, error) {
-		return exec.Run(s.Engine, p)
-	})
+	if err != nil {
+		mErrExec.Inc()
+		sp.End()
+		return nil, state, err
+	}
+	if state != qcache.StateOff {
+		sp.SetNote(string(state))
+	}
+	sp.End()
+	queryCounter(p.Strategy, p.Bound.Bench.Kind).Inc()
+	return res, state, err
+}
+
+// finishRun executes the prepared plan and observes the end-to-end
+// statement latency on success.
+func (s *Session) finishRun(ctx context.Context, p *plan.Plan, start time.Time) (*exec.Result, CacheState, error) {
+	res, state, err := s.run(ctx, p)
+	if err == nil {
+		mQuerySeconds.Observe(time.Since(start).Seconds())
+	}
+	return res, state, err
 }
 
 // CacheProbe reports whether executing the plan now would hit the cache
@@ -212,14 +332,24 @@ func (s *Session) Exec(stmt string) (*exec.Result, error) {
 // ExecTracked is Exec, also reporting whether the result came from the
 // query-result cache.
 func (s *Session) ExecTracked(stmt string) (*exec.Result, CacheState, error) {
+	return s.ExecTrackedContext(context.Background(), stmt)
+}
+
+// ExecTrackedContext is ExecTracked with the query lifecycle traced into
+// the context's span tree when one is attached (obsv.NewTrace): parse →
+// bind → plan-select → execute (cache probe/store and per-operation
+// engine/client spans nested beneath).
+func (s *Session) ExecTrackedContext(ctx context.Context, stmt string) (*exec.Result, CacheState, error) {
 	if parser.IsDeclaration(stmt) {
+		mDeclares.Inc()
 		return nil, qcache.StateOff, s.Declare(stmt)
 	}
-	p, err := s.Prepare(stmt)
+	start := time.Now()
+	p, err := s.PrepareContext(ctx, stmt)
 	if err != nil {
 		return nil, qcache.StateOff, err
 	}
-	return s.run(p)
+	return s.finishRun(ctx, p, start)
 }
 
 // QueryResult is the outcome of a plain cube query (get statement).
@@ -235,23 +365,45 @@ func (r *QueryResult) Render() string { return r.Cube.String() }
 // "with C0 [for P] by G get m1, m2". The result is the derived cube of
 // Definition 2.6, sorted by coordinate.
 func (s *Session) Query(stmt string) (*QueryResult, error) {
+	return s.QueryContext(context.Background(), stmt)
+}
+
+// QueryContext is Query with lifecycle tracing (parse → bind →
+// execute/engine.scan spans).
+func (s *Session) QueryContext(ctx context.Context, stmt string) (*QueryResult, error) {
+	_, sp := obsv.StartSpan(ctx, "parse")
 	st, err := parser.Parse(stmt)
+	sp.End()
 	if err != nil {
+		mErrParse.Inc()
 		return nil, err
 	}
 	if !st.IsGet() {
 		return nil, fmt.Errorf("assess: not a get statement; execute assessments with Exec")
 	}
+	_, sp = obsv.StartSpan(ctx, "bind")
 	q, err := s.Binder.BindGet(st)
+	sp.End()
 	if err != nil {
+		mErrBind.Inc()
 		return nil, err
 	}
 	start := time.Now()
+	ctx, sp = obsv.StartSpan(ctx, "execute")
+	_, scan := obsv.StartSpan(ctx, "engine.scan")
 	c, err := s.Engine.Get(q)
 	if err != nil {
+		scan.End()
+		sp.End()
+		mErrExec.Inc()
 		return nil, err
 	}
+	scan.SetRows(0, int64(c.Len()))
+	scan.End()
 	c.SortByCoordinate()
+	sp.End()
+	mGetQueries.Inc()
+	mQuerySeconds.Observe(time.Since(start).Seconds())
 	return &QueryResult{Cube: c, Total: time.Since(start)}, nil
 }
 
@@ -290,11 +442,17 @@ func (s *Session) ExecWith(stmt string, strategy plan.Strategy) (*exec.Result, e
 // ExecWithTracked is ExecWith, also reporting whether the result came
 // from the query-result cache.
 func (s *Session) ExecWithTracked(stmt string, strategy plan.Strategy) (*exec.Result, CacheState, error) {
-	p, err := s.PrepareWith(stmt, strategy)
+	return s.ExecWithTrackedContext(context.Background(), stmt, strategy)
+}
+
+// ExecWithTrackedContext is ExecWithTracked with lifecycle tracing.
+func (s *Session) ExecWithTrackedContext(ctx context.Context, stmt string, strategy plan.Strategy) (*exec.Result, CacheState, error) {
+	start := time.Now()
+	p, err := s.PrepareWithContext(ctx, stmt, strategy)
 	if err != nil {
 		return nil, qcache.StateOff, err
 	}
-	return s.run(p)
+	return s.finishRun(ctx, p, start)
 }
 
 // Explain returns the plan description for a statement under the best

@@ -159,6 +159,7 @@ type aggState struct {
 // fact-table scan.
 func (e *Engine) aggregate(q Query) (*cube.Cube, error) {
 	if v := e.viewFor(q); v != nil {
+		mScansView.Inc()
 		return aggregateFromView(v, q)
 	}
 	return e.scanAggregate(q)
@@ -229,10 +230,13 @@ func (e *Engine) scanAggregate(q Query) (*cube.Cube, error) {
 		gmaps:   gmaps,
 		ops:     ops,
 	}
+	mRowsScanned.Add(int64(prep.f.rows))
 	var st scanState
 	if e.workers > 1 {
+		mScansParallel.Inc()
 		st = prep.runParallel(e.workers, e.parallelMinRows())
 	} else {
+		mScansSerial.Inc()
 		st = prep.run(0, prep.f.rows)
 	}
 	return prep.finalize(cube.New(s, q.Group, names...), st)

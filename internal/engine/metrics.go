@@ -1,0 +1,21 @@
+package engine
+
+import "github.com/assess-olap/assess/internal/obsv"
+
+// Engine-level metrics, published into the process-wide registry. These
+// are plain atomic counters on the scan and transfer paths; the cost per
+// query is a handful of atomic adds, so they stay on unconditionally.
+var (
+	mRowsScanned = obsv.Default.Counter("assess_engine_rows_scanned_total",
+		"Fact-table rows scanned by aggregate queries (views excluded).")
+	mScansSerial = obsv.Default.Counter("assess_engine_scans_total",
+		"Aggregate evaluations by mode.", "mode", "serial")
+	mScansParallel = obsv.Default.Counter("assess_engine_scans_total",
+		"Aggregate evaluations by mode.", "mode", "parallel")
+	mScansView = obsv.Default.Counter("assess_engine_scans_total",
+		"Aggregate evaluations by mode.", "mode", "view")
+	mTransferBytes = obsv.Default.Counter("assess_engine_transfer_bytes_total",
+		"Bytes crossing the engine-to-client cursor boundary.")
+	mTransferCells = obsv.Default.Counter("assess_engine_transfer_cells_total",
+		"Result cells crossing the engine-to-client cursor boundary.")
+)

@@ -66,5 +66,8 @@ func decodeRows(s *mdm.Schema, g mdm.GroupBy, names []string, buf []byte) (*cube
 
 // transfer moves an engine-side result set across the cursor boundary.
 func transfer(c *cube.Cube) (*cube.Cube, error) {
-	return decodeRows(c.Schema, c.Group, c.Names, encodeRows(c))
+	buf := encodeRows(c)
+	mTransferBytes.Add(int64(len(buf)))
+	mTransferCells.Add(int64(c.Len()))
+	return decodeRows(c.Schema, c.Group, c.Names, buf)
 }

@@ -6,6 +6,7 @@
 package exec
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"strings"
@@ -14,8 +15,86 @@ import (
 	"github.com/assess-olap/assess/internal/cube"
 	"github.com/assess-olap/assess/internal/engine"
 	"github.com/assess-olap/assess/internal/labeling"
+	"github.com/assess-olap/assess/internal/obsv"
 	"github.com/assess-olap/assess/internal/plan"
 )
+
+// Per-stage latency histograms (assess_stage_seconds{stage=...}), one
+// series per Figure 4 phase. Indexed by plan.Phase for a branch-free
+// Observe on the hot path.
+var stageSeconds = func() [plan.NumPhases]*obsv.Histogram {
+	var hs [plan.NumPhases]*obsv.Histogram
+	for p := plan.Phase(0); p < plan.NumPhases; p++ {
+		hs[p] = obsv.Default.Histogram("assess_stage_seconds",
+			"Execution time per plan phase (Figure 4 breakdown).", "stage", phaseSlug(p))
+	}
+	return hs
+}()
+
+// phaseSlug is the metric-label form of a phase name ("Get C+B" is a
+// fine label value but a poor grafana query).
+func phaseSlug(p plan.Phase) string {
+	switch p {
+	case plan.PhaseGetC:
+		return "get_c"
+	case plan.PhaseGetB:
+		return "get_b"
+	case plan.PhaseGetCB:
+		return "get_cb"
+	case plan.PhaseTransform:
+		return "transform"
+	case plan.PhaseJoin:
+		return "join"
+	case plan.PhaseCompare:
+		return "compare"
+	case plan.PhaseLabel:
+		return "label"
+	}
+	return "other"
+}
+
+// opSpanName names the trace span of one plan operation by what the
+// engine or client actually does.
+func opSpanName(k plan.OpKind) string {
+	switch k {
+	case plan.OpGet:
+		return "engine.scan"
+	case plan.OpGetJoined, plan.OpGetRollupJoined, plan.OpGetMultiplied:
+		return "engine.join"
+	case plan.OpGetPivoted:
+		return "engine.pivot"
+	case plan.OpClientJoin, plan.OpClientRollupJoin:
+		return "client.join"
+	case plan.OpClientPivot:
+		return "client.pivot"
+	case plan.OpTransform:
+		return "transform"
+	case plan.OpProject, plan.OpReplaceSlice:
+		return "transform"
+	case plan.OpLabel:
+		return "label"
+	}
+	return "op"
+}
+
+// engineSide reports whether the op's result crossed the engine→client
+// wire (its span then carries the transfer byte estimate).
+func engineSide(k plan.OpKind) bool {
+	switch k {
+	case plan.OpGet, plan.OpGetJoined, plan.OpGetPivoted, plan.OpGetMultiplied, plan.OpGetRollupJoined:
+		return true
+	}
+	return false
+}
+
+// wireBytes estimates a cube's size on the cursor wire: 4·|G| + 8·|M|
+// per cell (the encoding of wire.go).
+func wireBytes(c *cube.Cube) int64 {
+	if c == nil {
+		return 0
+	}
+	return int64((4*len(c.Group) + 8*len(c.Cols)) * c.Len())
+}
 
 // Breakdown is the per-phase execution time of one plan run.
 type Breakdown [plan.NumPhases]time.Duration
@@ -59,22 +138,52 @@ type Result struct {
 
 // Run executes the plan.
 func Run(e *engine.Engine, p *plan.Plan) (*Result, error) {
-	ctx := make(map[string]*cube.Cube)
+	return RunContext(context.Background(), e, p)
+}
+
+// RunContext executes the plan, emitting one trace span per operation
+// when the context carries a trace (obsv.NewTrace) and observing each
+// phase's latency into the stage histograms. With no trace attached the
+// per-op overhead is one context lookup and one histogram update.
+func RunContext(ctx context.Context, e *engine.Engine, p *plan.Plan) (*Result, error) {
+	cubes := make(map[string]*cube.Cube)
 	var bd Breakdown
 	stats := make([]OpStat, 0, len(p.Ops))
 	start := time.Now()
 	for i := range p.Ops {
 		op := &p.Ops[i]
+		_, sp := obsv.StartSpan(ctx, opSpanName(op.Kind))
+		if sp != nil { // guard so the disabled path skips the lookups too
+			sp.SetNote(p.DescribeOp(i))
+			if in, ok := cubes[op.SrcA]; ok {
+				sp.SetRows(int64(in.Len()), 0)
+			} else if in, ok := cubes[op.Dst]; ok {
+				// In-place ops (transform, label) read their destination cube.
+				sp.SetRows(int64(in.Len()), 0)
+			}
+		}
 		t0 := time.Now()
-		if err := runOp(e, p, op, ctx); err != nil {
+		err := runOp(e, p, op, cubes)
+		d := time.Since(t0)
+		if err != nil {
+			sp.End()
 			return nil, fmt.Errorf("exec: step %d (%s): %w", i+1, op.Phase, err)
 		}
-		d := time.Since(t0)
+		if sp != nil {
+			if out, ok := cubes[op.Dst]; ok {
+				sp.SetRows(0, int64(out.Len()))
+				if engineSide(op.Kind) {
+					sp.AddBytes(wireBytes(out))
+				}
+			}
+		}
+		sp.End()
 		bd[op.Phase] += d
+		stageSeconds[op.Phase].Observe(d.Seconds())
 		stats = append(stats, OpStat{Description: p.DescribeOp(i), Phase: op.Phase, Duration: d})
 	}
 	total := time.Since(start)
-	out, ok := ctx[p.Result]
+	out, ok := cubes[p.Result]
 	if !ok {
 		return nil, fmt.Errorf("exec: plan produced no result cube %q", p.Result)
 	}

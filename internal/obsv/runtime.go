@@ -1,0 +1,30 @@
+package obsv
+
+import (
+	"runtime"
+	"time"
+)
+
+// RegisterProcessMetrics publishes runtime/process gauges into the
+// registry: goroutine count, heap bytes, cumulative GC cycles, and
+// uptime. Values are read at scrape time, so registration is one-shot
+// and free between scrapes. Calling it again replaces the readers.
+func RegisterProcessMetrics(r *Registry) {
+	start := time.Now()
+	r.GaugeFunc("assess_process_goroutines", "Live goroutines.", func() float64 {
+		return float64(runtime.NumGoroutine())
+	})
+	r.GaugeFunc("assess_process_heap_bytes", "Heap bytes in use (runtime.MemStats.HeapAlloc).", func() float64 {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		return float64(ms.HeapAlloc)
+	})
+	r.CounterFunc("assess_process_gc_cycles_total", "Completed GC cycles.", func() float64 {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		return float64(ms.NumGC)
+	})
+	r.GaugeFunc("assess_process_uptime_seconds", "Seconds since the process registered metrics.", func() float64 {
+		return time.Since(start).Seconds()
+	})
+}

@@ -1,0 +1,172 @@
+package obsv
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// Query-lifecycle tracing. A Trace is attached to a context at the top
+// of a request; each stage opens a Span (parse → bind → plan-select →
+// engine scan/join/pivot → cell-transform → labeling → cache
+// probe/store), carrying a monotonic duration, input/output row counts,
+// and transferred bytes. When no Trace is attached, StartSpan returns a
+// nil *Span whose methods are no-ops, so instrumented code pays one
+// context lookup and zero allocations.
+
+type traceKeyType struct{}
+type spanKeyType struct{}
+
+var (
+	traceKey traceKeyType
+	spanKey  spanKeyType
+)
+
+// Span is one timed stage of a query. Fields are written by the owning
+// goroutine between StartSpan and End; readers must wait for the trace
+// to finish.
+type Span struct {
+	Name     string
+	Start    time.Time
+	Duration time.Duration
+	RowsIn   int64
+	RowsOut  int64
+	Bytes    int64
+	Note     string
+	Children []*Span
+
+	tr *Trace
+}
+
+// Trace is the span tree of one request.
+type Trace struct {
+	mu   sync.Mutex
+	root *Span
+}
+
+// NewTrace creates a trace whose root span starts now and attaches it to
+// the context. The returned context carries both the trace and the root
+// span (so StartSpan nests under it).
+func NewTrace(ctx context.Context, rootName string) (context.Context, *Trace) {
+	tr := &Trace{}
+	root := &Span{Name: rootName, Start: time.Now(), tr: tr}
+	tr.root = root
+	ctx = context.WithValue(ctx, traceKey, tr)
+	ctx = context.WithValue(ctx, spanKey, root)
+	return ctx, tr
+}
+
+// FromContext returns the trace attached to the context, or nil.
+func FromContext(ctx context.Context) *Trace {
+	tr, _ := ctx.Value(traceKey).(*Trace)
+	return tr
+}
+
+// StartSpan opens a child span under the context's current span. When
+// the context carries no trace it returns the context unchanged and a
+// nil span — every Span method is nil-safe, so callers never branch.
+func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	tr, _ := ctx.Value(traceKey).(*Trace)
+	if tr == nil {
+		return ctx, nil
+	}
+	parent, _ := ctx.Value(spanKey).(*Span)
+	sp := &Span{Name: name, Start: time.Now(), tr: tr}
+	tr.mu.Lock()
+	if parent != nil {
+		parent.Children = append(parent.Children, sp)
+	} else {
+		tr.root.Children = append(tr.root.Children, sp)
+	}
+	tr.mu.Unlock()
+	return context.WithValue(ctx, spanKey, sp), sp
+}
+
+// End closes the span, fixing its monotonic duration.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.Duration = time.Since(s.Start)
+}
+
+// SetRows records input/output row counts (negative values mean "not
+// applicable" and are stored as zero).
+func (s *Span) SetRows(in, out int64) {
+	if s == nil {
+		return
+	}
+	if in > 0 {
+		s.RowsIn = in
+	}
+	if out > 0 {
+		s.RowsOut = out
+	}
+}
+
+// AddBytes accumulates transferred bytes.
+func (s *Span) AddBytes(n int64) {
+	if s == nil || n <= 0 {
+		return
+	}
+	s.Bytes += n
+}
+
+// SetNote attaches a short free-form annotation (e.g. "hit"/"miss" on a
+// cache probe, or the strategy name on plan selection).
+func (s *Span) SetNote(note string) {
+	if s == nil {
+		return
+	}
+	s.Note = note
+}
+
+// Finish closes the root span and returns it. Call once, after all
+// child spans have ended.
+func (t *Trace) Finish() *Span {
+	if t == nil {
+		return nil
+	}
+	t.root.End()
+	return t.root
+}
+
+// Root returns the root span (nil-safe).
+func (t *Trace) Root() *Span {
+	if t == nil {
+		return nil
+	}
+	return t.root
+}
+
+// SpanJSON is the wire form of a span, nested like the tree. Durations
+// are reported in milliseconds to match the other timing fields of the
+// HTTP API.
+type SpanJSON struct {
+	Name       string     `json:"name"`
+	DurationMs float64    `json:"durationMs"`
+	RowsIn     int64      `json:"rowsIn,omitempty"`
+	RowsOut    int64      `json:"rowsOut,omitempty"`
+	Bytes      int64      `json:"bytes,omitempty"`
+	Note       string     `json:"note,omitempty"`
+	Children   []SpanJSON `json:"children,omitempty"`
+}
+
+// JSON converts the finished span tree to its wire form.
+func (s *Span) JSON() SpanJSON {
+	if s == nil {
+		return SpanJSON{}
+	}
+	out := SpanJSON{
+		Name:       s.Name,
+		DurationMs: float64(s.Duration) / float64(time.Millisecond),
+		RowsIn:     s.RowsIn,
+		RowsOut:    s.RowsOut,
+		Bytes:      s.Bytes,
+		Note:       s.Note,
+	}
+	for _, c := range s.Children {
+		out.Children = append(out.Children, c.JSON())
+	}
+	return out
+}

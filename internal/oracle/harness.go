@@ -1,9 +1,13 @@
 package oracle
 
 import (
+	"context"
 	"fmt"
+	"os"
 
 	"github.com/assess-olap/assess/internal/core"
+	"github.com/assess-olap/assess/internal/exec"
+	"github.com/assess-olap/assess/internal/obsv"
 	"github.com/assess-olap/assess/internal/parser"
 	"github.com/assess-olap/assess/internal/plan"
 	"github.com/assess-olap/assess/internal/qcache"
@@ -56,6 +60,49 @@ const (
 	oracleWorkers    = 4
 	oracleMinParRows = 97
 )
+
+// traceEnabled turns on span collection for every oracle execution
+// (ORACLE_TRACE=1): each statement runs under a live trace, proving the
+// instrumentation path produces identical results to the plain path,
+// and every finished trace is checked for well-formedness.
+var traceEnabled = os.Getenv("ORACLE_TRACE") == "1"
+
+// execTracked runs a statement, under a trace when ORACLE_TRACE=1, and
+// returns the finished root span (nil when tracing is off) alongside
+// the usual results.
+func execTracked(s *core.Session, stmt string, strat plan.Strategy) (*exec.Result, core.CacheState, *obsv.Span, error) {
+	if !traceEnabled {
+		res, state, err := s.ExecWithTracked(stmt, strat)
+		return res, state, nil, err
+	}
+	ctx, tr := obsv.NewTrace(context.Background(), "oracle")
+	res, state, err := s.ExecWithTrackedContext(ctx, stmt, strat)
+	return res, state, tr.Finish(), err
+}
+
+// checkTrace validates a finished span tree: positive durations, named
+// spans, and children fully contained in the statement's span set.
+func checkTrace(root *obsv.Span) string {
+	if root == nil {
+		return "trace missing"
+	}
+	var walk func(s *obsv.Span) string
+	walk = func(s *obsv.Span) string {
+		if s.Name == "" {
+			return "unnamed span"
+		}
+		if s.Duration < 0 {
+			return fmt.Sprintf("span %s: negative duration %v", s.Name, s.Duration)
+		}
+		for _, c := range s.Children {
+			if msg := walk(c); msg != "" {
+				return msg
+			}
+		}
+		return ""
+	}
+	return walk(root)
+}
 
 func buildSession(c *Case, parallel, views, cache bool) (*core.Session, error) {
 	s := core.NewSession()
@@ -129,10 +176,15 @@ func Run(seed int64) *Report {
 			add(stmt, "bind", err.Error())
 			continue
 		}
-		ref, _, err := base.ExecWithTracked(stmt, plan.NP)
+		ref, _, span, err := execTracked(base, stmt, plan.NP)
 		if err != nil {
 			add(stmt, "base/NP", err.Error())
 			continue
+		}
+		if traceEnabled {
+			if msg := checkTrace(span); msg != "" {
+				add(stmt, "base/NP trace", msg)
+			}
 		}
 		want, err := canonRows(ref)
 		if err != nil {
@@ -166,10 +218,15 @@ func Run(seed int64) *Report {
 							expect = qcache.StateHit
 						}
 					}
-					res, state, err := sess.ExecWithTracked(stmt, strat)
+					res, state, span, err := execTracked(sess, stmt, strat)
 					if err != nil {
 						add(stmt, axis, err.Error())
 						break
+					}
+					if traceEnabled {
+						if msg := checkTrace(span); msg != "" {
+							add(stmt, axis+" trace", msg)
+						}
 					}
 					if state != expect {
 						add(stmt, axis, fmt.Sprintf("cache state %q, expected %q", state, expect))

@@ -19,10 +19,12 @@ package qcache
 
 import (
 	"container/list"
+	"context"
 	"sync"
 	"sync/atomic"
 
 	"github.com/assess-olap/assess/internal/exec"
+	"github.com/assess-olap/assess/internal/obsv"
 )
 
 // State reports how a statement's result was obtained.
@@ -128,7 +130,16 @@ func (c *Cache) shard(key Key) *shard { return &c.shards[key[0]%numShards] }
 // under an older generation are treated as misses and evicted. The
 // returned result is shared — callers must not mutate it.
 func (c *Cache) Do(key Key, gen uint64, eval func() (*exec.Result, error)) (*exec.Result, State, error) {
+	return c.DoContext(context.Background(), key, gen, eval)
+}
+
+// DoContext is Do, emitting "cache.probe" and "cache.store" trace spans
+// when the context carries a trace (obsv.NewTrace). The probe span notes
+// the outcome: "hit", "miss", "stale" (entry invalidated by a newer
+// generation), or "join" (waited on a concurrent identical evaluation).
+func (c *Cache) DoContext(ctx context.Context, key Key, gen uint64, eval func() (*exec.Result, error)) (*exec.Result, State, error) {
 	s := c.shard(key)
+	_, probe := obsv.StartSpan(ctx, "cache.probe")
 	s.mu.Lock()
 	if el, ok := s.index[key]; ok {
 		e := el.Value.(*entry)
@@ -136,14 +147,19 @@ func (c *Cache) Do(key Key, gen uint64, eval func() (*exec.Result, error)) (*exe
 			s.lru.MoveToFront(el)
 			s.mu.Unlock()
 			c.hits.Add(1)
+			probe.SetNote("hit")
+			probe.End()
 			return e.res, StateHit, nil
 		}
 		c.removeLocked(s, el) // stale generation
+		probe.SetNote("stale")
 	}
 	if cl, ok := s.inflight[key]; ok && cl.gen == gen {
 		s.mu.Unlock()
 		c.dedupJoins.Add(1)
+		probe.SetNote("join")
 		<-cl.done
+		probe.End()
 		if cl.err != nil {
 			return nil, StateMiss, cl.err
 		}
@@ -152,6 +168,10 @@ func (c *Cache) Do(key Key, gen uint64, eval func() (*exec.Result, error)) (*exe
 	cl := &call{done: make(chan struct{}), gen: gen}
 	s.inflight[key] = cl
 	s.mu.Unlock()
+	if probe != nil && probe.Note == "" {
+		probe.SetNote("miss")
+	}
+	probe.End()
 
 	c.misses.Add(1)
 	defer func() {
@@ -167,7 +187,9 @@ func (c *Cache) Do(key Key, gen uint64, eval func() (*exec.Result, error)) (*exe
 	res, err := eval()
 	cl.res, cl.err = res, err
 	if err == nil {
+		_, st := obsv.StartSpan(ctx, "cache.store")
 		c.store(s, key, res, gen)
+		st.End()
 	}
 	return res, StateMiss, err
 }

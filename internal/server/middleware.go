@@ -1,0 +1,156 @@
+package server
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"log/slog"
+	"net/http"
+	"time"
+
+	"github.com/assess-olap/assess/internal/obsv"
+)
+
+// Request-ID middleware and structured request logging. Every request
+// carries an ID — the client's X-Request-Id when supplied, otherwise a
+// generated one — echoed on the response header, attached to every slog
+// line, and embedded in error JSON bodies so a failing statement can be
+// correlated across client, access log, and slow-query log.
+
+type requestIDKey struct{}
+
+// RequestIDHeader is the header the middleware reads and echoes.
+const RequestIDHeader = "X-Request-Id"
+
+// maxRequestIDLen bounds client-supplied IDs (they land in logs).
+const maxRequestIDLen = 128
+
+// requestID returns the ID attached to the request context ("" outside
+// the middleware).
+func requestID(ctx context.Context) string {
+	id, _ := ctx.Value(requestIDKey{}).(string)
+	return id
+}
+
+// newRequestID generates a 16-hex-char random ID.
+func newRequestID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "00000000deadbeef" // rand failure: a fixed ID beats none
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// statusWriter captures the response code and size for logging/metrics.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	n, err := w.ResponseWriter.Write(p)
+	w.bytes += n
+	return n, err
+}
+
+// knownRoutes bounds the path label of the HTTP metrics (anything else
+// collapses to "other" so clients cannot explode series cardinality).
+var knownRoutes = map[string]bool{
+	"/healthz": true, "/stats": true, "/cubes": true, "/metrics": true,
+	"/assess": true, "/query": true, "/explain": true, "/validate": true,
+	"/suggest": true,
+}
+
+func routeLabel(path string) string {
+	if knownRoutes[path] {
+		return path
+	}
+	return "other"
+}
+
+// observe wraps the mux with the request-ID, logging, and HTTP-metrics
+// middleware. The logger may be nil (logging disabled); metrics go to
+// the server's registry.
+func (s *Server) observe(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := r.Header.Get(RequestIDHeader)
+		if id == "" || len(id) > maxRequestIDLen {
+			id = newRequestID()
+		}
+		w.Header().Set(RequestIDHeader, id)
+		ctx := context.WithValue(r.Context(), requestIDKey{}, id)
+		sw := &statusWriter{ResponseWriter: w}
+		start := time.Now()
+		next.ServeHTTP(sw, r.WithContext(ctx))
+		elapsed := time.Since(start)
+		if sw.status == 0 {
+			sw.status = http.StatusOK
+		}
+		route := routeLabel(r.URL.Path)
+		s.reg.Counter("assess_http_requests_total",
+			"HTTP requests served, by route and status code.",
+			"path", route, "code", httpCodeClass(sw.status)).Inc()
+		s.reg.Histogram("assess_http_request_seconds",
+			"HTTP request latency, by route.", "path", route).Observe(elapsed.Seconds())
+		if s.logger != nil {
+			s.logger.LogAttrs(ctx, slog.LevelInfo, "request",
+				slog.String("requestId", id),
+				slog.String("method", r.Method),
+				slog.String("path", r.URL.Path),
+				slog.Int("status", sw.status),
+				slog.Int("bytes", sw.bytes),
+				slog.Duration("elapsed", elapsed),
+			)
+		}
+	})
+}
+
+// httpCodeClass renders a status code for the metrics label.
+func httpCodeClass(code int) string {
+	switch {
+	case code < 300:
+		return "2xx"
+	case code < 400:
+		return "3xx"
+	case code < 500:
+		return "4xx"
+	}
+	return "5xx"
+}
+
+// traceRequested reports whether the client opted into a span tree on
+// the response (?trace=1, also accepting true/yes/on).
+func traceRequested(r *http.Request) bool {
+	switch r.URL.Query().Get("trace") {
+	case "1", "true", "yes", "on":
+		return true
+	}
+	return false
+}
+
+// withTrace attaches a fresh trace to the context when the client opted
+// in via ?trace=1 or the request body's "trace" field. The returned
+// finish function closes the root span and returns its JSON form (nil
+// when tracing was not requested).
+func withTrace(r *http.Request, bodyOptIn bool) (context.Context, func() *obsv.SpanJSON) {
+	ctx := r.Context()
+	if !traceRequested(r) && !bodyOptIn {
+		return ctx, func() *obsv.SpanJSON { return nil }
+	}
+	ctx, tr := obsv.NewTrace(ctx, "request")
+	return ctx, func() *obsv.SpanJSON {
+		j := tr.Finish().JSON()
+		return &j
+	}
+}

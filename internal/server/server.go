@@ -2,18 +2,26 @@
 // analysis: submit assess statements, explain plans and costs, validate,
 // complete partial statements, and inspect the catalog. All handlers are
 // stateless wrappers around a core.Session.
+//
+// Observability: every request gets an X-Request-Id (accepted from the
+// client or generated), structured slog request logging, Prometheus
+// metrics on GET /metrics, an enriched GET /stats, per-query span trees
+// on ?trace=1, and a configurable slow-query log.
 package server
 
 import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"math"
 	"net/http"
+	"runtime"
 	"time"
 
 	"github.com/assess-olap/assess/internal/core"
 	"github.com/assess-olap/assess/internal/exec"
+	"github.com/assess-olap/assess/internal/obsv"
 	"github.com/assess-olap/assess/internal/parser"
 	"github.com/assess-olap/assess/internal/plan"
 	"github.com/assess-olap/assess/internal/qcache"
@@ -24,24 +32,83 @@ import (
 type Server struct {
 	session *core.Session
 	mux     *http.ServeMux
+	handler http.Handler
+	logger  *slog.Logger
+	reg     *obsv.Registry
+	slow    *obsv.SlowLog
+	start   time.Time
 }
 
+// Option configures a Server.
+type Option func(*Server)
+
+// WithLogger enables structured request logging (one slog line per
+// request, carrying the request ID).
+func WithLogger(l *slog.Logger) Option { return func(s *Server) { s.logger = l } }
+
+// WithSlowLog attaches a slow-query log; statements slower than its
+// threshold are recorded as JSON lines.
+func WithSlowLog(sl *obsv.SlowLog) Option { return func(s *Server) { s.slow = sl } }
+
+// WithRegistry overrides the metrics registry (default obsv.Default).
+// Library-layer counters (engine, exec, core) always publish to
+// obsv.Default; this override scopes only the server-owned series.
+func WithRegistry(r *obsv.Registry) Option { return func(s *Server) { s.reg = r } }
+
 // New builds a server over the session.
-func New(session *core.Session) *Server {
-	s := &Server{session: session, mux: http.NewServeMux()}
+func New(session *core.Session, opts ...Option) *Server {
+	s := &Server{session: session, mux: http.NewServeMux(), reg: obsv.Default, start: time.Now()}
+	for _, opt := range opts {
+		opt(s)
+	}
 	s.mux.HandleFunc("GET /healthz", s.health)
 	s.mux.HandleFunc("GET /stats", s.stats)
+	s.mux.HandleFunc("GET /metrics", s.metrics)
 	s.mux.HandleFunc("GET /cubes", s.cubes)
 	s.mux.HandleFunc("POST /assess", s.assess)
 	s.mux.HandleFunc("POST /query", s.query)
 	s.mux.HandleFunc("POST /explain", s.explain)
 	s.mux.HandleFunc("POST /validate", s.validate)
 	s.mux.HandleFunc("POST /suggest", s.suggest)
+	s.handler = s.observe(s.mux)
+	s.registerSessionMetrics()
 	return s
 }
 
-// Handler returns the HTTP handler.
-func (s *Server) Handler() http.Handler { return s.mux }
+// registerSessionMetrics publishes session-owned values as scrape-time
+// funcs: cache counters, catalog generation, and process gauges.
+func (s *Server) registerSessionMetrics() {
+	obsv.RegisterProcessMetrics(s.reg)
+	s.reg.GaugeFunc("assess_catalog_generation",
+		"Catalog generation (cache-invalidation epoch).",
+		func() float64 { return float64(s.session.Generation()) })
+	s.reg.GaugeFunc("assess_catalog_views",
+		"Materialized views registered.",
+		func() float64 { return float64(s.session.Engine.Views()) })
+	cacheStat := func(read func(qcache.Stats) int64) func() float64 {
+		return func() float64 {
+			st, ok := s.session.CacheStats()
+			if !ok {
+				return 0
+			}
+			return float64(read(st))
+		}
+	}
+	s.reg.CounterFunc("assess_cache_hits_total", "Query-result cache hits.",
+		cacheStat(func(st qcache.Stats) int64 { return st.Hits }))
+	s.reg.CounterFunc("assess_cache_misses_total", "Query-result cache misses.",
+		cacheStat(func(st qcache.Stats) int64 { return st.Misses }))
+	s.reg.CounterFunc("assess_cache_evictions_total", "Query-result cache evictions.",
+		cacheStat(func(st qcache.Stats) int64 { return st.Evictions }))
+	s.reg.GaugeFunc("assess_cache_entries", "Query-result cache resident entries.",
+		cacheStat(func(st qcache.Stats) int64 { return st.Entries }))
+	s.reg.GaugeFunc("assess_cache_bytes", "Query-result cache resident bytes.",
+		cacheStat(func(st qcache.Stats) int64 { return st.Bytes }))
+}
+
+// Handler returns the HTTP handler (mux wrapped in the request-ID,
+// logging, and metrics middleware).
+func (s *Server) Handler() http.Handler { return s.handler }
 
 // request is the common body of the POST endpoints.
 type request struct {
@@ -51,6 +118,8 @@ type request struct {
 	Plan string `json:"plan,omitempty"`
 	// Max bounds /suggest results.
 	Max int `json:"max,omitempty"`
+	// Trace requests a span tree on the response (same as ?trace=1).
+	Trace bool `json:"trace,omitempty"`
 }
 
 // resultRow is one cell of an /assess response. NaN values (nulls from
@@ -70,13 +139,16 @@ type assessResponse struct {
 	Breakdown map[string]float64 `json:"breakdownMs"`
 	// Cache is "hit" or "miss" when the session has a query-result
 	// cache, omitted when caching is off.
-	Cache string      `json:"cache,omitempty"`
-	Rows  []resultRow `json:"rows"`
+	Cache string `json:"cache,omitempty"`
+	// Trace is the span tree of this request (?trace=1 only).
+	Trace *obsv.SpanJSON `json:"trace,omitempty"`
+	Rows  []resultRow    `json:"rows"`
 }
 
 type errorResponse struct {
-	Error string `json:"error"`
-	Kind  string `json:"kind"` // "syntax", "semantic", or "internal"
+	Error     string `json:"error"`
+	Kind      string `json:"kind"` // "syntax", "semantic", or "internal"
+	RequestID string `json:"requestId,omitempty"`
 }
 
 func (s *Server) health(w http.ResponseWriter, r *http.Request) {
@@ -106,11 +178,19 @@ func (s *Server) cubes(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, out)
 }
 
+// metrics renders the registry in Prometheus text exposition format.
+func (s *Server) metrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.reg.WritePrometheus(w)
+}
+
 func (s *Server) assess(w http.ResponseWriter, r *http.Request) {
 	req, ok := readRequest(w, r)
 	if !ok {
 		return
 	}
+	ctx, finish := withTrace(r, req.Trace)
+	start := time.Now()
 	var (
 		res   *exec.Result
 		state core.CacheState
@@ -118,21 +198,22 @@ func (s *Server) assess(w http.ResponseWriter, r *http.Request) {
 	)
 	switch req.Plan {
 	case "", "best":
-		res, state, err = s.session.ExecTracked(req.Statement)
+		res, state, err = s.session.ExecTrackedContext(ctx, req.Statement)
 	case "cost":
-		res, state, err = s.session.ExecCostBasedTracked(req.Statement)
+		res, state, err = s.session.ExecCostBasedTrackedContext(ctx, req.Statement)
 	default:
 		strategy, perr := parsePlan(req.Plan)
 		if perr != nil {
-			writeError(w, http.StatusBadRequest, perr)
+			writeError(w, r, http.StatusBadRequest, perr)
 			return
 		}
-		res, state, err = s.session.ExecWithTracked(req.Statement, strategy)
+		res, state, err = s.session.ExecWithTrackedContext(ctx, req.Statement, strategy)
 	}
 	if err != nil {
-		writeError(w, statusFor(err), err)
+		writeError(w, r, statusFor(err), err)
 		return
 	}
+	trace := finish()
 	if res == nil {
 		// A declare statement registers a labeler and yields no cube.
 		writeJSON(w, http.StatusOK, map[string]bool{"declared": true})
@@ -140,15 +221,24 @@ func (s *Server) assess(w http.ResponseWriter, r *http.Request) {
 	}
 	rows, err := res.Rows()
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, err)
+		writeError(w, r, http.StatusInternalServerError, err)
 		return
 	}
+	s.slow.Log(time.Since(start), obsv.SlowEntry{
+		RequestID: requestID(r.Context()),
+		Endpoint:  "/assess",
+		Statement: req.Statement,
+		Strategy:  res.Plan.Strategy.String(),
+		Cache:     string(state),
+		Cells:     res.Cube.Len(),
+	})
 	resp := assessResponse{
 		Strategy:  res.Plan.Strategy.String(),
 		Cells:     res.Cube.Len(),
 		TotalMs:   float64(res.Total) / float64(time.Millisecond),
 		Breakdown: map[string]float64{},
 		Cache:     string(state),
+		Trace:     trace,
 		Rows:      make([]resultRow, len(rows)),
 	}
 	for p, d := range res.Breakdown {
@@ -174,6 +264,7 @@ type queryResponse struct {
 	Measures []string         `json:"measures"`
 	Cells    int              `json:"cells"`
 	TotalMs  float64          `json:"totalMs"`
+	Trace    *obsv.SpanJSON   `json:"trace,omitempty"`
 	Rows     []map[string]any `json:"rows"`
 }
 
@@ -183,16 +274,25 @@ func (s *Server) query(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	qr, err := s.session.Query(req.Statement)
+	ctx, finish := withTrace(r, req.Trace)
+	start := time.Now()
+	qr, err := s.session.QueryContext(ctx, req.Statement)
 	if err != nil {
-		writeError(w, statusFor(err), err)
+		writeError(w, r, statusFor(err), err)
 		return
 	}
+	s.slow.Log(time.Since(start), obsv.SlowEntry{
+		RequestID: requestID(r.Context()),
+		Endpoint:  "/query",
+		Statement: req.Statement,
+		Cells:     qr.Cube.Len(),
+	})
 	c := qr.Cube
 	resp := queryResponse{
 		Measures: c.Names,
 		Cells:    c.Len(),
 		TotalMs:  float64(qr.Total) / float64(time.Millisecond),
+		Trace:    finish(),
 	}
 	for _, g := range c.Group {
 		resp.Levels = append(resp.Levels, c.Schema.LevelName(g))
@@ -215,29 +315,30 @@ func (s *Server) explain(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	ctx, finish := withTrace(r, req.Trace)
 	var (
 		p   *plan.Plan
 		err error
 	)
 	switch req.Plan {
 	case "", "best":
-		p, err = s.session.Prepare(req.Statement)
+		p, err = s.session.PrepareContext(ctx, req.Statement)
 	case "cost":
-		p, err = s.session.PrepareCostBased(req.Statement)
+		p, err = s.session.PrepareCostBasedContext(ctx, req.Statement)
 	default:
 		strategy, perr := parsePlan(req.Plan)
 		if perr != nil {
-			writeError(w, http.StatusBadRequest, perr)
+			writeError(w, r, http.StatusBadRequest, perr)
 			return
 		}
-		p, err = s.session.PrepareWith(req.Statement, strategy)
+		p, err = s.session.PrepareWithContext(ctx, req.Statement, strategy)
 	}
 	if err != nil {
-		writeError(w, statusFor(err), err)
+		writeError(w, r, statusFor(err), err)
 		return
 	}
 	costs, _ := s.session.ExplainCosts(req.Statement)
-	resp := map[string]string{
+	resp := map[string]any{
 		"strategy": p.Strategy.String(),
 		"plan":     p.Explain(),
 		"costs":    costs,
@@ -245,6 +346,9 @@ func (s *Server) explain(w http.ResponseWriter, r *http.Request) {
 	if state := s.session.CacheProbe(p); state != "" {
 		// Whether executing this statement right now would hit the cache.
 		resp["cache"] = string(state)
+	}
+	if trace := finish(); trace != nil {
+		resp["trace"] = trace
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -257,13 +361,26 @@ type statsResponse struct {
 	Generation uint64        `json:"generation"`
 	Cubes      []string      `json:"cubes"`
 	Views      int           `json:"views"`
+	// UptimeSeconds counts from server construction.
+	UptimeSeconds float64 `json:"uptimeSeconds"`
+	Goroutines    int     `json:"goroutines"`
+	HeapBytes     uint64  `json:"heapBytes"`
+	// Metrics is the full registry snapshot: every series with its
+	// current value (histograms report count/mean/p50/p95/p99).
+	Metrics []obsv.Snapshot `json:"metrics"`
 }
 
 func (s *Server) stats(w http.ResponseWriter, r *http.Request) {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
 	resp := statsResponse{
-		Generation: s.session.Generation(),
-		Cubes:      s.session.Engine.Facts(),
-		Views:      s.session.Engine.Views(),
+		Generation:    s.session.Generation(),
+		Cubes:         s.session.Engine.Facts(),
+		Views:         s.session.Engine.Views(),
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		Goroutines:    runtime.NumGoroutine(),
+		HeapBytes:     ms.HeapAlloc,
+		Metrics:       s.reg.Snapshots(),
 	}
 	if st, ok := s.session.CacheStats(); ok {
 		resp.Cache = &st
@@ -277,7 +394,7 @@ func (s *Server) validate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if err := s.session.Validate(req.Statement); err != nil {
-		writeError(w, statusFor(err), err)
+		writeError(w, r, statusFor(err), err)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]bool{"valid": true})
@@ -290,7 +407,7 @@ func (s *Server) suggest(w http.ResponseWriter, r *http.Request) {
 	}
 	sugs, err := s.session.Suggest(req.Statement, req.Max)
 	if err != nil {
-		writeError(w, statusFor(err), err)
+		writeError(w, r, statusFor(err), err)
 		return
 	}
 	writeJSON(w, http.StatusOK, sugs)
@@ -305,15 +422,15 @@ func readRequest(w http.ResponseWriter, r *http.Request) (request, bool) {
 	if err := dec.Decode(&req); err != nil {
 		var tooLarge *http.MaxBytesError
 		if errors.As(err, &tooLarge) {
-			writeError(w, http.StatusRequestEntityTooLarge,
+			writeError(w, r, http.StatusRequestEntityTooLarge,
 				fmt.Errorf("request body exceeds %d bytes", tooLarge.Limit))
 			return req, false
 		}
-		writeError(w, http.StatusBadRequest, fmt.Errorf("invalid JSON body: %w", err))
+		writeError(w, r, http.StatusBadRequest, fmt.Errorf("invalid JSON body: %w", err))
 		return req, false
 	}
 	if req.Statement == "" {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("missing statement"))
+		writeError(w, r, http.StatusBadRequest, fmt.Errorf("missing statement"))
 		return req, false
 	}
 	return req, true
@@ -354,7 +471,9 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
-func writeError(w http.ResponseWriter, status int, err error) {
+// writeError renders the consistent error body: message, error kind, and
+// the request ID so the failure can be found in the logs.
+func writeError(w http.ResponseWriter, r *http.Request, status int, err error) {
 	kind := "internal"
 	var syn *parser.SyntaxError
 	var sem *semantic.BindError
@@ -364,5 +483,5 @@ func writeError(w http.ResponseWriter, status int, err error) {
 	case errors.As(err, &sem):
 		kind = "semantic"
 	}
-	writeJSON(w, status, errorResponse{Error: err.Error(), Kind: kind})
+	writeJSON(w, status, errorResponse{Error: err.Error(), Kind: kind, RequestID: requestID(r.Context())})
 }

@@ -7,17 +7,65 @@
 #   scripts/bench.sh            # run with -count=5, write BENCH_seed.json
 #   COUNT=1 scripts/bench.sh    # quicker smoke run
 #   OUT=/tmp/bench.json scripts/bench.sh  # write elsewhere (e.g. to compare)
+#   scripts/bench.sh check BenchmarkAssessCold   # regression gate vs baseline
 #
 # Compare two snapshots with: go run golang.org/x/perf/cmd/benchstat (if
 # available) or scripts/bench.sh plus any JSON diff; each record carries
 # the benchmark name, iterations, and ns/op exactly as reported by go
 # test -bench.
+#
+# `check <BenchmarkName>` reruns just that benchmark and fails when its
+# best (minimum) ns/op exceeds the baseline's best by more than
+# BENCH_CHECK_PCT percent (default 50 — generous because CI hardware
+# differs from the machine that wrote the baseline; tighten locally,
+# e.g. BENCH_CHECK_PCT=3 for an overhead check on the baseline host).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 COUNT="${COUNT:-5}"
 OUT="${OUT:-BENCH_seed.json}"
 BENCHTIME="${BENCHTIME:-1x}"
+BASELINE="${BASELINE:-BENCH_seed.json}"
+BENCH_CHECK_PCT="${BENCH_CHECK_PCT:-50}"
+
+if [[ "${1:-}" == "check" ]]; then
+    name="${2:?usage: scripts/bench.sh check <BenchmarkName>}"
+    raw="$(go test -run '^$' -bench "^${name}\$" -benchtime "$BENCHTIME" -count "$COUNT" ./... 2>&1 | grep -E '^Benchmark')"
+    RAW="$raw" python3 - "$BASELINE" "$name" "$BENCH_CHECK_PCT" <<'EOF'
+import json, os, sys
+
+baseline_path, name, pct = sys.argv[1], sys.argv[2], float(sys.argv[3])
+
+# Bench names carry a -GOMAXPROCS suffix (BenchmarkAssessCold-8).
+def matches(full):
+    return full.split("-")[0] == name
+
+with open(baseline_path) as f:
+    base_vals = [r["ns_per_op"] for r in json.load(f)
+                 if matches(r["name"]) and "ns_per_op" in r]
+base = min(base_vals) if base_vals else None
+
+cur_vals = []
+for line in os.environ["RAW"].splitlines():
+    parts = line.split()
+    if parts and matches(parts[0]):
+        for value, unit in zip(parts[2::2], parts[3::2]):
+            if unit == "ns/op":
+                cur_vals.append(float(value))
+cur = min(cur_vals) if cur_vals else None
+if base is None:
+    sys.exit(f"check: {name} not found in {baseline_path}")
+if cur is None:
+    sys.exit(f"check: {name} produced no ns/op samples")
+delta = 100.0 * (cur - base) / base
+status = "ok" if delta <= pct else "REGRESSION"
+print(f"{name}: baseline {base:.0f} ns/op, current {cur:.0f} ns/op, "
+      f"delta {delta:+.1f}% (limit +{pct:.0f}%) -> {status}")
+if delta > pct:
+    sys.exit(1)
+EOF
+    exit 0
+fi
 
 # -benchtime=1x: the paper-replication benchmarks are macro-benchmarks
 # (full experiment tables); one iteration per -count repetition keeps the
