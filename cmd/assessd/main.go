@@ -19,6 +19,7 @@
 //
 //	assessd [-addr :8080] [-data sales|ssb] [-rows 50000] [-sf 0.01]
 //	        [-seed 42] [-load cube.bin] [-parallel 0]
+//	        [-dense-budget 1048576] [-morsel-size 65536]
 //	        [-cache on|off] [-cache-mb 64]
 //	        [-debug-addr :6060] [-slow-query-ms 500] [-slow-query-log path]
 package main
@@ -37,6 +38,7 @@ import (
 	"time"
 
 	assess "github.com/assess-olap/assess"
+	"github.com/assess-olap/assess/internal/engine"
 	"github.com/assess-olap/assess/internal/obsv"
 	"github.com/assess-olap/assess/internal/server"
 )
@@ -50,6 +52,9 @@ func main() {
 		seed      = flag.Int64("seed", 42, "generator seed")
 		load      = flag.String("load", "", "serve a cube loaded from a file instead of generating one")
 		parallel  = flag.Int("parallel", 1, "fact-scan parallelism (0 = all cores)")
+		denseBudg = flag.Int("dense-budget", engine.DefaultDenseKeyBudget,
+			"dense aggregation key-space budget in slots (0 = hash kernels only)")
+		morsel    = flag.Int("morsel-size", engine.DefaultMorselSize, "fact-scan morsel size in rows")
 		cache     = flag.String("cache", "on", "query-result cache: on or off")
 		cacheMB   = flag.Int("cache-mb", 64, "query-result cache budget in MiB")
 		debugAddr = flag.String("debug-addr", "", "debug listener (pprof, expvar, metrics); empty disables")
@@ -67,6 +72,8 @@ func main() {
 	if *parallel != 1 {
 		session.Engine.SetParallelism(*parallel)
 	}
+	session.Engine.SetDenseKeyBudget(*denseBudg)
+	session.Engine.SetMorselSize(*morsel)
 	switch *cache {
 	case "on":
 		session.EnableCache(int64(*cacheMB) << 20)

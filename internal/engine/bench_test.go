@@ -1,6 +1,8 @@
 package engine
 
 import (
+	"fmt"
+	"math"
 	"testing"
 
 	"github.com/assess-olap/assess/internal/mdm"
@@ -8,7 +10,7 @@ import (
 )
 
 // Engine micro-benchmarks: the fact scan, the view filter, the cursor
-// transfer, and parallel scaling.
+// transfer, the aggregation kernels, and morsel/merge scaling.
 
 func benchDataset(b *testing.B) (*Engine, *mdm.Schema, Query) {
 	b.Helper()
@@ -56,6 +58,89 @@ func BenchmarkViewAggregate(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := e.Get(q); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkKernelDense measures the serial dense-key kernel on a
+// dense-eligible shape (customer × year ≈ 10k slots, well under the
+// default budget).
+func BenchmarkKernelDense(b *testing.B) {
+	e, _, q := benchDataset(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Get(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkKernelHash is the same scan with the dense kernels disabled:
+// the per-row hash fallback, for comparison with BenchmarkKernelDense.
+func BenchmarkKernelHash(b *testing.B) {
+	e, _, q := benchDataset(b)
+	e.SetDenseKeyBudget(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Get(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMorselScaling sweeps the worker count over a scan-dominated
+// shape (group by year: 7 output cells, so cell materialization and
+// transfer are negligible) with small morsels, showing how the shared
+// morsel cursor scales.
+func BenchmarkMorselScaling(b *testing.B) {
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			e, s, q := benchDataset(b)
+			q.Group = mdm.MustGroupBy(s, "year")
+			e.SetParallelism(w)
+			e.SetParallelMinRows(8192)
+			e.SetMorselSize(16384)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := e.Get(q); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkMergeTree measures the log-depth partial-state merge of the
+// hash fallback in isolation: 16 worker partials of 4096 cells each,
+// rebuilt outside the timed region (the regression benchmark for the
+// tree merge replacing the old pairwise fold).
+func BenchmarkMergeTree(b *testing.B) {
+	const workers, cells = 16, 4096
+	p := &preparedScan{
+		q:   Query{Group: mdm.GroupBy{{Hier: 0, Level: 0}}, Measures: []int{0, 1}},
+		ops: []mdm.AggOp{mdm.AggSum, mdm.AggMax},
+	}
+	build := func() []scanState {
+		parts := make([]scanState, workers)
+		for w := range parts {
+			st := scanState{cells: make(map[string]*aggState)}
+			for c := 0; c < cells; c++ {
+				coord := mdm.Coordinate{int32((c + w) % (2 * cells))}
+				cell := &aggState{coord: coord, vals: []float64{float64(c), math.Inf(-1)}, cnt: []int64{1, 1}}
+				st.cells[coord.Key()] = cell
+				st.order = append(st.order, cell)
+			}
+			parts[w] = st
+		}
+		return parts
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		parts := build()
+		b.StartTimer()
+		if got := p.mergeTree(parts); len(got.order) == 0 {
+			b.Fatal("empty merge result")
 		}
 	}
 }

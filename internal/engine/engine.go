@@ -59,6 +59,13 @@ type Engine struct {
 	// minParRows is the minimum rows per worker before a scan is
 	// partitioned (0 selects the parallelThreshold default).
 	minParRows int
+	// denseBudget is the dense key-space slot budget: >0 explicit,
+	// 0 the DefaultDenseKeyBudget default, <0 dense kernels disabled
+	// (see SetDenseKeyBudget in kernel.go).
+	denseBudget int
+	// morselSize is the scan morsel size in rows (0 selects the
+	// DefaultMorselSize default).
+	morselSize int
 	// gen counts catalog mutations (Register, Materialize); together
 	// with the fact tables' append versions it forms the monotonic
 	// generation that invalidates query-result cache entries.
@@ -126,17 +133,19 @@ func (e *Engine) Facts() []string {
 
 // rollupMap returns (building and caching on first use) the map from
 // base-level member ids of the level's hierarchy to member ids at the
-// level itself.
+// level itself. A cached map shorter than the hierarchy's current base
+// domain is stale — members were registered after it was built — and is
+// rebuilt, so cardinality growth after Register stays correct.
 func (e *Engine) rollupMap(fact string, f *storage.FactTable, ref mdm.LevelRef) []int32 {
 	key := rollupKey{fact, ref}
+	h := f.Schema.Hiers[ref.Hier]
+	n := h.Dict(0).Len()
 	e.rollupMu.RLock()
 	m, ok := e.rollups[key]
 	e.rollupMu.RUnlock()
-	if ok {
+	if ok && len(m) == n {
 		return m
 	}
-	h := f.Schema.Hiers[ref.Hier]
-	n := h.Dict(0).Len()
 	m = make([]int32, n)
 	for id := int32(0); int(id) < n; id++ {
 		m[id] = h.Rollup(id, 0, ref.Level)
@@ -209,13 +218,17 @@ func (e *Engine) scanAggregate(q Query) (*cube.Cube, error) {
 			}
 		}
 	}
-	// Per-group-level roll-up maps.
+	// Per-group-level roll-up maps and level cardinalities. The
+	// cardinalities are snapshotted here, after the roll-up maps, so the
+	// dense layout sees a domain at least as large as any id a map emits.
 	gmaps := make([][]int32, len(q.Group))
+	cards := make([]int, len(q.Group))
 	for gi, ref := range q.Group {
 		if ref.Hier < 0 || ref.Hier >= len(s.Hiers) {
 			return nil, fmt.Errorf("engine: group-by hierarchy out of range for %s", q.Fact)
 		}
 		gmaps[gi] = e.rollupMap(q.Fact, f, ref)
+		cards[gi] = s.Dict(ref).Len()
 	}
 	ops := make([]mdm.AggOp, len(q.Measures))
 	names := make([]string, len(q.Measures))
@@ -228,18 +241,29 @@ func (e *Engine) scanAggregate(q Query) (*cube.Cube, error) {
 		f:       factColumns{keys: f.Keys, meas: f.Meas, rows: f.Rows()},
 		accepts: accepts,
 		gmaps:   gmaps,
+		cards:   cards,
 		ops:     ops,
 	}
 	mRowsScanned.Add(int64(prep.f.rows))
-	var st scanState
-	if e.workers > 1 {
-		mScansParallel.Inc()
-		st = prep.runParallel(e.workers, e.parallelMinRows())
-	} else {
+	workers := scanWorkers(e.workers, prep.f.rows, e.parallelMinRows())
+	morsel := e.effectiveMorselSize()
+	out := cube.New(s, q.Group, names...)
+	if l := prep.denseLayout(e.denseKeyBudget()); l != nil {
+		mKernelDense.Inc()
+		if workers >= 2 {
+			mScansParallel.Inc()
+			return prep.finalizeDense(out, l, prep.runDenseParallel(l, workers, scanMorsel(morsel, prep.f.rows, workers)))
+		}
 		mScansSerial.Inc()
-		st = prep.run(0, prep.f.rows)
+		return prep.finalizeDense(out, l, prep.runDenseSerial(l, morsel))
 	}
-	return prep.finalize(cube.New(s, q.Group, names...), st)
+	mKernelHash.Inc()
+	if workers >= 2 {
+		mScansParallel.Inc()
+		return prep.finalize(out, prep.runParallel(workers, scanMorsel(morsel, prep.f.rows, workers)))
+	}
+	mScansSerial.Inc()
+	return prep.finalize(out, prep.run(0, prep.f.rows))
 }
 
 // Get evaluates a cube query and transfers the derived cube to the client

@@ -1,0 +1,374 @@
+package engine
+
+import (
+	"math"
+
+	"github.com/assess-olap/assess/internal/cube"
+	"github.com/assess-olap/assess/internal/mdm"
+)
+
+// Vectorized dense-key aggregation kernels. Level columns are already
+// dictionary-encoded, so a scan's group-by set maps to a dense integer
+// key space: the composite key of a row is the mixed-radix number formed
+// by its group-level member ids, and the whole space has
+// Π |Dom(g_i)| slots. When that product fits the engine's slot budget,
+// the scan aggregates into flat accumulator arrays indexed by composite
+// key — block-at-a-time loops over selection vectors, no hashing, no
+// per-row allocation — and falls back to the hash tables of parallel.go
+// otherwise. Dense and hash kernels agree bit-exactly on integer-valued
+// measures (integer sums are exact in float64 regardless of order),
+// which the differential oracle cross-checks per query.
+
+// DefaultDenseKeyBudget is the default maximum number of dense key-space
+// slots (per worker) before a scan falls back to hash aggregation. Each
+// slot costs 8 bytes per requested measure plus an 8-byte row count, per
+// worker, for the duration of the scan.
+const DefaultDenseKeyBudget = 1 << 20
+
+// DefaultMorselSize is the default number of fact rows per morsel, the
+// unit of work claimed by scan workers (see parallel.go).
+const DefaultMorselSize = 64 * 1024
+
+// SetDenseKeyBudget sets the dense key-space slot budget: a scan whose
+// group-by key space has more slots than the budget uses the hash
+// fallback. 0 disables the dense kernels entirely; negative values
+// restore DefaultDenseKeyBudget.
+func (e *Engine) SetDenseKeyBudget(slots int) {
+	switch {
+	case slots > 0:
+		e.denseBudget = slots
+	case slots == 0:
+		e.denseBudget = -1
+	default:
+		e.denseBudget = 0
+	}
+}
+
+// denseKeyBudget returns the effective slot budget (0 = dense disabled).
+func (e *Engine) denseKeyBudget() int {
+	switch {
+	case e.denseBudget == 0:
+		return DefaultDenseKeyBudget
+	case e.denseBudget < 0:
+		return 0
+	}
+	return e.denseBudget
+}
+
+// SetMorselSize sets the number of fact rows per scan morsel (values
+// below 1 restore DefaultMorselSize). Smaller morsels balance skewed
+// predicate work across workers at the cost of more queue traffic.
+func (e *Engine) SetMorselSize(rows int) {
+	if rows < 1 {
+		rows = DefaultMorselSize
+	}
+	e.morselSize = rows
+}
+
+// effectiveMorselSize tolerates a zero-value Engine.
+func (e *Engine) effectiveMorselSize() int {
+	if e.morselSize < 1 {
+		return DefaultMorselSize
+	}
+	return e.morselSize
+}
+
+// denseLayout is the mixed-radix layout of a dense composite key space:
+// coordinate digit gi of slot s is (s / stride[gi]) % card[gi].
+type denseLayout struct {
+	card   []int // |Dom(g_i)| per group position
+	stride []int // Π card[gi+1:]
+	slots  int   // Π card, ≤ the engine budget
+}
+
+// denseLayout returns the dense key-space layout for the scan's group-by
+// set, or nil when a level domain is empty or the space exceeds budget
+// (including multiplicative overflow: the check is budget/card, never
+// the raw product).
+func (p *preparedScan) denseLayout(budget int) *denseLayout {
+	if budget <= 0 {
+		return nil
+	}
+	n := len(p.q.Group)
+	l := &denseLayout{card: make([]int, n), stride: make([]int, n), slots: 1}
+	for gi := n - 1; gi >= 0; gi-- {
+		card := p.cards[gi]
+		if card == 0 || l.slots > budget/card {
+			return nil
+		}
+		l.card[gi] = card
+		l.stride[gi] = l.slots
+		l.slots *= card
+	}
+	return l
+}
+
+// denseState is one worker's accumulator arrays over the key space. All
+// measures of a cell see the same accepted rows, so one row count per
+// slot serves every requested measure (and decides slot occupancy).
+type denseState struct {
+	vals [][]float64 // per requested measure; nil for count measures
+	cnt  []int64     // accepted rows per slot
+	// touched records slots in first-seen order on serial scans, so the
+	// dense path emits cells in exactly the order the hash path would.
+	// Parallel scans leave it nil and emit in ascending key order.
+	touched []int
+}
+
+func (p *preparedScan) newDenseState(l *denseLayout, trackOrder bool) *denseState {
+	st := &denseState{vals: make([][]float64, len(p.q.Measures)), cnt: make([]int64, l.slots)}
+	for j := range p.q.Measures {
+		switch p.ops[j] {
+		case mdm.AggCount:
+			continue // finalized from cnt
+		case mdm.AggMin, mdm.AggMax:
+			a := make([]float64, l.slots)
+			init := math.Inf(1)
+			if p.ops[j] == mdm.AggMax {
+				init = math.Inf(-1)
+			}
+			for s := range a {
+				a[s] = init
+			}
+			st.vals[j] = a
+		default:
+			st.vals[j] = make([]float64, l.slots)
+		}
+	}
+	if trackOrder {
+		st.touched = make([]int, 0, 1024)
+	}
+	return st
+}
+
+// morselScratch is per-worker reusable kernel memory: the selection
+// vector of accepted row indices and the dense keys aligned with it.
+type morselScratch struct {
+	sel []int
+	dk  []int
+}
+
+// hasPreds reports whether any hierarchy carries an acceptance vector.
+func (p *preparedScan) hasPreds() bool {
+	for _, acc := range p.accepts {
+		if acc != nil {
+			return true
+		}
+	}
+	return false
+}
+
+// selection evaluates the scan predicates once over the morsel [lo, hi)
+// into a reusable selection vector of accepted row indices: the first
+// predicated hierarchy fills the vector, later ones compact it in place.
+func (p *preparedScan) selection(sc *morselScratch, lo, hi int) []int {
+	if cap(sc.sel) < hi-lo {
+		sc.sel = make([]int, hi-lo)
+	}
+	sel := sc.sel[:hi-lo]
+	first := true
+	n := 0
+	for h, acc := range p.accepts {
+		if acc == nil {
+			continue
+		}
+		keys := p.f.keys[h]
+		if first {
+			for r := lo; r < hi; r++ {
+				if acc[keys[r]] {
+					sel[n] = r
+					n++
+				}
+			}
+			first = false
+			continue
+		}
+		kept := 0
+		for _, r := range sel[:n] {
+			if acc[keys[r]] {
+				sel[kept] = r
+				kept++
+			}
+		}
+		n = kept
+	}
+	return sel[:n]
+}
+
+// denseMorsel aggregates one morsel into the worker's dense state:
+// selection vector (skipped entirely on unpredicated scans), then
+// composite keys column-at-a-time, then one tight loop per requested
+// measure. sel == nil means the identity selection over [lo, hi).
+func (p *preparedScan) denseMorsel(st *denseState, l *denseLayout, sc *morselScratch, lo, hi int) {
+	var sel []int
+	n := hi - lo
+	if p.hasPreds() {
+		sel = p.selection(sc, lo, hi)
+		n = len(sel)
+		if n == 0 {
+			return
+		}
+	}
+	if cap(sc.dk) < n {
+		sc.dk = make([]int, n)
+	}
+	dk := sc.dk[:n]
+	for i := range dk {
+		dk[i] = 0
+	}
+	for gi, ref := range p.q.Group {
+		gm := p.gmaps[gi]
+		keys := p.f.keys[ref.Hier]
+		stride := l.stride[gi]
+		switch {
+		case sel == nil && stride == 1:
+			for i := range dk {
+				dk[i] += int(gm[keys[lo+i]])
+			}
+		case sel == nil:
+			for i := range dk {
+				dk[i] += int(gm[keys[lo+i]]) * stride
+			}
+		case stride == 1:
+			for i, r := range sel {
+				dk[i] += int(gm[keys[r]])
+			}
+		default:
+			for i, r := range sel {
+				dk[i] += int(gm[keys[r]]) * stride
+			}
+		}
+	}
+	if st.touched != nil {
+		for _, k := range dk {
+			if st.cnt[k] == 0 {
+				st.touched = append(st.touched, k)
+			}
+			st.cnt[k]++
+		}
+	} else {
+		for _, k := range dk {
+			st.cnt[k]++
+		}
+	}
+	for j, mi := range p.q.Measures {
+		col := p.f.meas[mi]
+		acc := st.vals[j]
+		switch p.ops[j] {
+		case mdm.AggSum, mdm.AggAvg:
+			if sel == nil {
+				for i, k := range dk {
+					acc[k] += col[lo+i]
+				}
+			} else {
+				for i, k := range dk {
+					acc[k] += col[sel[i]]
+				}
+			}
+		case mdm.AggMin:
+			if sel == nil {
+				for i, k := range dk {
+					acc[k] = math.Min(acc[k], col[lo+i])
+				}
+			} else {
+				for i, k := range dk {
+					acc[k] = math.Min(acc[k], col[sel[i]])
+				}
+			}
+		case mdm.AggMax:
+			if sel == nil {
+				for i, k := range dk {
+					acc[k] = math.Max(acc[k], col[lo+i])
+				}
+			} else {
+				for i, k := range dk {
+					acc[k] = math.Max(acc[k], col[sel[i]])
+				}
+			}
+		}
+	}
+}
+
+// mergeDense folds src into dst with flat array sums (element-wise min
+// and max for those operators; untouched slots hold the operator's
+// identity, so merging them is a no-op).
+func (p *preparedScan) mergeDense(dst, src *denseState) {
+	for s, n := range src.cnt {
+		dst.cnt[s] += n
+	}
+	for j := range p.q.Measures {
+		a, b := dst.vals[j], src.vals[j]
+		switch p.ops[j] {
+		case mdm.AggSum, mdm.AggAvg:
+			for s, v := range b {
+				a[s] += v
+			}
+		case mdm.AggMin:
+			for s, v := range b {
+				a[s] = math.Min(a[s], v)
+			}
+		case mdm.AggMax:
+			for s, v := range b {
+				a[s] = math.Max(a[s], v)
+			}
+		}
+	}
+}
+
+// finalizeDense materializes the occupied slots as a derived cube,
+// decoding each composite key back into its coordinate. Serial scans
+// emit in first-seen order (st.touched), matching the hash path cell for
+// cell; parallel scans emit in ascending key order, which is coordinate-
+// lexicographic and independent of morsel scheduling.
+func (p *preparedScan) finalizeDense(out *cube.Cube, l *denseLayout, st *denseState) (*cube.Cube, error) {
+	emit := func(slot int) error {
+		coord := make(mdm.Coordinate, len(p.q.Group))
+		for gi := range p.q.Group {
+			coord[gi] = int32(slot / l.stride[gi] % l.card[gi])
+		}
+		vals := make([]float64, len(p.q.Measures))
+		for j := range p.q.Measures {
+			switch p.ops[j] {
+			case mdm.AggAvg:
+				vals[j] = st.vals[j][slot] / float64(st.cnt[slot])
+			case mdm.AggCount:
+				vals[j] = float64(st.cnt[slot])
+			default:
+				vals[j] = st.vals[j][slot]
+			}
+		}
+		return out.AddCell(coord, vals)
+	}
+	if st.touched != nil {
+		for _, slot := range st.touched {
+			if err := emit(slot); err != nil {
+				return nil, err
+			}
+		}
+		return out, nil
+	}
+	for slot, n := range st.cnt {
+		if n == 0 {
+			continue
+		}
+		if err := emit(slot); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// runDenseSerial scans the fact table morsel by morsel on the calling
+// goroutine, reusing one scratch across morsels.
+func (p *preparedScan) runDenseSerial(l *denseLayout, morsel int) *denseState {
+	st := p.newDenseState(l, true)
+	sc := &morselScratch{}
+	n := int64(0)
+	for lo := 0; lo < p.f.rows; lo += morsel {
+		hi := min(lo+morsel, p.f.rows)
+		p.denseMorsel(st, l, sc, lo, hi)
+		n++
+	}
+	mMorsels.Add(n)
+	return st
+}

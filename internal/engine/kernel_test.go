@@ -1,0 +1,474 @@
+package engine
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/assess-olap/assess/internal/mdm"
+	"github.com/assess-olap/assess/internal/storage"
+)
+
+// Kernel tests: the dense-key vectorized path against the hash fallback,
+// serial against morsel-parallel, and the edge cases of the dense key
+// space (budget overflow, cardinality growth, degenerate selections).
+
+// twoHierSchema builds K(k→g) × C(c) with every aggregation operator.
+func twoHierSchema(kCard, cCard int) *mdm.Schema {
+	hk := mdm.NewHierarchy("K", "k", "g")
+	for i := 0; i < kCard; i++ {
+		hk.MustAddMember(memberName(i), memberName(i%7))
+	}
+	hc := mdm.NewHierarchy("C", "c")
+	for i := 0; i < cCard; i++ {
+		hc.MustAddMember(memberName(i))
+	}
+	return mdm.NewSchema("T", []*mdm.Hierarchy{hk, hc}, []mdm.Measure{
+		{Name: "s", Op: mdm.AggSum},
+		{Name: "a", Op: mdm.AggAvg},
+		{Name: "lo", Op: mdm.AggMin},
+		{Name: "hi", Op: mdm.AggMax},
+		{Name: "n", Op: mdm.AggCount},
+	})
+}
+
+// intFact fills a two-hierarchy fact table with integer-valued measures,
+// so dense and hash kernels must agree bit-exactly regardless of
+// accumulation order.
+func intFact(s *mdm.Schema, rows int, seed int64) *storage.FactTable {
+	f := storage.NewFactTable(s)
+	f.Reserve(rows)
+	rng := rand.New(rand.NewSource(seed))
+	nk := s.Hiers[0].Dict(0).Len()
+	nc := s.Hiers[1].Dict(0).Len()
+	for r := 0; r < rows; r++ {
+		v := float64(rng.Intn(2001) - 1000)
+		f.MustAppend([]int32{int32(rng.Intn(nk)), int32(rng.Intn(nc))}, []float64{v, v, v, v, 0})
+	}
+	return f
+}
+
+// kernelEngines returns the four kernel configurations under test, all
+// registered over the same fact: serial hash (the reference), serial
+// dense, morsel-parallel hash, and morsel-parallel dense.
+func kernelEngines(t *testing.T, f *storage.FactTable) map[string]*Engine {
+	t.Helper()
+	out := make(map[string]*Engine)
+	for _, cfg := range []struct {
+		name            string
+		dense, parallel bool
+	}{
+		{"hash-serial", false, false},
+		{"dense-serial", true, false},
+		{"hash-morsel", false, true},
+		{"dense-morsel", true, true},
+	} {
+		e := New()
+		if !cfg.dense {
+			e.SetDenseKeyBudget(0)
+		}
+		if cfg.parallel {
+			e.SetParallelism(4)
+			e.SetParallelMinRows(50)
+			e.SetMorselSize(64)
+		}
+		if err := e.Register("T", f); err != nil {
+			t.Fatal(err)
+		}
+		out[cfg.name] = e
+	}
+	return out
+}
+
+func TestKernelDenseMatchesHash(t *testing.T) {
+	s := twoHierSchema(60, 11)
+	f := intFact(s, 5000, 7)
+	engines := kernelEngines(t, f)
+	ref := engines["hash-serial"]
+	kRef, kID := member(t, s, "g", memberName(2))
+	queries := map[string]Query{
+		"by-k":      {Fact: "T", Group: mdm.MustGroupBy(s, "k"), Measures: []int{0, 1, 2, 3, 4}},
+		"by-g-c":    {Fact: "T", Group: mdm.MustGroupBy(s, "g", "c"), Measures: []int{0, 1, 2, 3, 4}},
+		"by-k-c":    {Fact: "T", Group: mdm.MustGroupBy(s, "k", "c"), Measures: []int{0, 2}},
+		"total":     {Fact: "T", Group: mdm.MustGroupBy(s), Measures: []int{0, 1, 2, 3, 4}},
+		"predicate": {Fact: "T", Group: mdm.MustGroupBy(s, "c"), Preds: []Predicate{{Level: kRef, Members: []int32{kID}}}, Measures: []int{0, 4}},
+	}
+	for qn, q := range queries {
+		want, err := ref.Get(q)
+		if err != nil {
+			t.Fatalf("%s: reference: %v", qn, err)
+		}
+		for en, e := range engines {
+			if en == "hash-serial" {
+				continue
+			}
+			got, err := e.Get(q)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", qn, en, err)
+			}
+			if got.Len() != want.Len() {
+				t.Fatalf("%s/%s: %d cells, reference has %d", qn, en, got.Len(), want.Len())
+			}
+			for i, coord := range want.Coords {
+				gi, ok := got.Lookup(coord)
+				if !ok {
+					t.Fatalf("%s/%s: coordinate %s missing", qn, en, coord.Format(s, want.Group))
+				}
+				for j := range want.Cols {
+					if want.Cols[j][i] != got.Cols[j][gi] {
+						t.Errorf("%s/%s %s measure %s: got %v, reference %v (must be bit-exact on integer measures)",
+							qn, en, coord.Format(s, want.Group), want.Names[j], got.Cols[j][gi], want.Cols[j][i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestKernelSerialDenseOrderMatchesHash pins the cell emission order:
+// serial dense scans must emit in first-seen row order, exactly like the
+// serial hash path, so switching the default kernel is invisible to any
+// order-sensitive consumer.
+func TestKernelSerialDenseOrderMatchesHash(t *testing.T) {
+	s := twoHierSchema(40, 5)
+	f := intFact(s, 2000, 11)
+	engines := kernelEngines(t, f)
+	q := Query{Fact: "T", Group: mdm.MustGroupBy(s, "k", "c"), Measures: []int{0}}
+	want, err := engines["hash-serial"].Get(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := engines["dense-serial"].Get(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != want.Len() {
+		t.Fatalf("dense %d cells, hash %d", got.Len(), want.Len())
+	}
+	for i := range want.Coords {
+		for p := range want.Coords[i] {
+			if want.Coords[i][p] != got.Coords[i][p] {
+				t.Fatalf("cell %d: dense order %v, hash order %v", i, got.Coords[i], want.Coords[i])
+			}
+		}
+	}
+}
+
+func TestDenseLayout(t *testing.T) {
+	prep := &preparedScan{q: Query{Group: make(mdm.GroupBy, 3)}, cards: []int{5, 7, 3}}
+	l := prep.denseLayout(200)
+	if l == nil {
+		t.Fatal("105 slots within a budget of 200 must be dense-eligible")
+	}
+	if l.slots != 105 {
+		t.Errorf("slots = %d, want 105", l.slots)
+	}
+	for gi, want := range []int{21, 3, 1} {
+		if l.stride[gi] != want {
+			t.Errorf("stride[%d] = %d, want %d", gi, l.stride[gi], want)
+		}
+	}
+	if prep.denseLayout(105) == nil {
+		t.Error("slots == budget must be dense-eligible")
+	}
+	if prep.denseLayout(104) != nil {
+		t.Error("slots > budget must fall back to hash")
+	}
+	if prep.denseLayout(0) != nil {
+		t.Error("budget 0 must disable the dense path")
+	}
+	// Empty group-by set: one slot, the grand total.
+	total := &preparedScan{cards: nil}
+	if l := total.denseLayout(1); l == nil || l.slots != 1 {
+		t.Errorf("empty group-by layout = %+v, want 1 slot", l)
+	}
+	// A level with an empty domain cannot be laid out densely.
+	empty := &preparedScan{q: Query{Group: make(mdm.GroupBy, 1)}, cards: []int{0}}
+	if empty.denseLayout(100) != nil {
+		t.Error("empty level domain must fall back to hash")
+	}
+	// The budget check must not overflow on huge cardinality products.
+	huge := &preparedScan{q: Query{Group: make(mdm.GroupBy, 3)}, cards: []int{1 << 30, 1 << 30, 1 << 30}}
+	if huge.denseLayout(1<<30) != nil {
+		t.Error("2^90 slots must fall back to hash without overflowing")
+	}
+}
+
+func TestSetDenseKeyBudget(t *testing.T) {
+	e := New()
+	if got := e.denseKeyBudget(); got != DefaultDenseKeyBudget {
+		t.Errorf("default budget = %d, want %d", got, DefaultDenseKeyBudget)
+	}
+	e.SetDenseKeyBudget(1234)
+	if got := e.denseKeyBudget(); got != 1234 {
+		t.Errorf("budget = %d, want 1234", got)
+	}
+	e.SetDenseKeyBudget(0)
+	if got := e.denseKeyBudget(); got != 0 {
+		t.Errorf("budget = %d, want 0 (disabled)", got)
+	}
+	e.SetDenseKeyBudget(-1)
+	if got := e.denseKeyBudget(); got != DefaultDenseKeyBudget {
+		t.Errorf("budget = %d, want restored default", got)
+	}
+	e.SetMorselSize(77)
+	if got := e.effectiveMorselSize(); got != 77 {
+		t.Errorf("morsel = %d, want 77", got)
+	}
+	e.SetMorselSize(0)
+	if got := e.effectiveMorselSize(); got != DefaultMorselSize {
+		t.Errorf("morsel = %d, want restored default", got)
+	}
+}
+
+func TestKernelEmptyFactTable(t *testing.T) {
+	s := twoHierSchema(10, 3)
+	f := storage.NewFactTable(s)
+	for name, e := range kernelEngines(t, f) {
+		for _, group := range [][]string{{"k"}, {"g", "c"}, {}} {
+			q := Query{Fact: "T", Group: mdm.MustGroupBy(s, group...), Measures: []int{0, 1, 2, 3, 4}}
+			c, err := e.Get(q)
+			if err != nil {
+				t.Fatalf("%s group %v: %v", name, group, err)
+			}
+			if c.Len() != 0 {
+				t.Errorf("%s group %v: %d cells from an empty fact table", name, group, c.Len())
+			}
+		}
+	}
+}
+
+// TestKernelSingleMorselFallsBackToSerial pins the engage rule: a table
+// below the per-worker row floor stays serial (one morsel, no workers),
+// even with parallelism configured.
+func TestKernelSingleMorselFallsBackToSerial(t *testing.T) {
+	if got := scanWorkers(8, 100, parallelThreshold); got != 0 {
+		t.Errorf("scanWorkers(8, 100, 64Ki) = %d, want 0 (serial)", got)
+	}
+	if got := scanWorkers(8, 4*parallelThreshold, parallelThreshold); got != 4 {
+		t.Errorf("scanWorkers(8, 256Ki, 64Ki) = %d, want 4", got)
+	}
+	if got := scanMorsel(DefaultMorselSize, 1000, 4); got != 250 {
+		t.Errorf("scanMorsel = %d, want 250 (at least one morsel per worker)", got)
+	}
+	s := twoHierSchema(10, 3)
+	f := intFact(s, 100, 3)
+	for _, dense := range []bool{true, false} {
+		e := New()
+		e.SetParallelism(8)
+		if !dense {
+			e.SetDenseKeyBudget(0)
+		}
+		if err := e.Register("T", f); err != nil {
+			t.Fatal(err)
+		}
+		c, err := e.Get(Query{Fact: "T", Group: mdm.MustGroupBy(s), Measures: []int{4}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c.Len() != 1 || c.Cols[0][0] != 100 {
+			t.Errorf("dense=%v: grand total = %v, want one cell counting 100 rows", dense, c.Cols)
+		}
+	}
+}
+
+// TestDenseBudgetOverflowMidRegistry grows a hierarchy after the fact
+// table is registered and already queried: the cached roll-up maps must
+// be rebuilt for the new members, and once the key space outgrows the
+// budget the scan must fall back to the hash kernel with identical
+// results.
+func TestDenseBudgetOverflowMidRegistry(t *testing.T) {
+	build := func() (*mdm.Schema, *storage.FactTable) {
+		h := mdm.NewHierarchy("K", "k", "g")
+		for i := 0; i < 8; i++ {
+			h.MustAddMember(memberName(i), memberName(i%4))
+		}
+		s := mdm.NewSchema("T", []*mdm.Hierarchy{h}, []mdm.Measure{{Name: "s", Op: mdm.AggSum}})
+		f := storage.NewFactTable(s)
+		for i := 0; i < 64; i++ {
+			f.MustAppend([]int32{int32(i % 8)}, []float64{float64(i)})
+		}
+		return s, f
+	}
+	s, f := build()
+	e := New()
+	e.SetDenseKeyBudget(16) // 8 base members fit, the grown domain will not
+	if err := e.Register("T", f); err != nil {
+		t.Fatal(err)
+	}
+	q := Query{Fact: "T", Group: mdm.MustGroupBy(s, "k"), Measures: []int{0}}
+	if _, err := e.Get(q); err != nil {
+		t.Fatal(err) // populates the roll-up map caches at cardinality 8
+	}
+	if prep := (&preparedScan{q: q, cards: []int{8}}); prep.denseLayout(e.denseKeyBudget()) == nil {
+		t.Fatal("pre-growth key space should be dense-eligible")
+	}
+	// Mid-registry growth: 24 new members, then rows referencing them.
+	h := s.Hiers[0]
+	for i := 8; i < 32; i++ {
+		h.MustAddMember(memberName(i), memberName(i%4))
+	}
+	for i := 0; i < 32; i++ {
+		f.MustAppend([]int32{int32(8 + i%24)}, []float64{1000})
+	}
+	got, err := e.Get(q) // 32 > 16 slots: must take the hash fallback
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reference: a fresh engine over an identically grown fact.
+	s2, f2 := build()
+	for i := 8; i < 32; i++ {
+		s2.Hiers[0].MustAddMember(memberName(i), memberName(i%4))
+	}
+	for i := 0; i < 32; i++ {
+		f2.MustAppend([]int32{int32(8 + i%24)}, []float64{1000})
+	}
+	ref := New()
+	ref.SetDenseKeyBudget(0)
+	if err := ref.Register("T", f2); err != nil {
+		t.Fatal(err)
+	}
+	want, err := ref.Get(Query{Fact: "T", Group: mdm.MustGroupBy(s2, "k"), Measures: []int{0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != want.Len() {
+		t.Fatalf("post-growth scan has %d cells, want %d", got.Len(), want.Len())
+	}
+	for i, coord := range want.Coords {
+		gi, ok := got.Lookup(coord)
+		if !ok || got.Cols[0][gi] != want.Cols[0][i] {
+			t.Errorf("cell %v: got %v, want %v", coord, got.Cols[0][gi], want.Cols[0][i])
+		}
+	}
+	// The grouped level "g" kept cardinality 4: still dense-eligible, and
+	// its roll-up map must now cover all 32 base members.
+	cg, err := e.Get(Query{Fact: "T", Group: mdm.MustGroupBy(s, "g"), Measures: []int{0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wg, err := ref.Get(Query{Fact: "T", Group: mdm.MustGroupBy(s2, "g"), Measures: []int{0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cg.Len() != wg.Len() {
+		t.Fatalf("post-growth by-g scan has %d cells, want %d", cg.Len(), wg.Len())
+	}
+	for i, coord := range wg.Coords {
+		gi, ok := cg.Lookup(coord)
+		if !ok || cg.Cols[0][gi] != wg.Cols[0][i] {
+			t.Errorf("by-g cell %v: got %v, want %v", coord, cg.Cols[0][gi], wg.Cols[0][i])
+		}
+	}
+}
+
+// TestSelectionVectorExtremes pins the degenerate selection vectors: a
+// predicate accepting no member yields the empty cube, and a predicate
+// listing every member equals the unpredicated scan on every kernel.
+func TestSelectionVectorExtremes(t *testing.T) {
+	s := twoHierSchema(30, 4)
+	f := intFact(s, 3000, 23)
+	engines := kernelEngines(t, f)
+	gRef, _ := s.FindLevel("g")
+	cRef, _ := s.FindLevel("c")
+	all := make([]int32, s.Hiers[0].Dict(1).Len())
+	for i := range all {
+		all[i] = int32(i)
+	}
+	allC := make([]int32, s.Hiers[1].Dict(0).Len())
+	for i := range allC {
+		allC[i] = int32(i)
+	}
+	for name, e := range engines {
+		// All-false: an empty member list rejects every row.
+		q := Query{Fact: "T", Group: mdm.MustGroupBy(s, "k"),
+			Preds: []Predicate{{Level: gRef, Members: nil}}, Measures: []int{0}}
+		c, err := e.Get(q)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if c.Len() != 0 {
+			t.Errorf("%s: all-false predicate produced %d cells", name, c.Len())
+		}
+		// All-true: listing every member of both hierarchies changes nothing.
+		free, err := e.Get(Query{Fact: "T", Group: mdm.MustGroupBy(s, "k"), Measures: []int{0, 4}})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		q = Query{Fact: "T", Group: mdm.MustGroupBy(s, "k"),
+			Preds:    []Predicate{{Level: gRef, Members: all}, {Level: cRef, Members: allC}},
+			Measures: []int{0, 4}}
+		full, err := e.Get(q)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if full.Len() != free.Len() {
+			t.Fatalf("%s: all-true predicate has %d cells, unpredicated %d", name, full.Len(), free.Len())
+		}
+		for i, coord := range free.Coords {
+			fi, ok := full.Lookup(coord)
+			if !ok {
+				t.Fatalf("%s: coordinate missing under all-true predicate", name)
+			}
+			for j := range free.Cols {
+				if free.Cols[j][i] != full.Cols[j][fi] {
+					t.Errorf("%s %v measure %s: %v vs %v", name, coord, free.Names[j], full.Cols[j][fi], free.Cols[j][i])
+				}
+			}
+		}
+	}
+}
+
+// TestMorselWorkStealingStress drives the shared morsel cursor with all
+// cores and single-digit morsels, repeatedly, so `go test -race` (the CI
+// morsel step) exercises concurrent claiming, private-state isolation,
+// and both merge trees.
+func TestMorselWorkStealingStress(t *testing.T) {
+	s := twoHierSchema(50, 6)
+	f := intFact(s, 4000, 31)
+	ref := New()
+	ref.SetDenseKeyBudget(0)
+	if err := ref.Register("T", f); err != nil {
+		t.Fatal(err)
+	}
+	q := Query{Fact: "T", Group: mdm.MustGroupBy(s, "k", "c"), Measures: []int{0, 1, 2, 3, 4}}
+	want, err := ref.Get(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// workers 0 = all cores (which may be 1 on a small runner), so an
+	// explicit 16-worker config guarantees contended claiming everywhere.
+	for _, workers := range []int{0, 16} {
+		for _, dense := range []bool{true, false} {
+			e := New()
+			e.SetParallelism(workers)
+			e.SetParallelMinRows(1)
+			e.SetMorselSize(7)
+			if !dense {
+				e.SetDenseKeyBudget(0)
+			}
+			if err := e.Register("T", f); err != nil {
+				t.Fatal(err)
+			}
+			for round := 0; round < 4; round++ {
+				got, err := e.Get(q)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got.Len() != want.Len() {
+					t.Fatalf("workers=%d dense=%v round %d: %d cells, want %d", workers, dense, round, got.Len(), want.Len())
+				}
+				for i, coord := range want.Coords {
+					gi, ok := got.Lookup(coord)
+					if !ok {
+						t.Fatalf("workers=%d dense=%v round %d: coordinate missing", workers, dense, round)
+					}
+					for j := range want.Cols {
+						if want.Cols[j][i] != got.Cols[j][gi] {
+							t.Fatalf("workers=%d dense=%v round %d: measure %s diverged", workers, dense, round, want.Names[j])
+						}
+					}
+				}
+			}
+		}
+	}
+}

@@ -14,6 +14,12 @@ var (
 		"Aggregate evaluations by mode.", "mode", "parallel")
 	mScansView = obsv.Default.Counter("assess_engine_scans_total",
 		"Aggregate evaluations by mode.", "mode", "view")
+	mKernelDense = obsv.Default.Counter("assess_engine_kernel_total",
+		"Fact-scan aggregation kernel selections by mode.", "mode", "dense")
+	mKernelHash = obsv.Default.Counter("assess_engine_kernel_total",
+		"Fact-scan aggregation kernel selections by mode.", "mode", "hash")
+	mMorsels = obsv.Default.Counter("assess_engine_morsels_total",
+		"Morsels processed by morsel-driven fact scans.")
 	mTransferBytes = obsv.Default.Counter("assess_engine_transfer_bytes_total",
 		"Bytes crossing the engine-to-client cursor boundary.")
 	mTransferCells = obsv.Default.Counter("assess_engine_transfer_cells_total",

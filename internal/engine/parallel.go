@@ -3,20 +3,26 @@ package engine
 import (
 	"math"
 	"runtime"
+	"sort"
 	"sync"
+	"sync/atomic"
 
 	"github.com/assess-olap/assess/internal/cube"
 	"github.com/assess-olap/assess/internal/mdm"
 )
 
-// Parallel fact scans. Aggregation partitions the fact table across
-// workers; each worker builds a private hash table over its row range,
-// and the partial states are merged respecting each measure's
-// aggregation operator (partial sums add, partial minima take the
-// minimum, averages carry sums and counts until finalization).
-// Parallelism is opt-in — the evaluation of EXPERIMENTS.md runs serial,
-// matching the paper's single-client prototype — and only engages on
-// scans large enough to amortize the merge.
+// Morsel-driven parallel fact scans. The fact table is split into
+// fixed-size morsels (SetMorselSize, default 64 Ki rows) claimed off a
+// shared atomic cursor by up to runtime.NumCPU() workers, so fast
+// workers steal the morsels slow ones never reach — skewed predicate
+// selectivity no longer stalls the scan the way the old static
+// partitioning did. Each worker aggregates its morsels into private
+// state (dense accumulator arrays when the key space fits the budget,
+// see kernel.go, otherwise a hash table), and the partials are merged in
+// a log-depth tree. Parallelism is opt-in — the evaluation of
+// EXPERIMENTS.md runs serial, matching the paper's single-client
+// prototype — and only engages on scans large enough to amortize the
+// merge.
 
 // parallelThreshold is the default minimum row count per worker.
 const parallelThreshold = 65536
@@ -50,20 +56,56 @@ func (e *Engine) parallelMinRows() int {
 	return e.minParRows
 }
 
-// scanPartition aggregates the half-open row range [lo, hi) of a
-// prepared scan into a private state table.
+// scanWorkers caps the configured parallelism so each worker averages at
+// least minRows rows; a result below 2 means the scan runs serial.
+func scanWorkers(workers, rows, minRows int) int {
+	if most := rows / minRows; workers > most {
+		workers = most
+	}
+	return workers
+}
+
+// scanMorsel clamps the configured morsel size so a parallel scan yields
+// at least one morsel per worker.
+func scanMorsel(morsel, rows, workers int) int {
+	if per := (rows + workers - 1) / workers; morsel > per {
+		morsel = per
+	}
+	return morsel
+}
+
+// morselCursor hands out fixed-size morsels: each Add claims the next
+// unscanned [lo, hi) row range until the table is exhausted.
+type morselCursor struct {
+	next   atomic.Int64
+	morsel int
+	rows   int
+}
+
+func (c *morselCursor) claim() (lo, hi int, ok bool) {
+	m := int(c.next.Add(1)) - 1
+	lo = m * c.morsel
+	if lo >= c.rows {
+		return 0, 0, false
+	}
+	return lo, min(lo+c.morsel, c.rows), true
+}
+
+// scanState accumulates the hash-fallback aggregation of one worker: a
+// private table over the composite group-by key plus first-seen order.
 type scanState struct {
 	cells map[string]*aggState
 	order []*aggState
 }
 
 // preparedScan is the predicate/roll-up machinery shared by all
-// partitions of one scan.
+// morsels of one scan.
 type preparedScan struct {
 	q       Query
 	f       factColumns
 	accepts [][]bool
 	gmaps   [][]int32
+	cards   []int // group-level domain sizes, for the dense layout
 	ops     []mdm.AggOp
 }
 
@@ -75,7 +117,12 @@ type factColumns struct {
 
 func (p *preparedScan) run(lo, hi int) scanState {
 	st := scanState{cells: make(map[string]*aggState)}
-	coord := make(mdm.Coordinate, len(p.q.Group))
+	p.runInto(&st, make(mdm.Coordinate, len(p.q.Group)), lo, hi)
+	return st
+}
+
+// runInto aggregates the half-open row range [lo, hi) into st's table.
+func (p *preparedScan) runInto(st *scanState, coord mdm.Coordinate, lo, hi int) {
 	nm := len(p.q.Measures)
 rows:
 	for r := lo; r < hi; r++ {
@@ -115,7 +162,6 @@ rows:
 			cell.cnt[j]++
 		}
 	}
-	return st
 }
 
 // merge folds src into dst.
@@ -142,6 +188,27 @@ func (p *preparedScan) merge(dst, src scanState) scanState {
 	return dst
 }
 
+// mergeTree folds the per-worker partials in a log-depth tree: every
+// round merges the back half into the front half concurrently, so the
+// critical path is ⌈log2 n⌉ merges instead of the n-1 of the old
+// pairwise fold — the hash fallback keeps scaling past ~8 workers.
+func (p *preparedScan) mergeTree(parts []scanState) scanState {
+	for n := len(parts); n > 1; {
+		half := n / 2
+		var wg sync.WaitGroup
+		for i := 0; i < half; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				parts[i] = p.merge(parts[i], parts[n-1-i])
+			}(i)
+		}
+		wg.Wait()
+		n -= half
+	}
+	return parts[0]
+}
+
 // finalize materializes the merged state as a derived cube.
 func (p *preparedScan) finalize(schema *cube.Cube, st scanState) (*cube.Cube, error) {
 	for _, cell := range st.order {
@@ -160,35 +227,90 @@ func (p *preparedScan) finalize(schema *cube.Cube, st scanState) (*cube.Cube, er
 	return schema, nil
 }
 
-// runParallel executes a prepared scan across the workers and merges the
-// partitions pairwise. minRows caps the worker count so each partition
-// scans at least that many rows.
-func (p *preparedScan) runParallel(workers, minRows int) scanState {
-	if workers > p.f.rows/minRows {
-		workers = p.f.rows / minRows
-	}
-	if workers < 2 {
-		return p.run(0, p.f.rows)
-	}
+// runParallel executes the hash fallback across workers pulling morsels
+// from a shared cursor, then tree-merges the partials. Which worker
+// scans which morsel races, so the merged cell order is scheduling-
+// dependent; sorting by coordinate makes the result deterministic.
+func (p *preparedScan) runParallel(workers, morsel int) scanState {
+	cur := &morselCursor{morsel: morsel, rows: p.f.rows}
 	parts := make([]scanState, workers)
 	var wg sync.WaitGroup
-	chunk := (p.f.rows + workers - 1) / workers
+	var morsels atomic.Int64
 	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		hi := lo + chunk
-		if hi > p.f.rows {
-			hi = p.f.rows
-		}
 		wg.Add(1)
-		go func(w, lo, hi int) {
+		go func(w int) {
 			defer wg.Done()
-			parts[w] = p.run(lo, hi)
-		}(w, lo, hi)
+			st := scanState{cells: make(map[string]*aggState)}
+			coord := make(mdm.Coordinate, len(p.q.Group))
+			n := int64(0)
+			for {
+				lo, hi, ok := cur.claim()
+				if !ok {
+					break
+				}
+				p.runInto(&st, coord, lo, hi)
+				n++
+			}
+			parts[w] = st
+			morsels.Add(n)
+		}(w)
 	}
 	wg.Wait()
-	out := parts[0]
-	for _, part := range parts[1:] {
-		out = p.merge(out, part)
-	}
+	mMorsels.Add(morsels.Load())
+	out := p.mergeTree(parts)
+	sort.Slice(out.order, func(i, j int) bool {
+		a, b := out.order[i].coord, out.order[j].coord
+		for k := range a {
+			if a[k] != b[k] {
+				return a[k] < b[k]
+			}
+		}
+		return false
+	})
 	return out
+}
+
+// runDenseParallel executes the dense kernels across workers pulling
+// morsels from a shared cursor; each worker owns private accumulator
+// arrays, merged element-wise in a log-depth tree.
+func (p *preparedScan) runDenseParallel(l *denseLayout, workers, morsel int) *denseState {
+	cur := &morselCursor{morsel: morsel, rows: p.f.rows}
+	parts := make([]*denseState, workers)
+	var wg sync.WaitGroup
+	var morsels atomic.Int64
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			st := p.newDenseState(l, false)
+			sc := &morselScratch{}
+			n := int64(0)
+			for {
+				lo, hi, ok := cur.claim()
+				if !ok {
+					break
+				}
+				p.denseMorsel(st, l, sc, lo, hi)
+				n++
+			}
+			parts[w] = st
+			morsels.Add(n)
+		}(w)
+	}
+	wg.Wait()
+	mMorsels.Add(morsels.Load())
+	for n := len(parts); n > 1; {
+		half := n / 2
+		var mg sync.WaitGroup
+		for i := 0; i < half; i++ {
+			mg.Add(1)
+			go func(i int) {
+				defer mg.Done()
+				p.mergeDense(parts[i], parts[n-1-i])
+			}(i)
+		}
+		mg.Wait()
+		n -= half
+	}
+	return parts[0]
 }

@@ -37,29 +37,42 @@ type Report struct {
 }
 
 // axes are the session configurations the harness cross-checks. The
-// reference is NP on the first (serial, no views, no cache); every other
-// axis must reproduce it bit-for-bit on coordinates and labels and
-// ULP-exactly on numeric columns, for every feasible strategy.
+// reference is NP on the first (serial hash kernel, no views, no cache);
+// every other axis must reproduce it bit-for-bit on coordinates and
+// labels and ULP-exactly on numeric columns, for every feasible
+// strategy. The kernel dimension (dense vs hash × serial vs
+// morsel-parallel) pins the vectorized dense-key kernels of
+// internal/engine against the hash path: the generator emits
+// integer-valued measures, so the two must agree bit-exactly.
 var axes = []struct {
-	name                   string
-	parallel, views, cache bool
+	name                          string
+	parallel, views, cache, dense bool
 }{
-	{"base", false, false, false},
-	{"par", true, false, false},
-	{"views", false, true, false},
-	{"par+views", true, true, false},
-	{"cache", false, false, true},
-	{"cache+par+views", true, true, true},
+	{"base", false, false, false, false},
+	{"dense", false, false, false, true},
+	{"par", true, false, false, false},
+	{"dense+par", true, false, false, true},
+	{"views", false, true, false, true},
+	{"par+views", true, true, false, true},
+	{"cache", false, false, true, true},
+	{"cache+par+views", true, true, true, true},
 }
 
-// oracleWorkers is the scan parallelism of the parallel axes, and
-// oracleMinParRows the per-worker row floor: low enough that the
-// generated facts (hundreds to a few thousand rows) genuinely partition,
-// so the partial-state merge is on the tested path.
+// oracleWorkers is the scan parallelism of the parallel axes,
+// oracleMinParRows the per-worker row floor, and oracleMorselRows the
+// morsel size: low enough that the generated facts (hundreds to a few
+// thousand rows) genuinely split into more morsels than workers, so
+// work-stealing and the partial-state merges are on the tested path.
 const (
 	oracleWorkers    = 4
 	oracleMinParRows = 97
+	oracleMorselRows = 53
 )
+
+// oracleDenseBudget forces the dense kernels onto every generated
+// group-by set (their key spaces stay far smaller than this) on the
+// dense axes; the hash axes disable dense with SetDenseKeyBudget(0).
+const oracleDenseBudget = 1 << 22
 
 // traceEnabled turns on span collection for every oracle execution
 // (ORACLE_TRACE=1): each statement runs under a live trace, proving the
@@ -104,7 +117,7 @@ func checkTrace(root *obsv.Span) string {
 	return walk(root)
 }
 
-func buildSession(c *Case, parallel, views, cache bool) (*core.Session, error) {
+func buildSession(c *Case, parallel, views, cache, dense bool) (*core.Session, error) {
 	s := core.NewSession()
 	if err := s.RegisterCube(TargetCube, c.Fact); err != nil {
 		return nil, err
@@ -112,9 +125,15 @@ func buildSession(c *Case, parallel, views, cache bool) (*core.Session, error) {
 	if err := s.RegisterCube(ExtCube, c.ExtFact); err != nil {
 		return nil, err
 	}
+	if dense {
+		s.Engine.SetDenseKeyBudget(oracleDenseBudget)
+	} else {
+		s.Engine.SetDenseKeyBudget(0)
+	}
 	if parallel {
 		s.Engine.SetParallelism(oracleWorkers)
 		s.Engine.SetParallelMinRows(oracleMinParRows)
+		s.Engine.SetMorselSize(oracleMorselRows)
 	}
 	if views {
 		// The hierarchies are shared, so every view level set applies to
@@ -151,7 +170,7 @@ func Run(seed int64) *Report {
 
 	sessions := make([]*core.Session, len(axes))
 	for i, ax := range axes {
-		s, err := buildSession(c, ax.parallel, ax.views, ax.cache)
+		s, err := buildSession(c, ax.parallel, ax.views, ax.cache, ax.dense)
 		if err != nil {
 			add("", "setup/"+ax.name, err.Error())
 			return rep

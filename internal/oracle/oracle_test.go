@@ -127,7 +127,7 @@ func TestGeneratorShapes(t *testing.T) {
 		if len(c.Statements) < len(stmtKinds) {
 			t.Fatalf("seed %d: only %d statements", seed, len(c.Statements))
 		}
-		s, err := buildSession(c, false, false, false)
+		s, err := buildSession(c, false, false, false, false)
 		if err != nil {
 			t.Fatalf("seed %d: %v", seed, err)
 		}
@@ -165,7 +165,7 @@ func TestFeasibleStrategiesCovered(t *testing.T) {
 	counts := make(map[string]int)
 	for _, seed := range defaultSeeds {
 		c := Generate(seed)
-		s, err := buildSession(c, false, false, false)
+		s, err := buildSession(c, false, false, false, false)
 		if err != nil {
 			t.Fatal(err)
 		}
