@@ -21,6 +21,7 @@
 //	        [-seed 42] [-load cube.bin] [-parallel 0]
 //	        [-dense-budget 1048576] [-morsel-size 65536]
 //	        [-cache on|off] [-cache-mb 64]
+//	        [-auto-views] [-view-mb 64]
 //	        [-debug-addr :6060] [-slow-query-ms 500] [-slow-query-log path]
 package main
 
@@ -57,6 +58,8 @@ func main() {
 		morsel    = flag.Int("morsel-size", engine.DefaultMorselSize, "fact-scan morsel size in rows")
 		cache     = flag.String("cache", "on", "query-result cache: on or off")
 		cacheMB   = flag.Int("cache-mb", 64, "query-result cache budget in MiB")
+		autoViews = flag.Bool("auto-views", false, "adaptively materialize hot group-by sets as views")
+		viewMB    = flag.Int("view-mb", 64, "auto-materialized view budget in MiB")
 		debugAddr = flag.String("debug-addr", "", "debug listener (pprof, expvar, metrics); empty disables")
 		slowMS    = flag.Int("slow-query-ms", 500, "slow-query log threshold in ms (0 disables)")
 		slowPath  = flag.String("slow-query-log", "", "slow-query log file (default stderr)")
@@ -80,6 +83,9 @@ func main() {
 	case "off":
 	default:
 		log.Fatalf("assessd: -cache must be on or off, got %q", *cache)
+	}
+	if *autoViews {
+		session.EnableAutoViews(int64(*viewMB) << 20)
 	}
 
 	slow, err := openSlowLog(*slowPath, time.Duration(*slowMS)*time.Millisecond)

@@ -119,6 +119,94 @@ func TestSessionCacheInvalidation(t *testing.T) {
 	}
 }
 
+// TestSessionAutoViewInvalidation is the end-to-end regression for the
+// aggregate navigator's generation handling with the query cache in
+// front: a hot group-by set is auto-admitted, a fact append bumps the
+// session generation, and the next evaluation must neither serve the
+// stale cache entry nor the stale auto view — the view is dropped, the
+// fact rescanned, and the result matches a session that never had
+// views or a cache.
+func TestSessionAutoViewInvalidation(t *testing.T) {
+	s, ds := newCachedSession(t, 5000)
+	s.EnableAutoViews(0) // default 64 MiB budget
+
+	// Three statements with distinct cache fingerprints over one
+	// group-by set: the third engine miss crosses the admission
+	// threshold (DefaultAutoViewMinQueries) and materializes it.
+	stmts := []string{
+		`with SALES by product, country assess quantity labels quartiles`,
+		`with SALES by product, country assess storeSales labels quartiles`,
+		`with SALES by product, country assess storeCost labels quartiles`,
+	}
+	for _, stmt := range stmts {
+		if _, state, err := s.ExecTracked(stmt); err != nil || state != qcache.StateMiss {
+			t.Fatalf("cold exec %q = (%q, %v), want miss", stmt, state, err)
+		}
+	}
+	vs := s.ViewStats()
+	if len(vs.Views) != 1 || !vs.Views[0].Auto {
+		t.Fatalf("after %d misses: views = %+v, want one auto view", len(stmts), vs.Views)
+	}
+
+	// One appended fact row: the generation bumps, so the cached entries
+	// and the admitted view are both stale.
+	gen := s.Generation()
+	keys := make([]int32, len(ds.Fact.Keys))
+	for h := range keys {
+		keys[h] = ds.Fact.Keys[h][0]
+	}
+	vals := make([]float64, len(ds.Fact.Meas))
+	for m := range vals {
+		vals[m] = 7
+	}
+	if err := ds.Fact.Append(keys, vals); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Generation(); got != gen+1 {
+		t.Fatalf("generation after append = %d, want %d", got, gen+1)
+	}
+
+	res, state, err := s.ExecTracked(stmts[0])
+	if err != nil || state != qcache.StateMiss {
+		t.Fatalf("exec after append = (%q, %v), want miss", state, err)
+	}
+	// The stale auto view must be dropped, not rebuilt or served.
+	if vs := s.ViewStats(); len(vs.Views) != 0 {
+		t.Fatalf("stale auto view survived the append: %+v", vs.Views)
+	}
+
+	// Against a reference session that never saw a view or a cache, the
+	// post-append answer must match cell for cell.
+	ref := NewSession()
+	if err := ref.RegisterCube("SALES", ds.Fact); err != nil {
+		t.Fatal(err)
+	}
+	want, _, err := ref.ExecTracked(stmts[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cube.Len() != want.Cube.Len() || res.Cube.Len() == 0 {
+		t.Fatalf("post-append result has %d cells, reference %d", res.Cube.Len(), want.Cube.Len())
+	}
+	for i, coord := range want.Cube.Coords {
+		j, ok := res.Cube.Lookup(coord)
+		if !ok {
+			t.Fatalf("cell %v missing from post-append result", coord)
+		}
+		for c := range want.Cube.Cols {
+			if res.Cube.Cols[c][j] != want.Cube.Cols[c][i] {
+				t.Errorf("cell %v col %d: got %g, reference %g",
+					coord, c, res.Cube.Cols[c][j], want.Cube.Cols[c][i])
+			}
+		}
+	}
+
+	// The fresh evaluation was stored under the new generation.
+	if _, state, err := s.ExecTracked(stmts[0]); err != nil || state != qcache.StateHit {
+		t.Fatalf("re-exec after append = (%q, %v), want hit", state, err)
+	}
+}
+
 // TestSessionCacheOffByDefault: without EnableCache every exec evaluates
 // and reports the off state.
 func TestSessionCacheOffByDefault(t *testing.T) {

@@ -97,6 +97,22 @@ func (s *Session) CacheStats() (stats qcache.Stats, ok bool) {
 	return s.cache.Stats(), true
 }
 
+// EnableAutoViews turns on the engine's adaptive view admission: hot
+// group-by sets that keep missing the view lattice are auto-materialized
+// under the given byte budget (<= 0 selects the engine default), with
+// LRU eviction among admitted views. Safe to call before serving
+// traffic; admission itself is concurrency-safe afterwards.
+func (s *Session) EnableAutoViews(budgetBytes int64) {
+	s.Engine.SetAutoViewBudget(budgetBytes)
+	s.Engine.SetAutoViews(true)
+}
+
+// ViewStats snapshots the engine's materialized-view catalog and
+// admission accounting (the /stats view section).
+func (s *Session) ViewStats() engine.ViewStats {
+	return s.Engine.ViewStatsSnapshot()
+}
+
 // Generation is the session's cache-invalidation generation: the engine
 // catalog generation (registrations, materializations, fact appends)
 // plus registry mutations.

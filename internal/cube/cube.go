@@ -37,6 +37,38 @@ func New(s *mdm.Schema, g mdm.GroupBy, names ...string) *Cube {
 	return c
 }
 
+// Build constructs a cube directly from prebuilt coordinate and column
+// slices, taking ownership of them (no copies): the bulk counterpart of
+// New+AddCell for producers that already hold columnar results, such as
+// the engine's view paths. Coordinates must be unique and every column
+// must have one value per coordinate.
+func Build(s *mdm.Schema, g mdm.GroupBy, names []string, coords []mdm.Coordinate, cols [][]float64) (*Cube, error) {
+	if len(cols) != len(names) {
+		return nil, fmt.Errorf("cube: %d columns for %d measure names", len(cols), len(names))
+	}
+	for j := range cols {
+		if len(cols[j]) != len(coords) {
+			return nil, fmt.Errorf("cube: column %s has %d values for %d cells", names[j], len(cols[j]), len(coords))
+		}
+	}
+	c := &Cube{
+		Schema: s,
+		Group:  g,
+		Names:  append([]string(nil), names...),
+		Coords: coords,
+		Cols:   cols,
+		index:  make(map[string]int, len(coords)),
+	}
+	for i, coord := range coords {
+		key := coord.Key()
+		if _, dup := c.index[key]; dup {
+			return nil, fmt.Errorf("cube: duplicate coordinate %s", coord.Format(s, g))
+		}
+		c.index[key] = i
+	}
+	return c, nil
+}
+
 // Len returns the number of cells, |C|.
 func (c *Cube) Len() int { return len(c.Coords) }
 

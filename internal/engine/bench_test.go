@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"github.com/assess-olap/assess/internal/mdm"
+	"github.com/assess-olap/assess/internal/sales"
 	"github.com/assess-olap/assess/internal/ssb"
 )
 
@@ -142,6 +143,78 @@ func BenchmarkMergeTree(b *testing.B) {
 		if got := p.mergeTree(parts); len(got.order) == 0 {
 			b.Fatal("empty merge result")
 		}
+	}
+}
+
+// navDataset builds a sales engine at the given fact-row scale for the
+// aggregate-navigator benchmarks.
+func navDataset(b *testing.B, rows int) (*Engine, *mdm.Schema) {
+	b.Helper()
+	ds := sales.Generate(rows, 47)
+	e := New()
+	if err := e.Register("SALES", ds.Fact); err != nil {
+		b.Fatal(err)
+	}
+	return e, ds.Schema
+}
+
+// BenchmarkViewRollup pits the navigator's roll-up path — a coarse
+// query answered by re-aggregating a strictly finer view's cells —
+// against the plain fact scan of the same query, at two scales. The
+// sub-benchmark names stay dash-free so scripts/bench.sh check can
+// match them against the committed baseline.
+func BenchmarkViewRollup(b *testing.B) {
+	for _, rows := range []int{50_000, 500_000} {
+		label := fmt.Sprintf("rows=%dk", rows/1000)
+		e, s := navDataset(b, rows)
+		qi, _ := s.MeasureIndex("quantity")
+		q := Query{Fact: "SALES", Group: mdm.MustGroupBy(s, "category", "country"), Measures: []int{qi}}
+		b.Run(label+"/scan", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := e.Get(q); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		if err := e.Materialize("SALES", mdm.MustGroupBy(s, "product", "month", "country")); err != nil {
+			b.Fatal(err)
+		}
+		b.Run(label+"/view", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := e.Get(q); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAggNavigator measures the navigator's dispatch over a mixed
+// query stream with a small view lattice installed: an exact view hit,
+// a roll-up from a finer view, and an uncovered query that falls back
+// to the fact scan.
+func BenchmarkAggNavigator(b *testing.B) {
+	for _, rows := range []int{50_000, 500_000} {
+		b.Run(fmt.Sprintf("rows=%dk", rows/1000), func(b *testing.B) {
+			e, s := navDataset(b, rows)
+			qi, _ := s.MeasureIndex("quantity")
+			for _, g := range [][]string{{"product", "country"}, {"product", "month"}} {
+				if err := e.Materialize("SALES", mdm.MustGroupBy(s, g...)); err != nil {
+					b.Fatal(err)
+				}
+			}
+			queries := []Query{
+				{Fact: "SALES", Group: mdm.MustGroupBy(s, "product", "country"), Measures: []int{qi}}, // exact hit
+				{Fact: "SALES", Group: mdm.MustGroupBy(s, "type", "country"), Measures: []int{qi}},    // roll-up
+				{Fact: "SALES", Group: mdm.MustGroupBy(s, "gender"), Measures: []int{qi}},             // miss → scan
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := e.Get(queries[i%len(queries)]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

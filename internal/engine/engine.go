@@ -43,13 +43,24 @@ type Query struct {
 
 // Engine holds the registered detailed cubes (fact tables) and any
 // materialized views. Queries may run concurrently (e.g. from the HTTP
-// server); catalog mutations (Register, Materialize, the knob setters)
-// must happen before queries start.
+// server); fact registration and the knob setters must happen before
+// queries start, but the view catalog is guarded by viewMu — adaptive
+// admission and stale-view repair mutate it mid-traffic.
 type Engine struct {
 	facts map[string]*storage.FactTable
-	views map[viewKey]*cube.Cube
-	// memoized roll-up maps: base member id → member id at a coarser
-	// level. Queries populate this lazily, so it has its own lock.
+	// viewMu guards views and the byte accounting below; admission and
+	// stale repair write while queries read.
+	viewMu    sync.RWMutex
+	views     map[viewKey]*matView
+	viewBytes int64 // approximate resident bytes, all views
+	autoBytes int64 // subset belonging to admitted (auto) views
+	// useTick is the logical clock behind the admitted views' LRU.
+	useTick atomic.Int64
+	// autoMu guards the adaptive-admission tally and knobs.
+	autoMu sync.Mutex
+	auto   autoAdmit
+	// memoized roll-up maps: member id at a finer level → member id at a
+	// coarser level. Queries populate this lazily, so it has its own lock.
 	rollupMu sync.RWMutex
 	rollups  map[rollupKey][]int32
 	// noFusion disables the pipelined view→pivot path (ablation knob).
@@ -73,15 +84,16 @@ type Engine struct {
 }
 
 type rollupKey struct {
-	fact  string
-	level mdm.LevelRef
+	fact     string
+	hier     int
+	from, to int
 }
 
 // New returns an empty engine.
 func New() *Engine {
 	return &Engine{
 		facts:   make(map[string]*storage.FactTable),
-		views:   make(map[viewKey]*cube.Cube),
+		views:   make(map[viewKey]*matView),
 		rollups: make(map[rollupKey][]int32),
 	}
 }
@@ -131,29 +143,11 @@ func (e *Engine) Facts() []string {
 	return out
 }
 
-// rollupMap returns (building and caching on first use) the map from
-// base-level member ids of the level's hierarchy to member ids at the
-// level itself. A cached map shorter than the hierarchy's current base
-// domain is stale — members were registered after it was built — and is
-// rebuilt, so cardinality growth after Register stays correct.
+// rollupMap returns the memoized map from base-level member ids of the
+// level's hierarchy to member ids at the level itself (the from=0 case
+// of rollupMapFrom in navigator.go).
 func (e *Engine) rollupMap(fact string, f *storage.FactTable, ref mdm.LevelRef) []int32 {
-	key := rollupKey{fact, ref}
-	h := f.Schema.Hiers[ref.Hier]
-	n := h.Dict(0).Len()
-	e.rollupMu.RLock()
-	m, ok := e.rollups[key]
-	e.rollupMu.RUnlock()
-	if ok && len(m) == n {
-		return m
-	}
-	m = make([]int32, n)
-	for id := int32(0); int(id) < n; id++ {
-		m[id] = h.Rollup(id, 0, ref.Level)
-	}
-	e.rollupMu.Lock()
-	e.rollups[key] = m
-	e.rollupMu.Unlock()
-	return m
+	return e.rollupMapFrom(fact, f, ref.Hier, 0, ref.Level)
 }
 
 // aggState accumulates one result cell.
@@ -164,12 +158,27 @@ type aggState struct {
 }
 
 // aggregate evaluates the get operator engine-side, before any transfer:
-// from a materialized view when one covers the query, otherwise by a
-// fact-table scan.
+// from the view lattice when a materialized view covers the query
+// (exactly, or at a strictly finer group-by set re-aggregated by the
+// navigator), otherwise by a fact-table scan. Lattice misses feed the
+// adaptive admission tally; a miss that earns admission is answered from
+// the freshly admitted view.
 func (e *Engine) aggregate(q Query) (*cube.Cube, error) {
-	if v := e.viewFor(q); v != nil {
+	v, exact := e.lookupView(q)
+	if v == nil {
+		mViewMiss.Inc()
+		if f, ok := e.facts[q.Fact]; ok && e.noteViewMiss(q, f) {
+			v, exact = e.lookupView(q)
+		}
+	}
+	if v != nil {
 		mScansView.Inc()
-		return aggregateFromView(v, q)
+		if exact {
+			mViewExact.Inc()
+			return aggregateFromView(v, q)
+		}
+		mViewRollup.Inc()
+		return e.rollupFromView(e.facts[q.Fact], v, q)
 	}
 	return e.scanAggregate(q)
 }
@@ -186,6 +195,31 @@ func (e *Engine) scanAggregate(q Query) (*cube.Cube, error) {
 	s := f.Schema
 	for _, mi := range q.Measures {
 		if mi < 0 || mi >= len(s.Measures) {
+			return nil, fmt.Errorf("engine: measure index %d out of range for %s", mi, q.Fact)
+		}
+	}
+	ops := make([]mdm.AggOp, len(q.Measures))
+	names := make([]string, len(q.Measures))
+	for j, mi := range q.Measures {
+		ops[j] = s.Measures[mi].Op
+		names[j] = s.Measures[mi].Name
+	}
+	return e.scanAggregateOps(q, ops, names)
+}
+
+// scanAggregateOps is scanAggregate with the per-measure operators and
+// output names supplied by the caller instead of read off the schema:
+// q.Measures index fact columns, ops[j] aggregates column q.Measures[j]
+// into output names[j]. Materialization uses this to request auxiliary
+// columns (raw AVG sums, per-cell counts) beyond the schema's measures.
+func (e *Engine) scanAggregateOps(q Query, ops []mdm.AggOp, names []string) (*cube.Cube, error) {
+	f, ok := e.facts[q.Fact]
+	if !ok {
+		return nil, fmt.Errorf("engine: unknown cube %s", q.Fact)
+	}
+	s := f.Schema
+	for _, mi := range q.Measures {
+		if mi < 0 || mi >= len(f.Meas) {
 			return nil, fmt.Errorf("engine: measure index %d out of range for %s", mi, q.Fact)
 		}
 	}
@@ -229,12 +263,6 @@ func (e *Engine) scanAggregate(q Query) (*cube.Cube, error) {
 		}
 		gmaps[gi] = e.rollupMap(q.Fact, f, ref)
 		cards[gi] = s.Dict(ref).Len()
-	}
-	ops := make([]mdm.AggOp, len(q.Measures))
-	names := make([]string, len(q.Measures))
-	for j, mi := range q.Measures {
-		ops[j] = s.Measures[mi].Op
-		names[j] = s.Measures[mi].Name
 	}
 	prep := &preparedScan{
 		q:       q,
@@ -303,9 +331,12 @@ func (e *Engine) GetJoined(qc, qb Query, on []mdm.LevelRef, alias string, outer 
 // true, cells missing any neighbor slice are filtered out (the "is not
 // null" clauses); the assess* variant keeps them with nulls.
 func (e *Engine) GetPivoted(q Query, level mdm.LevelRef, ref int32, neighbors []int32, strict bool, rename func(measure, member string) string) (*cube.Cube, error) {
-	// When a materialized view covers the query, the get and the pivot
-	// are evaluated in one pipelined pass, as a DBMS would (Listing 5).
-	if v := e.viewFor(q); v != nil && neighbors != nil && !e.noFusion {
+	// When a materialized view matches the query's group-by set exactly,
+	// the get and the pivot are evaluated in one pipelined pass, as a
+	// DBMS would (Listing 5). Coarser lattice covers still help — the
+	// aggregate below is answered by the navigator — but are pivoted
+	// from the materialized aggregate, not fused.
+	if v, exact := e.lookupView(q); v != nil && exact && neighbors != nil && !e.noFusion {
 		p, err := e.pivotFromView(v, q, level, ref, neighbors, strict, rename)
 		if err != nil {
 			return nil, err

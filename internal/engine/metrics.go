@@ -24,4 +24,22 @@ var (
 		"Bytes crossing the engine-to-client cursor boundary.")
 	mTransferCells = obsv.Default.Counter("assess_engine_transfer_cells_total",
 		"Result cells crossing the engine-to-client cursor boundary.")
+	// Aggregate-navigator metrics: how each aggregate resolved against
+	// the view lattice, and the admission layer's churn.
+	mViewExact = obsv.Default.Counter("assess_engine_view_total",
+		"Aggregate resolutions against the view lattice by mode.", "mode", "exact")
+	mViewRollup = obsv.Default.Counter("assess_engine_view_total",
+		"Aggregate resolutions against the view lattice by mode.", "mode", "rollup")
+	mViewMiss = obsv.Default.Counter("assess_engine_view_total",
+		"Aggregate resolutions against the view lattice by mode.", "mode", "miss")
+	gViewBytes = obsv.Default.Gauge("assess_engine_view_bytes",
+		"Approximate resident bytes of materialized views.")
+	mViewAdmissions = obsv.Default.Counter("assess_engine_view_admissions_total",
+		"Views auto-materialized by the adaptive admission layer.")
+	mViewEvictions = obsv.Default.Counter("assess_engine_view_evictions_total",
+		"Admitted views evicted by the LRU byte budget.")
+	mViewStaleDropped = obsv.Default.Counter("assess_engine_view_stale_total",
+		"Stale views handled after fact growth, by action.", "action", "dropped")
+	mViewRebuilt = obsv.Default.Counter("assess_engine_view_stale_total",
+		"Stale views handled after fact growth, by action.", "action", "rebuilt")
 )

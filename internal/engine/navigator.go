@@ -1,0 +1,575 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/assess-olap/assess/internal/cube"
+	"github.com/assess-olap/assess/internal/mdm"
+	"github.com/assess-olap/assess/internal/storage"
+)
+
+// The aggregate navigator. Group-by sets form the roll-up lattice of
+// Gray et al.'s data cube: a view at G' answers any query at G with
+// G' ⪰H G — every query level reachable by roll-up from the view's
+// level of the same hierarchy, and every predicate level derivable the
+// same way. Exact matches are served by a filter over the view's cells
+// (views.go); strictly coarser queries re-aggregate the view's cells
+// through the same dense-key/hash kernels as fact scans (morsel-parallel
+// above the usual threshold), so a 500k-row scan collapses to a pass
+// over a few thousand view cells. The adaptive admission layer watches
+// queries that miss every view and auto-materializes the hottest
+// group-by sets under a byte budget, evicting least-recently-used
+// admitted views and dropping any view whose fact table has since
+// grown (generation-based invalidation, consistent with qcache).
+
+// covers reports whether the view can answer the query: the view's
+// group-by set rolls up to the query's, and every predicate hierarchy is
+// present in the view at a level not coarser than the predicate's.
+func (v *matView) covers(q Query) bool {
+	if !v.group.RollsUpTo(q.Group) {
+		return false
+	}
+	for _, p := range q.Preds {
+		pos := v.group.Pos(p.Level.Hier)
+		if pos < 0 || v.group[pos].Level > p.Level.Level {
+			return false
+		}
+	}
+	return true
+}
+
+// pickView scans the view catalog under viewMu (held by the caller) for
+// the best fresh covering view: an exact group-by match when one exists
+// (no re-aggregation needed, and never more cells than a finer view),
+// otherwise the covering view with the fewest cells. stale reports
+// whether any view of the fact — covering or not — is out of date.
+func (e *Engine) pickView(q Query, ver uint64) (best *matView, exact, stale bool) {
+	gkey := groupKey(q.Group)
+	for key, v := range e.views {
+		if key.fact != q.Fact {
+			continue
+		}
+		if v.factVer != ver {
+			stale = true
+			continue
+		}
+		if !v.covers(q) {
+			continue
+		}
+		if key.gkey == gkey {
+			return v, true, stale
+		}
+		if best == nil || v.data.Len() < best.data.Len() {
+			best = v
+		}
+	}
+	return best, false, stale
+}
+
+// lookupView resolves the query against the view lattice, repairing any
+// stale views of the fact on the way: admitted views are dropped (their
+// group-by sets must re-earn admission against the new data), explicit
+// ones are rebuilt in place. The returned view, if any, is fresh; exact
+// reports a group-by match that needs no re-aggregation.
+func (e *Engine) lookupView(q Query) (v *matView, exact bool) {
+	f, ok := e.facts[q.Fact]
+	if !ok {
+		return nil, false
+	}
+	ver := f.Version()
+	e.viewMu.RLock()
+	best, exact, stale := e.pickView(q, ver)
+	e.viewMu.RUnlock()
+	if stale {
+		e.repairStaleViews(q.Fact, f, ver)
+		e.viewMu.RLock()
+		best, exact, _ = e.pickView(q, ver)
+		e.viewMu.RUnlock()
+	}
+	if best != nil {
+		best.lastUse.Store(e.useTick.Add(1))
+		best.hits.Add(1)
+	}
+	return best, exact
+}
+
+// repairStaleViews brings every view of the fact up to the observed
+// version: admitted views are dropped, explicit ones rebuilt from the
+// current fact rows (dropped if the rebuild fails). Rebuilds run outside
+// the lock; a concurrent repair of the same view resolves by re-checking
+// freshness before the swap.
+func (e *Engine) repairStaleViews(fact string, f *storage.FactTable, ver uint64) {
+	type staleView struct {
+		key viewKey
+		v   *matView
+	}
+	var rebuild []staleView
+	e.viewMu.Lock()
+	for key, v := range e.views {
+		if key.fact != fact || v.factVer == ver {
+			continue
+		}
+		if v.auto {
+			e.dropViewLocked(key, v)
+			mViewStaleDropped.Inc()
+			continue
+		}
+		rebuild = append(rebuild, staleView{key, v})
+	}
+	e.viewMu.Unlock()
+	for _, sv := range rebuild {
+		nv, err := e.buildView(fact, f, sv.v.group, false)
+		e.viewMu.Lock()
+		cur, ok := e.views[sv.key]
+		switch {
+		case !ok || cur.factVer == ver:
+			// Dropped or already repaired by a concurrent query.
+		case err != nil:
+			e.dropViewLocked(sv.key, cur)
+			mViewStaleDropped.Inc()
+		default:
+			e.dropViewLocked(sv.key, cur)
+			e.installView(sv.key, nv)
+			mViewRebuilt.Inc()
+		}
+		e.viewMu.Unlock()
+	}
+}
+
+// rollupFromView answers a query strictly coarser than the view by
+// re-aggregating the view's cells through the scan kernels: the view's
+// columnar keys play the fact key columns, roll-up maps go from the view
+// level (not the base level) to the query level, and measures are
+// rewritten distributively — SUM/MIN/MAX as themselves, COUNT as a SUM
+// of the view's per-cell row counts, AVG as a SUM of the view's raw sums
+// recombined with the summed counts after the kernel.
+func (e *Engine) rollupFromView(f *storage.FactTable, v *matView, q Query) (*cube.Cube, error) {
+	s := f.Schema
+	n := v.data.Len()
+	keys := make([][]int32, len(s.Hiers))
+	accepts := make([][]bool, len(s.Hiers))
+	for _, p := range q.Preds {
+		vp := v.group.Pos(p.Level.Hier) // ≥ 0 with level ≤ p's: covers() checked
+		from := v.group[vp].Level
+		h := s.Hiers[p.Level.Hier]
+		want := make(map[int32]bool, len(p.Members))
+		for _, m := range p.Members {
+			want[m] = true
+		}
+		rm := e.rollupMapFrom(q.Fact, f, p.Level.Hier, from, p.Level.Level)
+		acc := accepts[p.Level.Hier]
+		if acc == nil {
+			acc = make([]bool, h.Dict(from).Len())
+			for i := range acc {
+				acc[i] = true
+			}
+			accepts[p.Level.Hier] = acc
+		}
+		for id := range acc {
+			if acc[id] && !want[rm[id]] {
+				acc[id] = false
+			}
+		}
+		keys[p.Level.Hier] = v.keyCols[vp]
+	}
+	gmaps := make([][]int32, len(q.Group))
+	cards := make([]int, len(q.Group))
+	for gi, ref := range q.Group {
+		vp := v.group.Pos(ref.Hier)
+		gmaps[gi] = e.rollupMapFrom(q.Fact, f, ref.Hier, v.group[vp].Level, ref.Level)
+		cards[gi] = s.Dict(ref).Len()
+		keys[ref.Hier] = v.keyCols[vp]
+	}
+	meas := make([][]float64, 0, len(q.Measures)+1)
+	ops := make([]mdm.AggOp, 0, len(q.Measures)+1)
+	names := make([]string, 0, len(q.Measures)+1)
+	var avgCols []int // output positions holding raw AVG sums
+	for j, mi := range q.Measures {
+		if mi < 0 || mi >= len(s.Measures) {
+			return nil, fmt.Errorf("engine: measure index %d out of range for %s", mi, q.Fact)
+		}
+		m := s.Measures[mi]
+		names = append(names, m.Name)
+		switch m.Op {
+		case mdm.AggAvg:
+			meas = append(meas, v.sums[mi])
+			ops = append(ops, mdm.AggSum)
+			avgCols = append(avgCols, j)
+		case mdm.AggCount:
+			meas = append(meas, v.cnt)
+			ops = append(ops, mdm.AggSum)
+		case mdm.AggMin, mdm.AggMax:
+			meas = append(meas, v.data.Cols[mi])
+			ops = append(ops, m.Op)
+		default:
+			meas = append(meas, v.data.Cols[mi])
+			ops = append(ops, mdm.AggSum)
+		}
+	}
+	cntPos := -1
+	if len(avgCols) > 0 {
+		cntPos = len(meas)
+		meas = append(meas, v.cnt)
+		ops = append(ops, mdm.AggSum)
+		names = append(names, "·cnt")
+	}
+	idx := make([]int, len(meas))
+	for i := range idx {
+		idx[i] = i
+	}
+	prep := &preparedScan{
+		q:       Query{Fact: q.Fact, Group: q.Group, Measures: idx},
+		f:       factColumns{keys: keys, meas: meas, rows: n},
+		accepts: accepts,
+		gmaps:   gmaps,
+		cards:   cards,
+		ops:     ops,
+	}
+	workers := scanWorkers(e.workers, n, e.parallelMinRows())
+	morsel := e.effectiveMorselSize()
+	out := cube.New(s, q.Group, names...)
+	var err error
+	if l := prep.denseLayout(e.denseKeyBudget()); l != nil {
+		mKernelDense.Inc()
+		if workers >= 2 {
+			out, err = prep.finalizeDense(out, l, prep.runDenseParallel(l, workers, scanMorsel(morsel, n, workers)))
+		} else {
+			out, err = prep.finalizeDense(out, l, prep.runDenseSerial(l, morsel))
+		}
+	} else {
+		mKernelHash.Inc()
+		if workers >= 2 {
+			out, err = prep.finalize(out, prep.runParallel(workers, scanMorsel(morsel, n, workers)))
+		} else {
+			out, err = prep.finalize(out, prep.run(0, n))
+		}
+	}
+	if err != nil {
+		return nil, err
+	}
+	if cntPos >= 0 {
+		cnt := out.Cols[cntPos]
+		for _, j := range avgCols {
+			col := out.Cols[j]
+			for i := range col {
+				col[i] /= cnt[i]
+			}
+		}
+		out.Names = out.Names[:cntPos]
+		out.Cols = out.Cols[:cntPos]
+	}
+	return out, nil
+}
+
+// rollupMapFrom returns (building and caching on first use) the map from
+// member ids at the from level to member ids at the coarser to level of
+// the hierarchy. The base-level maps of plain fact scans are the from=0
+// case. A cached map shorter than the from level's current domain is
+// stale and rebuilt.
+func (e *Engine) rollupMapFrom(fact string, f *storage.FactTable, hier, from, to int) []int32 {
+	key := rollupKey{fact, hier, from, to}
+	h := f.Schema.Hiers[hier]
+	n := h.Dict(from).Len()
+	e.rollupMu.RLock()
+	m, ok := e.rollups[key]
+	e.rollupMu.RUnlock()
+	if ok && len(m) == n {
+		return m
+	}
+	m = make([]int32, n)
+	for id := int32(0); int(id) < n; id++ {
+		m[id] = h.Rollup(id, from, to)
+	}
+	e.rollupMu.Lock()
+	e.rollups[key] = m
+	e.rollupMu.Unlock()
+	return m
+}
+
+// Adaptive view admission. Every aggregate that misses the view lattice
+// tallies its (fact, group-by set); once a set has been requested
+// SetAutoViewMinQueries times and its estimated cell count is small
+// enough relative to the fact table (the benefit test), it is
+// materialized — provided its estimated size fits the byte budget, with
+// least-recently-used admitted views evicted to make room.
+
+// DefaultAutoViewMinQueries is how many times a group-by set must miss
+// the view lattice before the admission layer materializes it.
+const DefaultAutoViewMinQueries = 3
+
+// autoAdmit is the admission tally, guarded by its own small mutex (the
+// views map itself is guarded by viewMu).
+type autoAdmit struct {
+	enabled  bool
+	budget   int64
+	minHits  int
+	tally    map[viewKey]*viewTally
+	building map[viewKey]bool
+}
+
+type viewTally struct {
+	group mdm.GroupBy
+	count int
+}
+
+// maxTallyEntries bounds the admission tally; a workload with more
+// distinct cold group-by sets than this resets the tally rather than
+// growing without bound.
+const maxTallyEntries = 4096
+
+// SetAutoViews enables or disables adaptive view admission. Disabling
+// keeps already-admitted views (they are still correct; they just stop
+// being replenished).
+func (e *Engine) SetAutoViews(enabled bool) {
+	e.autoMu.Lock()
+	defer e.autoMu.Unlock()
+	e.auto.enabled = enabled
+	if enabled && e.auto.tally == nil {
+		e.auto.tally = make(map[viewKey]*viewTally)
+		e.auto.building = make(map[viewKey]bool)
+	}
+}
+
+// SetAutoViewBudget caps the total bytes of admitted (auto) views;
+// values ≤ 0 restore the default of 64 MiB. Explicit views don't count
+// against the budget.
+func (e *Engine) SetAutoViewBudget(bytes int64) {
+	e.autoMu.Lock()
+	defer e.autoMu.Unlock()
+	e.auto.budget = bytes
+}
+
+// SetAutoViewMinQueries sets how many lattice misses a group-by set
+// needs before admission (values < 1 restore the default).
+func (e *Engine) SetAutoViewMinQueries(n int) {
+	e.autoMu.Lock()
+	defer e.autoMu.Unlock()
+	e.auto.minHits = n
+}
+
+// DefaultAutoViewBudget is the admission byte budget when none is set.
+const DefaultAutoViewBudget = 64 << 20
+
+func (a *autoAdmit) effectiveBudget() int64 {
+	if a.budget <= 0 {
+		return DefaultAutoViewBudget
+	}
+	return a.budget
+}
+
+func (a *autoAdmit) effectiveMinHits() int {
+	if a.minHits < 1 {
+		return DefaultAutoViewMinQueries
+	}
+	return a.minHits
+}
+
+// noteViewMiss tallies a query that no view could answer and decides
+// whether its group-by set has earned materialization, reporting whether
+// a view was admitted (the caller re-resolves against the lattice). The
+// build itself runs outside both locks; the building set keeps
+// concurrent queries from admitting the same set twice.
+func (e *Engine) noteViewMiss(q Query, f *storage.FactTable) bool {
+	e.autoMu.Lock()
+	a := &e.auto
+	if !a.enabled || len(q.Group) == 0 {
+		e.autoMu.Unlock()
+		return false
+	}
+	key := viewKey{q.Fact, groupKey(q.Group)}
+	if a.building[key] {
+		e.autoMu.Unlock()
+		return false
+	}
+	t := a.tally[key]
+	if t == nil {
+		if len(a.tally) >= maxTallyEntries {
+			a.tally = make(map[viewKey]*viewTally)
+		}
+		t = &viewTally{group: append(mdm.GroupBy(nil), q.Group...)}
+		a.tally[key] = t
+	}
+	t.count++
+	rows := f.Rows()
+	est := estimatedCells(f, t.group, rows)
+	admit := t.count >= a.effectiveMinHits() &&
+		2*est <= rows && // benefit: the view must out-coarsen the fact
+		viewSizeBytes(est, len(t.group), len(f.Schema.Measures), countAvgs(f.Schema)) <= a.effectiveBudget()
+	if admit {
+		a.building[key] = true
+	}
+	budget := a.effectiveBudget()
+	e.autoMu.Unlock()
+	if !admit {
+		return false
+	}
+	ok := e.admitView(key, f, t.group, budget)
+	e.autoMu.Lock()
+	delete(e.auto.building, key)
+	if ok {
+		delete(e.auto.tally, key)
+	} else if t := e.auto.tally[key]; t != nil {
+		// The estimate lied (build failed or over budget): poison the
+		// tally so the set doesn't pay for a rebuild every few misses.
+		t.count = -1 << 30
+	}
+	e.autoMu.Unlock()
+	return ok
+}
+
+// admitView materializes an earned group-by set and installs it under
+// the budget, evicting least-recently-used admitted views to make room.
+func (e *Engine) admitView(key viewKey, f *storage.FactTable, g mdm.GroupBy, budget int64) bool {
+	v, err := e.buildView(key.fact, f, g, true)
+	if err != nil || v.bytes > budget {
+		return false
+	}
+	e.viewMu.Lock()
+	defer e.viewMu.Unlock()
+	if _, dup := e.views[key]; dup {
+		return true // someone else installed it; the lattice now covers q
+	}
+	for e.autoBytes+v.bytes > budget {
+		if !e.evictLRULocked() {
+			return false // nothing evictable left and still over budget
+		}
+	}
+	e.installView(key, v)
+	mViewAdmissions.Inc()
+	e.gen.Add(1)
+	return true
+}
+
+// evictLRULocked drops the least-recently-used admitted view; explicit
+// views are never evicted. Returns false when no admitted view remains.
+func (e *Engine) evictLRULocked() bool {
+	var victimKey viewKey
+	var victim *matView
+	for key, v := range e.views {
+		if !v.auto {
+			continue
+		}
+		if victim == nil || v.lastUse.Load() < victim.lastUse.Load() {
+			victimKey, victim = key, v
+		}
+	}
+	if victim == nil {
+		return false
+	}
+	e.dropViewLocked(victimKey, victim)
+	mViewEvictions.Inc()
+	e.gen.Add(1)
+	return true
+}
+
+// estimatedCells bounds a view's cell count: the product of the group
+// level cardinalities, capped by the fact rows.
+func estimatedCells(f *storage.FactTable, g mdm.GroupBy, rows int) int {
+	cells := 1
+	for _, ref := range g {
+		dom := f.Schema.Dict(ref).Len()
+		if dom <= 0 {
+			return rows
+		}
+		if cells > rows/dom {
+			return rows
+		}
+		cells *= dom
+	}
+	return cells
+}
+
+func countAvgs(s *mdm.Schema) int {
+	n := 0
+	for _, m := range s.Measures {
+		if m.Op == mdm.AggAvg {
+			n++
+		}
+	}
+	return n
+}
+
+// ViewInfo describes one materialized view for stats endpoints.
+type ViewInfo struct {
+	Fact   string   `json:"fact"`
+	Levels []string `json:"levels"`
+	Cells  int      `json:"cells"`
+	Bytes  int64    `json:"bytes"`
+	Auto   bool     `json:"auto"`
+	Hits   int64    `json:"hits"`
+	Stale  bool     `json:"stale"`
+}
+
+// ViewStats is the navigator section of the stats endpoints.
+type ViewStats struct {
+	Views       []ViewInfo `json:"views"`
+	Bytes       int64      `json:"bytes"`
+	AutoBytes   int64      `json:"autoBytes"`
+	AutoEnabled bool       `json:"autoEnabled"`
+	BudgetBytes int64      `json:"budgetBytes"`
+}
+
+// ViewStatsSnapshot reports the materialized views and the admission
+// accounting, sorted by fact then levels for stable output.
+func (e *Engine) ViewStatsSnapshot() ViewStats {
+	e.autoMu.Lock()
+	st := ViewStats{AutoEnabled: e.auto.enabled, BudgetBytes: e.auto.effectiveBudget()}
+	e.autoMu.Unlock()
+	e.viewMu.RLock()
+	st.Bytes = e.viewBytes
+	st.AutoBytes = e.autoBytes
+	st.Views = make([]ViewInfo, 0, len(e.views))
+	for key, v := range e.views {
+		f := e.facts[key.fact]
+		levels := make([]string, len(v.group))
+		for i, ref := range v.group {
+			levels[i] = f.Schema.LevelName(ref)
+		}
+		st.Views = append(st.Views, ViewInfo{
+			Fact:   key.fact,
+			Levels: levels,
+			Cells:  v.data.Len(),
+			Bytes:  v.bytes,
+			Auto:   v.auto,
+			Hits:   v.hits.Load(),
+			Stale:  v.factVer != f.Version(),
+		})
+	}
+	e.viewMu.RUnlock()
+	sort.Slice(st.Views, func(i, j int) bool {
+		a, b := st.Views[i], st.Views[j]
+		if a.Fact != b.Fact {
+			return a.Fact < b.Fact
+		}
+		return fmt.Sprint(a.Levels) < fmt.Sprint(b.Levels)
+	})
+	return st
+}
+
+// ViewBytes reports the approximate resident bytes of all materialized
+// views (for the server's scrape-time gauge).
+func (e *Engine) ViewBytes() int64 {
+	e.viewMu.RLock()
+	defer e.viewMu.RUnlock()
+	return e.viewBytes
+}
+
+// CoveringViewCells implements the cost model's lattice statistic: the
+// cell count of the cheapest fresh view that covers the query — exact or
+// coarser-by-rollup — if any. It is a pure peek: no LRU touch, no hit
+// counting, no stale repair.
+func (e *Engine) CoveringViewCells(q Query) (int, bool) {
+	f, ok := e.facts[q.Fact]
+	if !ok {
+		return 0, false
+	}
+	ver := f.Version()
+	e.viewMu.RLock()
+	defer e.viewMu.RUnlock()
+	best, _, _ := e.pickView(q, ver)
+	if best == nil {
+		return 0, false
+	}
+	return best.data.Len(), true
+}

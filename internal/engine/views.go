@@ -1,22 +1,23 @@
 package engine
 
 import (
-	"math"
-
 	"fmt"
+	"math"
+	"sync/atomic"
 
 	"github.com/assess-olap/assess/internal/cube"
 	"github.com/assess-olap/assess/internal/mdm"
+	"github.com/assess-olap/assess/internal/storage"
 )
 
 // Materialized views. The paper's prototype runs over Oracle with
 // materialized views "created to improve performances" (Section 6), so
 // repeated cube queries cost on the order of the aggregate's size, not
 // of the fact table's. Materialize pre-aggregates a fact table at a
-// group-by set; any later query with exactly that group-by set whose
-// predicates can be evaluated by rolling the view's coordinates up is
-// answered from the view (a filter over |view| cells) instead of a fact
-// scan.
+// group-by set; the aggregate navigator (navigator.go) then answers any
+// query whose group-by set is reachable by roll-up from the view's —
+// exact matches by a filter over |view| cells, coarser queries by
+// re-aggregating the view's cells through the scan kernels.
 
 type viewKey struct {
 	fact string
@@ -31,6 +32,51 @@ func groupKey(g mdm.GroupBy) string {
 	return string(buf)
 }
 
+// matView is one materialized view: the finalized aggregate served to
+// exact-match queries, plus the auxiliary state the navigator needs to
+// roll its cells up to coarser group-by sets. AVG is not distributive,
+// so each AVG measure keeps its raw per-cell sum alongside the finalized
+// quotient, and cnt holds the fact rows behind each cell; a coarser AVG
+// recombines as Σsums/Σcnt, and COUNT re-aggregates by summing cnt.
+type matView struct {
+	group mdm.GroupBy
+	data  *cube.Cube // finalized measure columns, one per schema measure
+	// keyCols are the view's coordinates stored columnar (one member-id
+	// column per group position), the layout the scan kernels consume.
+	keyCols [][]int32
+	// sums[mi] is the raw per-cell sum of schema measure mi; non-nil only
+	// for AVG measures.
+	sums [][]float64
+	// cnt is the number of fact rows aggregated into each cell (nil when
+	// the schema has no measures).
+	cnt []float64
+	// bytes approximates resident size, for the admission budget.
+	bytes int64
+	// factVer is the fact table's append version at build time; a newer
+	// version makes the view stale.
+	factVer uint64
+	// auto marks views admitted by the adaptive layer (evictable), as
+	// opposed to explicitly materialized ones (rebuilt when stale).
+	auto    bool
+	lastUse atomic.Int64
+	hits    atomic.Int64
+}
+
+// viewSizeBytes approximates a view's resident size: measure columns
+// (finalized + AVG sums + cnt), row-wise coordinates, columnar key
+// copies, and the per-cell index entry.
+func viewSizeBytes(cells, groups, measures, avgs int) int64 {
+	cols := int64(measures + avgs)
+	if measures > 0 {
+		cols++ // cnt
+	}
+	perCell := 8*cols + // measure columns
+		4*int64(groups) + 24 + // row-wise coordinate + slice header
+		4*int64(groups) + // columnar key copies
+		4*int64(groups) + 48 // index key string + map entry
+	return int64(cells) * perCell
+}
+
 // Materialize pre-aggregates the named fact table at the group-by set
 // (all measures, no predicates) and registers the result as a view.
 // Re-materializing the same view is an error.
@@ -40,24 +86,126 @@ func (e *Engine) Materialize(fact string, g mdm.GroupBy) error {
 		return fmt.Errorf("engine: unknown cube %s", fact)
 	}
 	key := viewKey{fact, groupKey(g)}
-	if _, dup := e.views[key]; dup {
+	e.viewMu.RLock()
+	_, dup := e.views[key]
+	e.viewMu.RUnlock()
+	if dup {
 		return fmt.Errorf("engine: view on %s %s already materialized", fact, g.String(f.Schema))
 	}
-	measures := make([]int, len(f.Schema.Measures))
-	for i := range measures {
-		measures[i] = i
-	}
-	v, err := e.scanAggregate(Query{Fact: fact, Group: g, Measures: measures})
+	v, err := e.buildView(fact, f, g, false)
 	if err != nil {
 		return err
 	}
-	e.views[key] = v
+	e.viewMu.Lock()
+	if _, dup := e.views[key]; dup {
+		e.viewMu.Unlock()
+		return fmt.Errorf("engine: view on %s %s already materialized", fact, g.String(f.Schema))
+	}
+	e.installView(key, v)
+	e.viewMu.Unlock()
 	e.gen.Add(1)
 	return nil
 }
 
+// buildView scans the fact table once and captures both the finalized
+// aggregate and the navigator's auxiliary columns: for every AVG measure
+// a raw-sum column (requested as an extra SUM over the same fact
+// column), plus one COUNT column of fact rows per cell.
+func (e *Engine) buildView(fact string, f *storage.FactTable, g mdm.GroupBy, auto bool) (*matView, error) {
+	s := f.Schema
+	ver := f.Version()
+	nm := len(s.Measures)
+	idx := make([]int, 0, nm+2)
+	ops := make([]mdm.AggOp, 0, nm+2)
+	names := make([]string, 0, nm+2)
+	for i, m := range s.Measures {
+		idx = append(idx, i)
+		ops = append(ops, m.Op)
+		names = append(names, m.Name)
+	}
+	var avgIdx []int
+	for i, m := range s.Measures {
+		if m.Op == mdm.AggAvg {
+			avgIdx = append(avgIdx, i)
+			idx = append(idx, i)
+			ops = append(ops, mdm.AggSum)
+			names = append(names, m.Name+"·sum")
+		}
+	}
+	cntCol := -1
+	if nm > 0 {
+		// COUNT never reads its measure column, so any valid index works.
+		cntCol = len(idx)
+		idx = append(idx, 0)
+		ops = append(ops, mdm.AggCount)
+		names = append(names, "·cnt")
+	}
+	raw, err := e.scanAggregateOps(Query{Fact: fact, Group: g, Measures: idx}, ops, names)
+	if err != nil {
+		return nil, err
+	}
+	n := raw.Len()
+	v := &matView{
+		group:   append(mdm.GroupBy(nil), g...),
+		factVer: ver,
+		auto:    auto,
+		sums:    make([][]float64, nm),
+	}
+	for k, mi := range avgIdx {
+		v.sums[mi] = raw.Cols[nm+k]
+	}
+	if cntCol >= 0 {
+		v.cnt = raw.Cols[cntCol]
+	}
+	// The data cube served to exact-match queries carries only the
+	// finalized measure columns; the aux columns live beside it.
+	raw.Names = raw.Names[:nm]
+	raw.Cols = raw.Cols[:nm]
+	v.data = raw
+	v.keyCols = make([][]int32, len(g))
+	if len(g) > 0 {
+		backing := make([]int32, n*len(g))
+		for gi := range g {
+			v.keyCols[gi] = backing[gi*n : (gi+1)*n : (gi+1)*n]
+		}
+		for i, coord := range raw.Coords {
+			for gi, id := range coord {
+				v.keyCols[gi][i] = id
+			}
+		}
+	}
+	v.bytes = viewSizeBytes(n, len(g), nm, len(avgIdx))
+	return v, nil
+}
+
+// installView inserts a built view under viewMu (held by the caller) and
+// keeps the byte accounting and gauges in step.
+func (e *Engine) installView(key viewKey, v *matView) {
+	e.views[key] = v
+	e.viewBytes += v.bytes
+	if v.auto {
+		e.autoBytes += v.bytes
+	}
+	v.lastUse.Store(e.useTick.Add(1))
+	gViewBytes.Set(float64(e.viewBytes))
+}
+
+// dropViewLocked removes a view under viewMu (held by the caller).
+func (e *Engine) dropViewLocked(key viewKey, v *matView) {
+	delete(e.views, key)
+	e.viewBytes -= v.bytes
+	if v.auto {
+		e.autoBytes -= v.bytes
+	}
+	gViewBytes.Set(float64(e.viewBytes))
+}
+
 // Views reports how many views are materialized (for tests and tools).
-func (e *Engine) Views() int { return len(e.views) }
+func (e *Engine) Views() int {
+	e.viewMu.RLock()
+	defer e.viewMu.RUnlock()
+	return len(e.views)
+}
 
 // FactRows implements the cost model's statistics interface: the
 // cardinality of a detailed cube, or 0 if unknown.
@@ -69,14 +217,21 @@ func (e *Engine) FactRows(fact string) int {
 	return f.Rows()
 }
 
-// ViewCells returns the cardinality of the materialized view at the
-// group-by set, if one exists.
+// ViewCells returns the cardinality of the fresh materialized view at
+// exactly the group-by set, if one exists.
 func (e *Engine) ViewCells(fact string, g mdm.GroupBy) (int, bool) {
-	v, ok := e.views[viewKey{fact, groupKey(g)}]
+	f, ok := e.facts[fact]
 	if !ok {
 		return 0, false
 	}
-	return v.Len(), true
+	ver := f.Version()
+	e.viewMu.RLock()
+	defer e.viewMu.RUnlock()
+	v, ok := e.views[viewKey{fact, groupKey(g)}]
+	if !ok || v.factVer != ver {
+		return 0, false
+	}
+	return v.data.Len(), true
 }
 
 // LevelCardinality returns |Dom(l)| for a level of the cube's schema, or
@@ -93,24 +248,7 @@ func (e *Engine) LevelCardinality(fact string, ref mdm.LevelRef) int {
 	return h.Dict(ref.Level).Len()
 }
 
-// viewFor returns the materialized view answering the query, if any: the
-// group-by sets must be identical and every predicate level must be
-// reachable by roll-up from the view's level of the same hierarchy.
-func (e *Engine) viewFor(q Query) *cube.Cube {
-	v, ok := e.views[viewKey{q.Fact, groupKey(q.Group)}]
-	if !ok {
-		return nil
-	}
-	for _, p := range q.Preds {
-		pos := q.Group.Pos(p.Level.Hier)
-		if pos < 0 || q.Group[pos].Level > p.Level.Level {
-			return nil // predicate not derivable from the view's coordinates
-		}
-	}
-	return v
-}
-
-// viewChecks compiles the predicate checks of a view-covered query.
+// viewChecks compiles the predicate checks of an exact view match.
 func viewChecks(v *cube.Cube, q Query) ([]predCheck, error) {
 	s := v.Schema
 	checks := make([]predCheck, 0, len(q.Preds))
@@ -143,14 +281,15 @@ func (c predCheck) pass(s *mdm.Schema, g mdm.GroupBy, coord mdm.Coordinate) bool
 // pivotFromView evaluates the pushed get+pivot of a POP plan in one
 // pipelined pass over the view, the way a DBMS executes Listing 5: no
 // intermediate aggregate is materialized; each view cell flows straight
-// into its output row. This single-pass evaluation is what makes POP
-// retrieve "the target cube and the benchmark at once" (Section 6.2).
-func (e *Engine) pivotFromView(v *cube.Cube, q Query, level mdm.LevelRef, ref int32, neighbors []int32, strict bool, rename func(measure, member string) string) (*cube.Cube, error) {
-	checks, err := viewChecks(v, q)
+// into its output row. Row state lives in chunked arenas addressed by
+// offset — no per-row coordinate clones or value-slice allocations.
+func (e *Engine) pivotFromView(v *matView, q Query, level mdm.LevelRef, ref int32, neighbors []int32, strict bool, rename func(measure, member string) string) (*cube.Cube, error) {
+	data := v.data
+	checks, err := viewChecks(data, q)
 	if err != nil {
 		return nil, err
 	}
-	s := v.Schema
+	s := data.Schema
 	if rename == nil {
 		rename = func(measure, member string) string { return measure + "@" + member }
 	}
@@ -177,22 +316,27 @@ func (e *Engine) pivotFromView(v *cube.Cube, q Query, level mdm.LevelRef, ref in
 	for i, id := range neighbors {
 		slicePos[id] = i + 1
 	}
-	others := make([]int, 0, len(q.Group)-1)
+	nm := len(q.Measures)
+	ng := len(q.Group)
+	nv := len(names)
+	blocks := len(neighbors) + 1
+	// Arenas of per-row state, addressed by row ordinal: appends may
+	// reallocate the backing arrays, so rows are plain ints, not slices.
+	var (
+		coordArena  []int32
+		valsArena   []float64
+		filledArena []bool
+	)
+	rows := make(map[string]int) // others-key → row ordinal
+	n := 0
+	others := make([]int, 0, ng-1)
 	for p := range q.Group {
 		if p != lp {
 			others = append(others, p)
 		}
 	}
-	nm := len(q.Measures)
-	type row struct {
-		coord  mdm.Coordinate
-		vals   []float64
-		filled []bool // per slice block
-	}
-	rows := make(map[string]*row)
-	order := make([]*row, 0, 1024)
 cells:
-	for i, coord := range v.Coords {
+	for i, coord := range data.Coords {
 		block, wanted := slicePos[coord[lp]]
 		if !wanted {
 			continue
@@ -203,47 +347,57 @@ cells:
 			}
 		}
 		key := coord.KeyOn(others)
-		r := rows[key]
-		if r == nil {
-			vals := make([]float64, len(names))
-			for j := range vals {
-				vals[j] = nan
-			}
-			rc := coord.Clone()
-			rc[lp] = ref
-			r = &row{coord: rc, vals: vals, filled: make([]bool, len(neighbors)+1)}
+		r, seen := rows[key]
+		if !seen {
+			r = n
+			n++
 			rows[key] = r
-			order = append(order, r)
+			coordArena = append(coordArena, coord...)
+			coordArena[r*ng+lp] = ref
+			for j := 0; j < nv; j++ {
+				valsArena = append(valsArena, nan)
+			}
+			for b := 0; b < blocks; b++ {
+				filledArena = append(filledArena, false)
+			}
 		}
+		vals := valsArena[r*nv : (r+1)*nv]
 		for j, mi := range q.Measures {
-			r.vals[block*nm+j] = v.Cols[mi][i]
+			vals[block*nm+j] = data.Cols[mi][i]
 		}
-		r.filled[block] = true
+		filledArena[r*blocks+block] = true
 	}
 	out := cube.New(s, q.Group, names...)
 rowsLoop:
-	for _, r := range order {
-		if !r.filled[0] {
+	for r := 0; r < n; r++ {
+		filled := filledArena[r*blocks : (r+1)*blocks]
+		if !filled[0] {
 			continue // no reference-slice cell: not a target cell
 		}
 		if strict {
-			for _, f := range r.filled {
+			for _, f := range filled {
 				if !f {
 					continue rowsLoop
 				}
 			}
 		}
-		if err := out.AddCell(r.coord, r.vals); err != nil {
+		coord := mdm.Coordinate(coordArena[r*ng : (r+1)*ng : (r+1)*ng])
+		if err := out.AddCell(coord, valsArena[r*nv:(r+1)*nv:(r+1)*nv]); err != nil {
 			return nil, err
 		}
 	}
 	return out, nil
 }
 
-// aggregateFromView filters the view's cells through the predicates and
-// projects the requested measures: O(|view|) instead of a fact scan.
-func aggregateFromView(v *cube.Cube, q Query) (*cube.Cube, error) {
-	s := v.Schema
+// aggregateFromView answers an exact-match query from the view: filter
+// the cells through the predicates and project the requested measures,
+// O(|view|) instead of a fact scan. Output columns are built in bulk
+// over preallocated backing arrays; the unpredicated case aliases the
+// view's storage outright (results are copied at the cursor boundary
+// before anything can mutate them).
+func aggregateFromView(v *matView, q Query) (*cube.Cube, error) {
+	data := v.data
+	s := data.Schema
 	names := make([]string, len(q.Measures))
 	for j, mi := range q.Measures {
 		if mi < 0 || mi >= len(s.Measures) {
@@ -251,27 +405,47 @@ func aggregateFromView(v *cube.Cube, q Query) (*cube.Cube, error) {
 		}
 		names[j] = s.Measures[mi].Name
 	}
-	checks, err := viewChecks(v, q)
+	checks, err := viewChecks(data, q)
 	if err != nil {
 		return nil, err
 	}
-	out := cube.New(s, q.Group, names...)
-	vals := make([]float64, len(q.Measures))
+	if len(checks) == 0 {
+		cols := make([][]float64, len(q.Measures))
+		for j, mi := range q.Measures {
+			cols[j] = data.Cols[mi]
+		}
+		return cube.Build(s, q.Group, names, data.Coords, cols)
+	}
+	keep := make([]int, 0, data.Len())
 cells:
-	for i, coord := range v.Coords {
+	for i, coord := range data.Coords {
 		for _, c := range checks {
 			if !c.pass(s, q.Group, coord) {
 				continue cells
 			}
 		}
-		for j, mi := range q.Measures {
-			vals[j] = v.Cols[mi][i]
-		}
-		if err := out.AddCell(coord.Clone(), append([]float64(nil), vals...)); err != nil {
-			return nil, err
-		}
+		keep = append(keep, i)
 	}
-	return out, nil
+	n := len(keep)
+	ng := len(q.Group)
+	coords := make([]mdm.Coordinate, n)
+	backing := make([]int32, n*ng)
+	for oi, i := range keep {
+		c := backing[oi*ng : (oi+1)*ng : (oi+1)*ng]
+		copy(c, data.Coords[i])
+		coords[oi] = mdm.Coordinate(c)
+	}
+	cols := make([][]float64, len(q.Measures))
+	colBacking := make([]float64, n*len(q.Measures))
+	for j, mi := range q.Measures {
+		col := colBacking[j*n : (j+1)*n : (j+1)*n]
+		src := data.Cols[mi]
+		for oi, i := range keep {
+			col[oi] = src[i]
+		}
+		cols[j] = col
+	}
+	return cube.Build(s, q.Group, names, coords, cols)
 }
 
 var nan = math.NaN()

@@ -4,9 +4,10 @@
 // external benchmark cube reconciled with it, and a batch of well-typed
 // assess statements over them; the harness (harness.go) then evaluates
 // every statement along every execution axis — NP vs JOP vs POP plan,
-// serial vs partitioned fact scan, scan vs materialized view, and
-// cache-off vs cold vs warm query-result cache — and asserts that all
-// of them produce the same canonicalized result set.
+// serial vs partitioned fact scan, scan vs exact materialized view vs
+// roll-up from a strictly finer view, and cache-off vs cold vs warm
+// query-result cache — and asserts that all of them produce the same
+// canonicalized result set.
 //
 // The paper's central optimization claim (Section 5) is that the JOP
 // and POP rewrites are semantically equivalent to the naive plan; the
@@ -59,6 +60,12 @@ type Case struct {
 	// harness materializes them on some sessions to cross-check the
 	// view path against plain fact scans.
 	Views [][]string
+	// LatticeViews are strictly finer covering views: for each
+	// statement, the finest levels it touches with one hierarchy
+	// refined (or added), so the aggregate navigator must answer by
+	// re-aggregating view cells through the roll-up lattice rather
+	// than serving them verbatim.
+	LatticeViews [][]string
 }
 
 // genHier builds a hierarchy with the given per-level dictionary sizes
@@ -144,6 +151,7 @@ func Generate(seed int64) *Case {
 
 	c.Statements = genStatements(rng, c)
 	c.Views = genViews(rng, c.Statements)
+	c.LatticeViews = genLatticeViews(rng, c)
 	return c
 }
 
@@ -449,6 +457,86 @@ func genViews(rng *rand.Rand, stmts []string) [][]string {
 	rng.Shuffle(len(views), func(i, j int) { views[i], views[j] = views[j], views[i] })
 	if len(views) > 3 {
 		views = views[:3]
+	}
+	return views
+}
+
+// genLatticeViews derives, for each statement, a materialization
+// candidate that covers the statement's queries through the roll-up
+// lattice without matching them exactly. Per hierarchy the view keeps
+// the finest level the statement touches (by clause, predicates,
+// sibling/ancestor benchmark levels — the navigator's covering rule
+// needs predicate hierarchies too), then the set is made strictly
+// finer: one touched hierarchy drops a level, or an untouched
+// hierarchy is added, so answering must re-aggregate view cells.
+func genLatticeViews(rng *rand.Rand, c *Case) [][]string {
+	s := c.Schema
+	seen := make(map[string]bool)
+	var views [][]string
+	for _, text := range c.Statements {
+		st, err := parser.Parse(text)
+		if err != nil {
+			continue
+		}
+		// depth[h]: finest level of hier h the statement touches, -1 when
+		// untouched (fully aggregated, no predicate).
+		depth := make([]int, len(s.Hiers))
+		for h := range depth {
+			depth[h] = -1
+		}
+		touch := func(name string) {
+			if ref, ok := s.FindLevel(name); ok {
+				if depth[ref.Hier] < 0 || ref.Level < depth[ref.Hier] {
+					depth[ref.Hier] = ref.Level
+				}
+			}
+		}
+		for _, lv := range st.By {
+			touch(lv)
+		}
+		for _, p := range st.For {
+			touch(p.Level)
+		}
+		if st.Against != nil && st.Against.Level != "" {
+			touch(st.Against.Level)
+		}
+		// Strictly refine: prefer dropping a touched hierarchy one level
+		// finer; otherwise pull in an untouched hierarchy at any level.
+		order := rng.Perm(len(depth))
+		finer := false
+		for _, h := range order {
+			if depth[h] > 0 {
+				depth[h]--
+				finer = true
+				break
+			}
+		}
+		if !finer {
+			for _, h := range order {
+				if depth[h] < 0 {
+					depth[h] = rng.Intn(s.Hiers[h].Depth())
+					break
+				}
+			}
+		}
+		var names []string
+		for h, d := range depth {
+			if d >= 0 {
+				names = append(names, levelName(s, h, d))
+			}
+		}
+		if len(names) == 0 {
+			continue
+		}
+		key := fmt.Sprint(names)
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		views = append(views, names)
+	}
+	if len(views) > 4 {
+		views = views[:4]
 	}
 	return views
 }

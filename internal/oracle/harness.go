@@ -43,19 +43,30 @@ type Report struct {
 // strategy. The kernel dimension (dense vs hash × serial vs
 // morsel-parallel) pins the vectorized dense-key kernels of
 // internal/engine against the hash path: the generator emits
-// integer-valued measures, so the two must agree bit-exactly.
+// integer-valued measures, so the two must agree bit-exactly. The views
+// dimension has two modes: "exact" materializes the statements' own
+// group-by sets (views served verbatim), "lattice" materializes
+// strictly finer covering views (Case.LatticeViews), forcing the
+// aggregate navigator to re-aggregate view cells through the roll-up
+// lattice — serially on the hash kernels (lattice) and morsel-parallel
+// on the dense kernels (par+lattice).
 var axes = []struct {
-	name                          string
-	parallel, views, cache, dense bool
+	name     string
+	parallel bool
+	views    string // "", "exact", or "lattice"
+	cache    bool
+	dense    bool
 }{
-	{"base", false, false, false, false},
-	{"dense", false, false, false, true},
-	{"par", true, false, false, false},
-	{"dense+par", true, false, false, true},
-	{"views", false, true, false, true},
-	{"par+views", true, true, false, true},
-	{"cache", false, false, true, true},
-	{"cache+par+views", true, true, true, true},
+	{"base", false, "", false, false},
+	{"dense", false, "", false, true},
+	{"par", true, "", false, false},
+	{"dense+par", true, "", false, true},
+	{"views", false, "exact", false, true},
+	{"par+views", true, "exact", false, true},
+	{"lattice", false, "lattice", false, false},
+	{"par+lattice", true, "lattice", false, true},
+	{"cache", false, "", true, true},
+	{"cache+par+views", true, "exact", true, true},
 }
 
 // oracleWorkers is the scan parallelism of the parallel axes,
@@ -117,7 +128,7 @@ func checkTrace(root *obsv.Span) string {
 	return walk(root)
 }
 
-func buildSession(c *Case, parallel, views, cache, dense bool) (*core.Session, error) {
+func buildSession(c *Case, parallel bool, views string, cache, dense bool) (*core.Session, error) {
 	s := core.NewSession()
 	if err := s.RegisterCube(TargetCube, c.Fact); err != nil {
 		return nil, err
@@ -135,11 +146,15 @@ func buildSession(c *Case, parallel, views, cache, dense bool) (*core.Session, e
 		s.Engine.SetParallelMinRows(oracleMinParRows)
 		s.Engine.SetMorselSize(oracleMorselRows)
 	}
-	if views {
+	if views != "" {
 		// The hierarchies are shared, so every view level set applies to
 		// the external cube too, putting the view path under the benchmark
 		// queries as well as the target queries.
-		for _, v := range c.Views {
+		sets := c.Views
+		if views == "lattice" {
+			sets = c.LatticeViews
+		}
+		for _, v := range sets {
 			if err := s.Materialize(TargetCube, v...); err != nil {
 				return nil, err
 			}

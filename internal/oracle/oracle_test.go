@@ -127,7 +127,7 @@ func TestGeneratorShapes(t *testing.T) {
 		if len(c.Statements) < len(stmtKinds) {
 			t.Fatalf("seed %d: only %d statements", seed, len(c.Statements))
 		}
-		s, err := buildSession(c, false, false, false, false)
+		s, err := buildSession(c, false, "", false, false)
 		if err != nil {
 			t.Fatalf("seed %d: %v", seed, err)
 		}
@@ -158,6 +158,22 @@ func TestGeneratorShapes(t *testing.T) {
 	}
 }
 
+// TestLatticeViewsGenerated guards the lattice axes against vacuity:
+// across the seed range every case must carry at least one lattice
+// view, and materializing all of them on both cubes must succeed (the
+// harness's lattice session construction depends on it).
+func TestLatticeViewsGenerated(t *testing.T) {
+	for seed := int64(1); seed <= 20; seed++ {
+		c := Generate(seed)
+		if len(c.LatticeViews) == 0 {
+			t.Fatalf("seed %d: no lattice views generated", seed)
+		}
+		if _, err := buildSession(c, false, "lattice", false, false); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}
+
 // TestFeasibleStrategiesCovered asserts the axis matrix actually spans
 // multiple strategies: across the default seeds, JOP and POP plans must
 // both appear, or the differential property degenerates to NP-only.
@@ -165,7 +181,7 @@ func TestFeasibleStrategiesCovered(t *testing.T) {
 	counts := make(map[string]int)
 	for _, seed := range defaultSeeds {
 		c := Generate(seed)
-		s, err := buildSession(c, false, false, false, false)
+		s, err := buildSession(c, false, "", false, false)
 		if err != nil {
 			t.Fatal(err)
 		}

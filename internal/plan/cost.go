@@ -25,9 +25,16 @@ type Stats interface {
 	// FactRows returns the cardinality of a detailed cube, or 0 if
 	// unknown.
 	FactRows(fact string) int
-	// ViewCells returns the cardinality of the materialized view at the
-	// group-by set, if one exists.
+	// ViewCells returns the cardinality of the materialized view at
+	// exactly the group-by set, if one exists.
 	ViewCells(fact string, g mdm.GroupBy) (int, bool)
+	// CoveringViewCells returns the cell count of the cheapest
+	// materialized view that can answer the query through the roll-up
+	// lattice — an exact group-by match or any finer covering view —
+	// if one exists. The engine's aggregate navigator resolves queries
+	// by the same rule, so Estimate charges a get the smallest covering
+	// view instead of the fact table.
+	CoveringViewCells(q engine.Query) (int, bool)
 	// LevelCardinality returns |Dom(l)| for a level of the cube's schema,
 	// or 0 if unknown.
 	LevelCardinality(fact string, ref mdm.LevelRef) int
@@ -158,22 +165,26 @@ func ExplainCosts(b *semantic.Bound, stats Stats) string {
 	return sb.String()
 }
 
-// inputCost is the sequential input side of a get: the covering view's
-// cells, or the full fact table.
+// inputCost is the sequential input side of a get: the cells of the
+// smallest view covering the query through the roll-up lattice, or the
+// full fact table.
 func inputCost(q engine.Query, stats Stats) float64 {
-	if n, ok := stats.ViewCells(q.Fact, q.Group); ok && viewCovers(q) {
+	if n, ok := stats.CoveringViewCells(q); ok {
 		return wScan * float64(n)
 	}
 	return wScan * float64(stats.FactRows(q.Fact))
 }
 
+// fused mirrors the engine's pivot-fusion rule: only an exact-group view
+// pipelines the get+pivot in one pass (coarser covers are re-aggregated
+// first, then pivoted from the materialized aggregate).
 func fused(q engine.Query, stats Stats) bool {
 	_, ok := stats.ViewCells(q.Fact, q.Group)
 	return ok && viewCovers(q)
 }
 
-// viewCovers mirrors the engine's rule: every predicate level must be
-// derivable from the group-by coordinates.
+// viewCovers mirrors the engine's exact-match rule: every predicate
+// level must be derivable from the group-by coordinates.
 func viewCovers(q engine.Query) bool {
 	for _, p := range q.Preds {
 		pos := q.Group.Pos(p.Level.Hier)

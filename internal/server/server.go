@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"github.com/assess-olap/assess/internal/core"
+	"github.com/assess-olap/assess/internal/engine"
 	"github.com/assess-olap/assess/internal/exec"
 	"github.com/assess-olap/assess/internal/obsv"
 	"github.com/assess-olap/assess/internal/parser"
@@ -361,6 +362,10 @@ type statsResponse struct {
 	Generation uint64        `json:"generation"`
 	Cubes      []string      `json:"cubes"`
 	Views      int           `json:"views"`
+	// ViewStats is the aggregate-navigator section: every materialized
+	// view (explicit and auto-admitted) with cells, bytes, and hit
+	// counts, plus the admission budget accounting.
+	ViewStats engine.ViewStats `json:"viewStats"`
 	// UptimeSeconds counts from server construction.
 	UptimeSeconds float64 `json:"uptimeSeconds"`
 	Goroutines    int     `json:"goroutines"`
@@ -377,6 +382,7 @@ func (s *Server) stats(w http.ResponseWriter, r *http.Request) {
 		Generation:    s.session.Generation(),
 		Cubes:         s.session.Engine.Facts(),
 		Views:         s.session.Engine.Views(),
+		ViewStats:     s.session.ViewStats(),
 		UptimeSeconds: time.Since(s.start).Seconds(),
 		Goroutines:    runtime.NumGoroutine(),
 		HeapBytes:     ms.HeapAlloc,
