@@ -18,7 +18,8 @@
 // Usage:
 //
 //	assessd [-addr :8080] [-data sales|ssb] [-rows 50000] [-sf 0.01]
-//	        [-seed 42] [-load cube.bin] [-parallel 0]
+//	        [-seed 42] [-load cube.bin] [-store-dir DIR] [-resident]
+//	        [-parallel 0]
 //	        [-dense-budget 1048576] [-morsel-size 65536]
 //	        [-cache on|off] [-cache-mb 64]
 //	        [-auto-views] [-view-mb 64]
@@ -35,12 +36,15 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
 	assess "github.com/assess-olap/assess"
+	"github.com/assess-olap/assess/internal/colstore"
 	"github.com/assess-olap/assess/internal/engine"
 	"github.com/assess-olap/assess/internal/obsv"
+	"github.com/assess-olap/assess/internal/persist"
 	"github.com/assess-olap/assess/internal/server"
 )
 
@@ -52,6 +56,8 @@ func main() {
 		sf        = flag.Float64("sf", 0.01, "scale factor for the ssb dataset")
 		seed      = flag.Int64("seed", 42, "generator seed")
 		load      = flag.String("load", "", "serve a cube loaded from a file instead of generating one")
+		storeDir  = flag.String("store-dir", "", "serve cubes from columnar segment directories (out-of-core; see ssbgen -out-dir)")
+		resident  = flag.Bool("resident", false, "with -store-dir, load the segment directories fully into memory")
 		parallel  = flag.Int("parallel", 1, "fact-scan parallelism (0 = all cores)")
 		denseBudg = flag.Int("dense-budget", engine.DefaultDenseKeyBudget,
 			"dense aggregation key-space budget in slots (0 = hash kernels only)")
@@ -68,10 +74,11 @@ func main() {
 
 	logger := slog.New(slog.NewJSONHandler(os.Stderr, nil))
 
-	session, err := open(*data, *rows, *sf, *seed, *load)
+	session, closeStores, err := open(*data, *rows, *sf, *seed, *load, *storeDir, *resident)
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer closeStores()
 	if *parallel != 1 {
 		session.Engine.SetParallelism(*parallel)
 	}
@@ -152,22 +159,102 @@ func openSlowLog(path string, threshold time.Duration) (*obsv.SlowLog, error) {
 	return obsv.NewSlowLog(f, threshold), nil
 }
 
-func open(data string, rows int, sf float64, seed int64, load string) (*assess.Session, error) {
+func open(data string, rows int, sf float64, seed int64, load, storeDir string, resident bool) (*assess.Session, func(), error) {
+	noop := func() {}
+	if storeDir != "" {
+		return openStoreDir(storeDir, resident)
+	}
 	if load != "" {
 		f, err := assess.LoadCubeFile(load)
 		if err != nil {
-			return nil, err
+			return nil, noop, err
 		}
 		s := assess.NewSession()
-		return s, s.RegisterCube(f.Schema.Name, f)
+		return s, noop, s.RegisterCube(f.Schema.Name, f)
 	}
 	switch data {
 	case "sales":
 		s, _, err := assess.NewSalesSession(rows, seed)
-		return s, err
+		return s, noop, err
 	case "ssb":
 		s, _, err := assess.NewSSBSession(sf, seed)
-		return s, err
+		return s, noop, err
 	}
-	return nil, fmt.Errorf("unknown dataset %q", data)
+	return nil, noop, fmt.Errorf("unknown dataset %q", data)
+}
+
+// openStoreDir serves cubes from columnar segment directories: dir may
+// itself be a store directory (one cube) or a parent whose immediate
+// store subdirectories are each registered under their schema name.
+// Out-of-core by default; -resident decodes everything into memory.
+// The returned function closes the underlying stores.
+func openStoreDir(dir string, resident bool) (*assess.Session, func(), error) {
+	s := assess.NewSession()
+	var closers []func() error
+	closeAll := func() {
+		for _, c := range closers {
+			c()
+		}
+	}
+	dirs, err := storeDirs(dir)
+	if err != nil {
+		return nil, closeAll, err
+	}
+	facts := make([]*assess.FactTable, len(dirs))
+	schemas := make([]*assess.Schema, len(dirs))
+	for i, sub := range dirs {
+		var f *assess.FactTable
+		if resident {
+			if f, err = persist.LoadCubeDirResident(sub); err != nil {
+				return nil, closeAll, fmt.Errorf("assessd: %s: %w", sub, err)
+			}
+		} else {
+			var st *colstore.Store
+			if f, st, err = persist.OpenCubeDir(sub, colstore.Options{}); err != nil {
+				return nil, closeAll, fmt.Errorf("assessd: %s: %w", sub, err)
+			}
+			closers = append(closers, st.Close)
+		}
+		facts[i], schemas[i] = f, f.Schema
+	}
+	// Cubes written over shared dimensions (e.g. LINEORDER and
+	// LINEORDER_BUDGET) decode their hierarchies independently; restore
+	// the sharing that external-benchmark joins require.
+	persist.ReconcileSchemas(schemas...)
+	for i, f := range facts {
+		if err := s.RegisterCube(f.Schema.Name, f); err != nil {
+			return nil, closeAll, err
+		}
+		labelers, err := persist.LoadLabelers(dirs[i])
+		if err != nil {
+			return nil, closeAll, fmt.Errorf("assessd: %s: %w", dirs[i], err)
+		}
+		for _, l := range labelers {
+			if err := s.RegisterLabeler(l); err != nil {
+				return nil, closeAll, err
+			}
+		}
+	}
+	return s, closeAll, nil
+}
+
+// storeDirs resolves the cube directories under dir.
+func storeDirs(dir string) ([]string, error) {
+	if colstore.IsStoreDir(dir) {
+		return []string{dir}, nil
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var dirs []string
+	for _, e := range entries {
+		if sub := filepath.Join(dir, e.Name()); e.IsDir() && colstore.IsStoreDir(sub) {
+			dirs = append(dirs, sub)
+		}
+	}
+	if len(dirs) == 0 {
+		return nil, fmt.Errorf("assessd: no segment directories under %s", dir)
+	}
+	return dirs, nil
 }

@@ -1,0 +1,121 @@
+// Readers for immutable segment files, behind one tiny interface so
+// the decode path is identical whether the bytes come from a mapping
+// or a positional read.
+package colstore
+
+import (
+	"fmt"
+	"os"
+	"sync/atomic"
+)
+
+// blob is random access to a segment file's bytes.
+type blob interface {
+	// bytes returns the range [off, off+n). Implementations may return
+	// a view of shared memory (mmap) or fill *scratch (pread); either
+	// way the result is only valid until the next call with the same
+	// scratch.
+	bytes(off int64, n int, scratch *[]byte) ([]byte, error)
+	close() error
+}
+
+// preadBlob serves ranges with positional reads into caller scratch —
+// the portable fallback, and the only resident state is the file handle.
+type preadBlob struct{ f *os.File }
+
+func (b preadBlob) bytes(off int64, n int, scratch *[]byte) ([]byte, error) {
+	if cap(*scratch) < n {
+		*scratch = make([]byte, n)
+	}
+	buf := (*scratch)[:n]
+	if _, err := b.f.ReadAt(buf, off); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+func (b preadBlob) close() error { return b.f.Close() }
+
+// openBlob opens path with the preferred reader: mmap where supported
+// (unless disabled), pread otherwise.
+func openBlob(path string, noMmap bool) (blob, int64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, 0, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, 0, err
+	}
+	size := st.Size()
+	if !noMmap && size > 0 {
+		if b, err := mmapBlob(f, size); err == nil {
+			f.Close() // mapping outlives the descriptor
+			return b, size, nil
+		}
+	}
+	return preadBlob{f: f}, size, nil
+}
+
+// segment is one open, immutable, refcounted segment file. The store
+// holds one reference; every snapshot holds one more, so compaction can
+// drop (and unlink) a replaced segment without invalidating scans that
+// are still reading it.
+type segment struct {
+	path string
+	blob blob
+	foot *footer
+	refs atomic.Int32
+	// removeOnRelease unlinks the file once the last reference drops —
+	// set when compaction replaces the segment.
+	removeOnRelease atomic.Bool
+}
+
+// openSegment opens and validates a segment file.
+func openSegment(path string, noMmap bool) (*segment, error) {
+	b, size, err := openBlob(path, noMmap)
+	if err != nil {
+		return nil, err
+	}
+	var scratch []byte
+	head, err := b.bytes(0, len(segMagic), &scratch)
+	if err != nil || string(head) != string(segMagic) {
+		b.close()
+		return nil, fmt.Errorf("colstore: %s is not a segment file", path)
+	}
+	// Footers are read through the file directly; reopen briefly.
+	f, err := os.Open(path)
+	if err != nil {
+		b.close()
+		return nil, err
+	}
+	foot, err := readFooter(f, size)
+	f.Close()
+	if err != nil {
+		b.close()
+		return nil, err
+	}
+	s := &segment{path: path, blob: b, foot: foot}
+	s.refs.Store(1)
+	return s, nil
+}
+
+func (s *segment) acquire() { s.refs.Add(1) }
+
+func (s *segment) release() {
+	if s.refs.Add(-1) == 0 {
+		s.blob.close()
+		if s.removeOnRelease.Load() {
+			os.Remove(s.path)
+		}
+	}
+}
+
+func (s *segment) diskBytes() int64 {
+	st, err := os.Stat(s.path)
+	if err != nil {
+		return 0
+	}
+	return st.Size()
+}

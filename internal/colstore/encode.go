@@ -1,0 +1,206 @@
+// Column encodings for segment files. Key columns hold non-negative
+// dictionary codes and are stored frame-of-reference bit-packed
+// (value − min, fixed width) or as a single constant. Measure columns
+// are stored raw (8-byte floats), constant, frame-of-reference packed
+// integers, or zig-zag delta-packed integers — whichever is smallest —
+// exploiting that benchmark measures are frequently integral
+// (quantities, cents). Bit-packed payloads carry 8 zero pad bytes so
+// decoders can read whole 64-bit words without bounds arithmetic.
+package colstore
+
+import (
+	"encoding/binary"
+	"math"
+	"math/bits"
+)
+
+// Key column encodings.
+const (
+	kencConst  = 0 // every row equals base; empty payload
+	kencPacked = 1 // (code − base) bit-packed at width bits
+	kencRaw    = 2 // little-endian int32 per row
+)
+
+// Measure column encodings.
+const (
+	mencRaw   = 0 // little-endian float64 bits per row
+	mencConst = 1 // every row equals Float64frombits(base); empty payload
+	mencFOR   = 2 // integral: (v − base) bit-packed, base = min as int64
+	mencDelta = 3 // integral: zigzag(v[i]−v[i−1]) bit-packed, base = v[0]
+)
+
+// maxPackWidth caps bit-packed widths so that any value plus a 7-bit
+// byte offset fits a single 64-bit word read. Wider ranges fall back
+// to raw encoding, which they would barely compress anyway.
+const maxPackWidth = 56
+
+// packedLen returns the padded byte length of n width-bit values.
+func packedLen(n int, width uint) int {
+	return (n*int(width)+7)/8 + 8
+}
+
+// packU64 writes v (< 2^width) at slot i of a packed buffer.
+func packU64(buf []byte, i int, width uint, v uint64) {
+	bitpos := i * int(width)
+	b, shift := bitpos>>3, uint(bitpos&7)
+	word := binary.LittleEndian.Uint64(buf[b:])
+	binary.LittleEndian.PutUint64(buf[b:], word|v<<shift)
+}
+
+// unpackU64 reads slot i of a packed buffer.
+func unpackU64(buf []byte, i int, width uint) uint64 {
+	bitpos := i * int(width)
+	b, shift := bitpos>>3, uint(bitpos&7)
+	return binary.LittleEndian.Uint64(buf[b:]) >> shift & (1<<width - 1)
+}
+
+// encodeKeys encodes a key column, returning the encoding tag, bit
+// width, base, and payload. The payload may alias nothing (const).
+func encodeKeys(codes []int32) (enc, width uint8, base uint64, payload []byte) {
+	lo, hi := codes[0], codes[0]
+	for _, c := range codes {
+		if c < lo {
+			lo = c
+		}
+		if c > hi {
+			hi = c
+		}
+	}
+	if lo == hi {
+		return kencConst, 0, uint64(uint32(lo)), nil
+	}
+	w := uint(bits.Len64(uint64(hi - lo)))
+	if w > maxPackWidth { // unreachable for int32 codes, kept for safety
+		payload = make([]byte, 4*len(codes))
+		for i, c := range codes {
+			binary.LittleEndian.PutUint32(payload[4*i:], uint32(c))
+		}
+		return kencRaw, 32, 0, payload
+	}
+	payload = make([]byte, packedLen(len(codes), w))
+	for i, c := range codes {
+		packU64(payload, i, w, uint64(c-lo))
+	}
+	return kencPacked, uint8(w), uint64(uint32(lo)), payload
+}
+
+// decodeKeys decodes a key column payload into dst (len = rows).
+func decodeKeys(dst []int32, enc, width uint8, base uint64, payload []byte) {
+	switch enc {
+	case kencConst:
+		c := int32(uint32(base))
+		for i := range dst {
+			dst[i] = c
+		}
+	case kencRaw:
+		for i := range dst {
+			dst[i] = int32(binary.LittleEndian.Uint32(payload[4*i:]))
+		}
+	default: // kencPacked
+		lo, w := int32(uint32(base)), uint(width)
+		for i := range dst {
+			dst[i] = lo + int32(unpackU64(payload, i, w))
+		}
+	}
+}
+
+// integral reports whether every value is an exactly representable
+// int64, the precondition for the integer measure encodings.
+func integral(vals []float64) bool {
+	for _, v := range vals {
+		if v != math.Trunc(v) || v < -(1<<53) || v > 1<<53 {
+			return false
+		}
+	}
+	return true
+}
+
+// encodeMeas encodes a measure column, picking the smallest of the
+// candidate encodings.
+func encodeMeas(vals []float64) (enc, width uint8, base uint64, payload []byte) {
+	const0 := vals[0]
+	allConst := true
+	for _, v := range vals {
+		if v != const0 || math.Signbit(v) != math.Signbit(const0) {
+			allConst = false
+			break
+		}
+	}
+	if allConst {
+		return mencConst, 0, math.Float64bits(const0), nil
+	}
+	if integral(vals) {
+		// Frame of reference over the values themselves.
+		lo, hi := int64(vals[0]), int64(vals[0])
+		// Deltas between consecutive values, zig-zag encoded.
+		maxZig := uint64(0)
+		prev := int64(vals[0])
+		for _, fv := range vals {
+			v := int64(fv)
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+			z := zigzag(v - prev)
+			if z > maxZig {
+				maxZig = z
+			}
+			prev = v
+		}
+		forW := uint(bits.Len64(uint64(hi - lo)))
+		deltaW := uint(bits.Len64(maxZig))
+		if forW <= maxPackWidth || deltaW <= maxPackWidth {
+			if deltaW < forW && deltaW <= maxPackWidth || forW > maxPackWidth {
+				payload = make([]byte, packedLen(len(vals), deltaW))
+				prev = int64(vals[0])
+				for i, fv := range vals {
+					v := int64(fv)
+					packU64(payload, i, deltaW, zigzag(v-prev))
+					prev = v
+				}
+				return mencDelta, uint8(deltaW), uint64(int64(vals[0])), payload
+			}
+			payload = make([]byte, packedLen(len(vals), forW))
+			for i, fv := range vals {
+				packU64(payload, i, forW, uint64(int64(fv)-lo))
+			}
+			return mencFOR, uint8(forW), uint64(lo), payload
+		}
+	}
+	payload = make([]byte, 8*len(vals))
+	for i, v := range vals {
+		binary.LittleEndian.PutUint64(payload[8*i:], math.Float64bits(v))
+	}
+	return mencRaw, 64, 0, payload
+}
+
+// decodeMeas decodes a measure column payload into dst (len = rows).
+func decodeMeas(dst []float64, enc, width uint8, base uint64, payload []byte) {
+	switch enc {
+	case mencConst:
+		v := math.Float64frombits(base)
+		for i := range dst {
+			dst[i] = v
+		}
+	case mencFOR:
+		lo, w := int64(base), uint(width)
+		for i := range dst {
+			dst[i] = float64(lo + int64(unpackU64(payload, i, w)))
+		}
+	case mencDelta:
+		v, w := int64(base), uint(width)
+		for i := range dst {
+			v += unzigzag(unpackU64(payload, i, w))
+			dst[i] = float64(v)
+		}
+	default: // mencRaw
+		for i := range dst {
+			dst[i] = math.Float64frombits(binary.LittleEndian.Uint64(payload[8*i:]))
+		}
+	}
+}
+
+func zigzag(v int64) uint64   { return uint64(v<<1) ^ uint64(v>>63) }
+func unzigzag(z uint64) int64 { return int64(z>>1) ^ -int64(z&1) }

@@ -1,0 +1,21 @@
+package colstore
+
+import "github.com/assess-olap/assess/internal/obsv"
+
+// Store-level metrics, published to the process registry like the
+// engine's scan counters. Tests assert zone-map pruning through
+// mPruned rather than reaching into reader internals.
+var (
+	mSegsWritten = obsv.Default.Counter("assess_store_segments_total",
+		"Segment files written (bulk loads, WAL folds, and merges).")
+	mPruned = obsv.Default.Counter("assess_store_pruned_total",
+		"Segments skipped by zone-map pruning before decode.")
+	mDecoded = obsv.Default.Counter("assess_store_segments_decoded_total",
+		"Segments decoded for scans.")
+	hDecodeBytes = obsv.Default.Histogram("assess_store_decode_bytes",
+		"Compressed bytes read per segment decode.")
+	mWALAppends = obsv.Default.Counter("assess_store_wal_appends_total",
+		"Rows appended through the write-ahead log.")
+	mCompactions = obsv.Default.Counter("assess_store_compactions_total",
+		"Compaction passes (WAL folds and small-segment merges).")
+)

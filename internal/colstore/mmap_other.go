@@ -1,0 +1,13 @@
+//go:build !linux && !darwin
+
+package colstore
+
+import (
+	"errors"
+	"os"
+)
+
+// mmapBlob is unavailable; openBlob falls back to pread.
+func mmapBlob(*os.File, int64) (blob, error) {
+	return nil, errors.New("colstore: mmap not supported on this platform")
+}

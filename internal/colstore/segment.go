@@ -1,0 +1,326 @@
+// Segment files: the immutable on-disk unit of the store. A segment is
+// a column-major encoding of a run of fact rows in append order:
+//
+//	"ASSESSSEG\x01"                          magic
+//	key column payloads, measure column payloads
+//	footer:
+//	  u32 rows, u8 nkeys, u8 nmeas
+//	  per key column:
+//	    u8 enc, u8 width, u64 base, u64 off, u64 len, u32 crc,
+//	    u8 nlevels, nlevels × (u32 min, u32 max)   ← zone maps
+//	  per measure column:
+//	    u8 enc, u8 width, u64 base, u64 off, u64 len, u32 crc
+//	u32 footerLen, "ASG1"                    trailer
+//
+// The zone maps record the min/max rolled-up dictionary code of the
+// segment's rows at every level of every hierarchy, so a predicate at
+// any level can prove a segment irrelevant without decoding it.
+// Payload CRCs (Castagnoli) are verified on every decode.
+package colstore
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+
+	"github.com/assess-olap/assess/internal/mdm"
+	"github.com/assess-olap/assess/internal/storage"
+)
+
+var (
+	segMagic  = []byte("ASSESSSEG\x01")
+	segTrail  = []byte("ASG1")
+	castTable = crc32.MakeTable(crc32.Castagnoli)
+)
+
+// zoneMap is the [min, max] rolled-up code range of one level.
+type zoneMap struct{ lo, hi int32 }
+
+// keyMeta describes one encoded key column.
+type keyMeta struct {
+	enc, width uint8
+	base       uint64
+	off, size  int64
+	crc        uint32
+	zones      []zoneMap // one per level, base level first
+}
+
+// measMeta describes one encoded measure column.
+type measMeta struct {
+	enc, width uint8
+	base       uint64
+	off, size  int64
+	crc        uint32
+}
+
+// footer is the parsed segment footer, kept resident per open segment.
+type footer struct {
+	rows int
+	keys []keyMeta
+	meas []measMeta
+}
+
+// rollupMaps returns, for each level d of h, the base→level-d code map.
+func rollupMaps(h *mdm.Hierarchy) [][]int32 {
+	maps := make([][]int32, h.Depth())
+	n := h.Dict(0).Len()
+	for d := range maps {
+		m := make([]int32, n)
+		for id := int32(0); int(id) < n; id++ {
+			m[id] = h.Rollup(id, 0, d)
+		}
+		maps[d] = m
+	}
+	return maps
+}
+
+// writeSegment encodes rows [0, rows) of the given columns into path
+// (via tmp+rename) and returns the parsed footer. ruMaps must hold one
+// rollup map set per hierarchy, as built by rollupMaps.
+func writeSegment(path string, keys [][]int32, meas [][]float64, rows int, ruMaps [][][]int32) (*footer, error) {
+	f, err := os.Create(path + ".tmp")
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	if _, err := f.Write(segMagic); err != nil {
+		return nil, err
+	}
+	off := int64(len(segMagic))
+	foot := &footer{rows: rows, keys: make([]keyMeta, len(keys)), meas: make([]measMeta, len(meas))}
+	for h, col := range keys {
+		col = col[:rows]
+		enc, width, base, payload := encodeKeys(col)
+		km := &foot.keys[h]
+		km.enc, km.width, km.base = enc, width, base
+		km.off, km.size = off, int64(len(payload))
+		km.crc = crc32.Checksum(payload, castTable)
+		km.zones = make([]zoneMap, len(ruMaps[h]))
+		for d, m := range ruMaps[h] {
+			z := zoneMap{lo: m[col[0]], hi: m[col[0]]}
+			for _, c := range col {
+				rc := m[c]
+				if rc < z.lo {
+					z.lo = rc
+				}
+				if rc > z.hi {
+					z.hi = rc
+				}
+			}
+			km.zones[d] = z
+		}
+		if _, err := f.Write(payload); err != nil {
+			return nil, err
+		}
+		off += int64(len(payload))
+	}
+	for m, col := range meas {
+		col = col[:rows]
+		enc, width, base, payload := encodeMeas(col)
+		mm := &foot.meas[m]
+		mm.enc, mm.width, mm.base = enc, width, base
+		mm.off, mm.size = off, int64(len(payload))
+		mm.crc = crc32.Checksum(payload, castTable)
+		if _, err := f.Write(payload); err != nil {
+			return nil, err
+		}
+		off += int64(len(payload))
+	}
+	if err := writeFooter(f, foot); err != nil {
+		return nil, err
+	}
+	if err := f.Sync(); err != nil {
+		return nil, err
+	}
+	if err := f.Close(); err != nil {
+		return nil, err
+	}
+	if err := os.Rename(path+".tmp", path); err != nil {
+		return nil, err
+	}
+	mSegsWritten.Inc()
+	return foot, nil
+}
+
+func writeFooter(f *os.File, foot *footer) error {
+	var buf []byte
+	u32 := func(v uint32) { buf = binary.LittleEndian.AppendUint32(buf, v) }
+	u64 := func(v uint64) { buf = binary.LittleEndian.AppendUint64(buf, v) }
+	u32(uint32(foot.rows))
+	buf = append(buf, uint8(len(foot.keys)), uint8(len(foot.meas)))
+	for _, km := range foot.keys {
+		buf = append(buf, km.enc, km.width)
+		u64(km.base)
+		u64(uint64(km.off))
+		u64(uint64(km.size))
+		u32(km.crc)
+		buf = append(buf, uint8(len(km.zones)))
+		for _, z := range km.zones {
+			u32(uint32(z.lo))
+			u32(uint32(z.hi))
+		}
+	}
+	for _, mm := range foot.meas {
+		buf = append(buf, mm.enc, mm.width)
+		u64(mm.base)
+		u64(uint64(mm.off))
+		u64(uint64(mm.size))
+		u32(mm.crc)
+	}
+	u32(uint32(len(buf) + 8)) // footerLen counts itself and the trailer
+	buf = append(buf, segTrail...)
+	_, err := f.Write(buf)
+	return err
+}
+
+// readFooter parses the footer of an open segment file of the given size.
+func readFooter(f *os.File, size int64) (*footer, error) {
+	var tail [8]byte
+	if size < int64(len(segMagic))+8 {
+		return nil, fmt.Errorf("colstore: segment too short (%d bytes)", size)
+	}
+	if _, err := f.ReadAt(tail[:], size-8); err != nil {
+		return nil, err
+	}
+	if string(tail[4:]) != string(segTrail) {
+		return nil, fmt.Errorf("colstore: bad segment trailer")
+	}
+	footLen := int64(binary.LittleEndian.Uint32(tail[:4]))
+	if footLen < 8 || footLen > size {
+		return nil, fmt.Errorf("colstore: implausible footer length %d", footLen)
+	}
+	// footLen counts the body plus the 8-byte trailer (footerLen field
+	// + magic); the body starts footLen bytes from the end.
+	buf := make([]byte, footLen-8)
+	if _, err := f.ReadAt(buf, size-footLen); err != nil {
+		return nil, err
+	}
+	pos := 0
+	need := func(n int) error {
+		if pos+n > len(buf) {
+			return fmt.Errorf("colstore: truncated segment footer")
+		}
+		return nil
+	}
+	u32 := func() uint32 { v := binary.LittleEndian.Uint32(buf[pos:]); pos += 4; return v }
+	u64 := func() uint64 { v := binary.LittleEndian.Uint64(buf[pos:]); pos += 8; return v }
+	u8 := func() uint8 { v := buf[pos]; pos++; return v }
+	if err := need(6); err != nil {
+		return nil, err
+	}
+	foot := &footer{rows: int(u32())}
+	nk, nm := int(u8()), int(u8())
+	foot.keys = make([]keyMeta, nk)
+	foot.meas = make([]measMeta, nm)
+	for h := range foot.keys {
+		if err := need(35); err != nil {
+			return nil, err
+		}
+		km := &foot.keys[h]
+		km.enc, km.width = u8(), u8()
+		km.base = u64()
+		km.off, km.size = int64(u64()), int64(u64())
+		km.crc = u32()
+		nz := int(u8())
+		if err := need(8 * nz); err != nil {
+			return nil, err
+		}
+		km.zones = make([]zoneMap, nz)
+		for d := range km.zones {
+			km.zones[d] = zoneMap{lo: int32(u32()), hi: int32(u32())}
+		}
+	}
+	for m := range foot.meas {
+		if err := need(30); err != nil {
+			return nil, err
+		}
+		mm := &foot.meas[m]
+		mm.enc, mm.width = u8(), u8()
+		mm.base = u64()
+		mm.off, mm.size = int64(u64()), int64(u64())
+		mm.crc = u32()
+	}
+	return foot, nil
+}
+
+// prunedBy reports whether the zone maps prove that no row of the
+// segment can satisfy every predicate: some predicate's accepted member
+// set misses the segment's [min, max] code range at that level.
+func (foot *footer) prunedBy(preds []storage.LevelPred) bool {
+	for _, p := range preds {
+		if p.Hier >= len(foot.keys) || p.Level >= len(foot.keys[p.Hier].zones) {
+			continue
+		}
+		z := foot.keys[p.Hier].zones[p.Level]
+		hit := false
+		for _, w := range p.Members {
+			if w >= z.lo && w <= z.hi {
+				hit = true
+				break
+			}
+		}
+		if !hit {
+			return true
+		}
+	}
+	return false
+}
+
+// decodeInto decodes the segment's needed columns into sc and returns
+// the block. Verifies payload CRCs; counts decode metrics.
+func (s *segment) decodeInto(need storage.ColSet, sc *storage.BlockScratch) (storage.BlockCols, error) {
+	foot := s.foot
+	cols := storage.BlockCols{
+		Keys: make([][]int32, len(foot.keys)),
+		Meas: make([][]float64, len(foot.meas)),
+		Rows: foot.rows,
+	}
+	var readBytes int64
+	for h := range foot.keys {
+		if !need.NeedKey(h) {
+			continue
+		}
+		km := &foot.keys[h]
+		payload, err := s.payload(km.off, km.size, km.crc, sc)
+		if err != nil {
+			return cols, err
+		}
+		dst := sc.KeyBuf(h, len(foot.keys), foot.rows)
+		decodeKeys(dst, km.enc, km.width, km.base, payload)
+		cols.Keys[h] = dst
+		readBytes += km.size
+	}
+	for m := range foot.meas {
+		if !need.NeedMeas(m) {
+			continue
+		}
+		mm := &foot.meas[m]
+		payload, err := s.payload(mm.off, mm.size, mm.crc, sc)
+		if err != nil {
+			return cols, err
+		}
+		dst := sc.MeasBuf(m, len(foot.meas), foot.rows)
+		decodeMeas(dst, mm.enc, mm.width, mm.base, payload)
+		cols.Meas[m] = dst
+		readBytes += mm.size
+	}
+	mDecoded.Inc()
+	hDecodeBytes.Observe(float64(readBytes))
+	return cols, nil
+}
+
+// payload fetches and CRC-checks one column payload.
+func (s *segment) payload(off, size int64, crc uint32, sc *storage.BlockScratch) ([]byte, error) {
+	if size == 0 {
+		return nil, nil
+	}
+	p, err := s.blob.bytes(off, int(size), &sc.Buf)
+	if err != nil {
+		return nil, fmt.Errorf("colstore: %s: %w", s.path, err)
+	}
+	if got := crc32.Checksum(p, castTable); got != crc {
+		return nil, fmt.Errorf("colstore: %s: column checksum mismatch (corrupt segment)", s.path)
+	}
+	return p, nil
+}

@@ -1,0 +1,82 @@
+// Snapshots: the store's ScanSource. A snapshot pins the segment list
+// and the tail length at one instant; blocks 0..n−1 are the segments
+// (decoded on demand, or refused when zone maps prune them) and block n
+// is the resident WAL tail, served zero-copy. Concatenated in order the
+// blocks are exactly the fact rows in append order, which is what keeps
+// scans bit-exact with the resident backend.
+package colstore
+
+import "github.com/assess-olap/assess/internal/storage"
+
+type snapshot struct {
+	segs   []*segment
+	pruned []bool
+	need   storage.ColSet
+
+	tailKeys [][]int32
+	tailMeas [][]float64
+	tailRows int
+	rows     int
+}
+
+// Snapshot captures a consistent view for one scan. preds are used for
+// zone-map pruning only; row-exact filtering stays with the engine.
+// The caller must Close the snapshot to release segment references.
+func (st *Store) Snapshot(need storage.ColSet, preds []storage.LevelPred) storage.ScanSource {
+	st.mu.Lock()
+	sn := &snapshot{
+		segs:     make([]*segment, len(st.segs)),
+		pruned:   make([]bool, len(st.segs)),
+		need:     need,
+		tailKeys: make([][]int32, len(st.tailKeys)),
+		tailMeas: make([][]float64, len(st.tailMeas)),
+		tailRows: st.tailRows,
+		rows:     st.segRows + st.tailRows,
+	}
+	copy(sn.segs, st.segs)
+	for _, s := range sn.segs {
+		s.acquire()
+	}
+	// Tail columns are append-only: rows < tailRows never change, so
+	// aliasing the current backing arrays is safe even as appends land.
+	for h, col := range st.tailKeys {
+		sn.tailKeys[h] = col[:st.tailRows]
+	}
+	for m, col := range st.tailMeas {
+		sn.tailMeas[m] = col[:st.tailRows]
+	}
+	st.mu.Unlock()
+	for i, s := range sn.segs {
+		sn.pruned[i] = s.foot.prunedBy(preds)
+	}
+	return sn
+}
+
+func (sn *snapshot) Rows() int   { return sn.rows }
+func (sn *snapshot) Blocks() int { return len(sn.segs) + 1 }
+
+func (sn *snapshot) BlockRows(b int) int {
+	if b < len(sn.segs) {
+		return sn.segs[b].foot.rows
+	}
+	return sn.tailRows
+}
+
+func (sn *snapshot) Block(b int, sc *storage.BlockScratch) (storage.BlockCols, bool, error) {
+	if b < len(sn.segs) {
+		if sn.pruned[b] {
+			mPruned.Inc()
+			return storage.BlockCols{}, false, nil
+		}
+		cols, err := sn.segs[b].decodeInto(sn.need, sc)
+		return cols, err == nil, err
+	}
+	return storage.BlockCols{Keys: sn.tailKeys, Meas: sn.tailMeas, Rows: sn.tailRows}, true, nil
+}
+
+func (sn *snapshot) Close() {
+	for _, s := range sn.segs {
+		s.release()
+	}
+	sn.segs = nil
+}

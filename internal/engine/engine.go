@@ -15,6 +15,7 @@ package engine
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -219,7 +220,7 @@ func (e *Engine) scanAggregateOps(q Query, ops []mdm.AggOp, names []string) (*cu
 	}
 	s := f.Schema
 	for _, mi := range q.Measures {
-		if mi < 0 || mi >= len(f.Meas) {
+		if mi < 0 || mi >= f.NumMeasures() {
 			return nil, fmt.Errorf("engine: measure index %d out of range for %s", mi, q.Fact)
 		}
 	}
@@ -264,34 +265,102 @@ func (e *Engine) scanAggregateOps(q Query, ops []mdm.AggOp, names []string) (*cu
 		gmaps[gi] = e.rollupMap(q.Fact, f, ref)
 		cards[gi] = s.Dict(ref).Len()
 	}
+	// Columns the scan touches and predicates usable for segment
+	// pruning: the backend may skip a block only when its zone maps
+	// prove no row satisfies some predicate, so pruning never changes
+	// the aggregate — it just avoids decode work.
+	needKeys := make([]bool, len(s.Hiers))
+	for _, ref := range q.Group {
+		needKeys[ref.Hier] = true
+	}
+	needMeas := make([]bool, f.NumMeasures())
+	for _, mi := range q.Measures {
+		needMeas[mi] = true
+	}
+	preds := make([]storage.LevelPred, len(q.Preds))
+	for i, p := range q.Preds {
+		needKeys[p.Level.Hier] = true
+		preds[i] = storage.LevelPred{Hier: p.Level.Hier, Level: p.Level.Level, Members: p.Members}
+	}
+	src := f.ScanSource(storage.ColSet{Keys: needKeys, Meas: needMeas}, preds)
+	defer src.Close()
 	prep := &preparedScan{
 		q:       q,
-		f:       factColumns{keys: f.Keys, meas: f.Meas, rows: f.Rows()},
+		src:     src,
+		rows:    src.Rows(),
 		accepts: accepts,
 		gmaps:   gmaps,
 		cards:   cards,
 		ops:     ops,
 	}
-	mRowsScanned.Add(int64(prep.f.rows))
-	workers := scanWorkers(e.workers, prep.f.rows, e.parallelMinRows())
+	mRowsScanned.Add(int64(prep.rows))
+	workers := scanWorkers(e.workers, prep.rows, e.parallelMinRows())
 	morsel := e.effectiveMorselSize()
 	out := cube.New(s, q.Group, names...)
 	if l := prep.denseLayout(e.denseKeyBudget()); l != nil {
 		mKernelDense.Inc()
+		var st *denseState
+		var err error
 		if workers >= 2 {
 			mScansParallel.Inc()
-			return prep.finalizeDense(out, l, prep.runDenseParallel(l, workers, scanMorsel(morsel, prep.f.rows, workers)))
+			st, err = prep.runDenseParallel(l, workers, scanMorsel(morsel, prep.rows, workers))
+		} else {
+			mScansSerial.Inc()
+			st, err = prep.runDenseSerial(l, morsel)
 		}
-		mScansSerial.Inc()
-		return prep.finalizeDense(out, l, prep.runDenseSerial(l, morsel))
+		if err != nil {
+			return nil, err
+		}
+		return prep.finalizeDense(out, l, st)
 	}
 	mKernelHash.Inc()
+	var st scanState
+	var err error
 	if workers >= 2 {
 		mScansParallel.Inc()
-		return prep.finalize(out, prep.runParallel(workers, scanMorsel(morsel, prep.f.rows, workers)))
+		st, err = prep.runParallel(workers, scanMorsel(morsel, prep.rows, workers))
+	} else {
+		mScansSerial.Inc()
+		st, err = prep.run()
 	}
-	mScansSerial.Inc()
-	return prep.finalize(out, prep.run(0, prep.f.rows))
+	if err != nil {
+		return nil, err
+	}
+	return prep.finalize(out, st)
+}
+
+// FactStorage describes one fact table's physical backend, surfaced by
+// the server's /stats endpoint.
+type FactStorage struct {
+	Fact        string `json:"fact"`
+	Backend     string `json:"backend"` // "resident" or "segment"
+	Rows        int    `json:"rows"`
+	Segments    int    `json:"segments,omitempty"`
+	SegmentRows int    `json:"segmentRows,omitempty"`
+	TailRows    int    `json:"tailRows,omitempty"`
+	DiskBytes   int64  `json:"diskBytes,omitempty"`
+	Compactions int64  `json:"compactions,omitempty"`
+}
+
+// StorageStats reports the physical backend of every registered fact
+// table, sorted by cube name.
+func (e *Engine) StorageStats() []FactStorage {
+	out := make([]FactStorage, 0, len(e.facts))
+	for name, f := range e.facts {
+		fs := FactStorage{Fact: name, Backend: "resident", Rows: f.Rows()}
+		if seg := f.Segments(); seg != nil {
+			info := seg.Info()
+			fs.Backend = "segment"
+			fs.Segments = info.Segments
+			fs.SegmentRows = info.SegmentRows
+			fs.TailRows = info.TailRows
+			fs.DiskBytes = info.DiskBytes
+			fs.Compactions = info.Compactions
+		}
+		out = append(out, fs)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Fact < out[j].Fact })
+	return out
 }
 
 // Get evaluates a cube query and transfers the derived cube to the client

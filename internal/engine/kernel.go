@@ -5,6 +5,7 @@ import (
 
 	"github.com/assess-olap/assess/internal/cube"
 	"github.com/assess-olap/assess/internal/mdm"
+	"github.com/assess-olap/assess/internal/storage"
 )
 
 // Vectorized dense-key aggregation kernels. Level columns are already
@@ -142,10 +143,14 @@ func (p *preparedScan) newDenseState(l *denseLayout, trackOrder bool) *denseStat
 }
 
 // morselScratch is per-worker reusable kernel memory: the selection
-// vector of accepted row indices and the dense keys aligned with it.
+// vector of accepted row indices, the dense keys aligned with it, the
+// block decode buffers for segment-backed scans, and the coordinate
+// buffer of the hash path.
 type morselScratch struct {
-	sel []int
-	dk  []int
+	sel   []int
+	dk    []int
+	block storage.BlockScratch
+	coord mdm.Coordinate
 }
 
 // hasPreds reports whether any hierarchy carries an acceptance vector.
@@ -158,10 +163,11 @@ func (p *preparedScan) hasPreds() bool {
 	return false
 }
 
-// selection evaluates the scan predicates once over the morsel [lo, hi)
-// into a reusable selection vector of accepted row indices: the first
-// predicated hierarchy fills the vector, later ones compact it in place.
-func (p *preparedScan) selection(sc *morselScratch, lo, hi int) []int {
+// selection evaluates the scan predicates once over the block-local
+// morsel [lo, hi) into a reusable selection vector of accepted row
+// indices: the first predicated hierarchy fills the vector, later ones
+// compact it in place.
+func (p *preparedScan) selection(sc *morselScratch, cols storage.BlockCols, lo, hi int) []int {
 	if cap(sc.sel) < hi-lo {
 		sc.sel = make([]int, hi-lo)
 	}
@@ -172,7 +178,7 @@ func (p *preparedScan) selection(sc *morselScratch, lo, hi int) []int {
 		if acc == nil {
 			continue
 		}
-		keys := p.f.keys[h]
+		keys := cols.Keys[h]
 		if first {
 			for r := lo; r < hi; r++ {
 				if acc[keys[r]] {
@@ -199,11 +205,11 @@ func (p *preparedScan) selection(sc *morselScratch, lo, hi int) []int {
 // selection vector (skipped entirely on unpredicated scans), then
 // composite keys column-at-a-time, then one tight loop per requested
 // measure. sel == nil means the identity selection over [lo, hi).
-func (p *preparedScan) denseMorsel(st *denseState, l *denseLayout, sc *morselScratch, lo, hi int) {
+func (p *preparedScan) denseMorsel(st *denseState, l *denseLayout, sc *morselScratch, cols storage.BlockCols, lo, hi int) {
 	var sel []int
 	n := hi - lo
 	if p.hasPreds() {
-		sel = p.selection(sc, lo, hi)
+		sel = p.selection(sc, cols, lo, hi)
 		n = len(sel)
 		if n == 0 {
 			return
@@ -218,7 +224,7 @@ func (p *preparedScan) denseMorsel(st *denseState, l *denseLayout, sc *morselScr
 	}
 	for gi, ref := range p.q.Group {
 		gm := p.gmaps[gi]
-		keys := p.f.keys[ref.Hier]
+		keys := cols.Keys[ref.Hier]
 		stride := l.stride[gi]
 		switch {
 		case sel == nil && stride == 1:
@@ -252,7 +258,7 @@ func (p *preparedScan) denseMorsel(st *denseState, l *denseLayout, sc *morselScr
 		}
 	}
 	for j, mi := range p.q.Measures {
-		col := p.f.meas[mi]
+		col := cols.Meas[mi]
 		acc := st.vals[j]
 		switch p.ops[j] {
 		case mdm.AggSum, mdm.AggAvg:
@@ -358,17 +364,28 @@ func (p *preparedScan) finalizeDense(out *cube.Cube, l *denseLayout, st *denseSt
 	return out, nil
 }
 
-// runDenseSerial scans the fact table morsel by morsel on the calling
-// goroutine, reusing one scratch across morsels.
-func (p *preparedScan) runDenseSerial(l *denseLayout, morsel int) *denseState {
+// runDenseSerial scans the fact data block by block, morsel by morsel,
+// on the calling goroutine, reusing one scratch across morsels. Blocks
+// pruned by zone maps are skipped before decode; pruning preserves the
+// first-seen cell order because a pruned block holds no accepted rows.
+func (p *preparedScan) runDenseSerial(l *denseLayout, morsel int) (*denseState, error) {
 	st := p.newDenseState(l, true)
 	sc := &morselScratch{}
 	n := int64(0)
-	for lo := 0; lo < p.f.rows; lo += morsel {
-		hi := min(lo+morsel, p.f.rows)
-		p.denseMorsel(st, l, sc, lo, hi)
-		n++
+	for b := 0; b < p.src.Blocks(); b++ {
+		cols, ok, err := p.src.Block(b, &sc.block)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			continue
+		}
+		for lo := 0; lo < cols.Rows; lo += morsel {
+			hi := min(lo+morsel, cols.Rows)
+			p.denseMorsel(st, l, sc, cols, lo, hi)
+			n++
+		}
 	}
 	mMorsels.Add(n)
-	return st
+	return st, nil
 }

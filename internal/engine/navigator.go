@@ -220,7 +220,8 @@ func (e *Engine) rollupFromView(f *storage.FactTable, v *matView, q Query) (*cub
 	}
 	prep := &preparedScan{
 		q:       Query{Fact: q.Fact, Group: q.Group, Measures: idx},
-		f:       factColumns{keys: keys, meas: meas, rows: n},
+		src:     storage.ColumnsSource(keys, meas, n),
+		rows:    n,
 		accepts: accepts,
 		gmaps:   gmaps,
 		cards:   cards,
@@ -232,17 +233,25 @@ func (e *Engine) rollupFromView(f *storage.FactTable, v *matView, q Query) (*cub
 	var err error
 	if l := prep.denseLayout(e.denseKeyBudget()); l != nil {
 		mKernelDense.Inc()
+		var st *denseState
 		if workers >= 2 {
-			out, err = prep.finalizeDense(out, l, prep.runDenseParallel(l, workers, scanMorsel(morsel, n, workers)))
+			st, err = prep.runDenseParallel(l, workers, scanMorsel(morsel, n, workers))
 		} else {
-			out, err = prep.finalizeDense(out, l, prep.runDenseSerial(l, morsel))
+			st, err = prep.runDenseSerial(l, morsel)
+		}
+		if err == nil {
+			out, err = prep.finalizeDense(out, l, st)
 		}
 	} else {
 		mKernelHash.Inc()
+		var st scanState
 		if workers >= 2 {
-			out, err = prep.finalize(out, prep.runParallel(workers, scanMorsel(morsel, n, workers)))
+			st, err = prep.runParallel(workers, scanMorsel(morsel, n, workers))
 		} else {
-			out, err = prep.finalize(out, prep.run(0, n))
+			st, err = prep.run()
+		}
+		if err == nil {
+			out, err = prep.finalize(out, st)
 		}
 	}
 	if err != nil {

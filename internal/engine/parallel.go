@@ -9,6 +9,7 @@ import (
 
 	"github.com/assess-olap/assess/internal/cube"
 	"github.com/assess-olap/assess/internal/mdm"
+	"github.com/assess-olap/assess/internal/storage"
 )
 
 // Morsel-driven parallel fact scans. The fact table is split into
@@ -99,40 +100,51 @@ type scanState struct {
 }
 
 // preparedScan is the predicate/roll-up machinery shared by all
-// morsels of one scan.
+// morsels of one scan. src iterates the fact data block by block
+// (resident tables are one zero-copy block; segment-backed tables one
+// block per segment plus the WAL tail, see internal/storage.ScanSource).
 type preparedScan struct {
 	q       Query
-	f       factColumns
+	src     storage.ScanSource
+	rows    int
 	accepts [][]bool
 	gmaps   [][]int32
 	cards   []int // group-level domain sizes, for the dense layout
 	ops     []mdm.AggOp
 }
 
-type factColumns struct {
-	keys [][]int32
-	meas [][]float64
-	rows int
-}
-
-func (p *preparedScan) run(lo, hi int) scanState {
+// run is the serial hash scan: blocks in order, rows in order, so the
+// first-seen cell order is identical across backends (pruned blocks
+// contain no accepted rows by construction).
+func (p *preparedScan) run() (scanState, error) {
 	st := scanState{cells: make(map[string]*aggState)}
-	p.runInto(&st, make(mdm.Coordinate, len(p.q.Group)), lo, hi)
-	return st
+	coord := make(mdm.Coordinate, len(p.q.Group))
+	sc := &morselScratch{}
+	for b := 0; b < p.src.Blocks(); b++ {
+		cols, ok, err := p.src.Block(b, &sc.block)
+		if err != nil {
+			return st, err
+		}
+		if !ok {
+			continue
+		}
+		p.runInto(&st, coord, cols, 0, cols.Rows)
+	}
+	return st, nil
 }
 
-// runInto aggregates the half-open row range [lo, hi) into st's table.
-func (p *preparedScan) runInto(st *scanState, coord mdm.Coordinate, lo, hi int) {
+// runInto aggregates the block-local row range [lo, hi) into st's table.
+func (p *preparedScan) runInto(st *scanState, coord mdm.Coordinate, cols storage.BlockCols, lo, hi int) {
 	nm := len(p.q.Measures)
 rows:
 	for r := lo; r < hi; r++ {
 		for h, acc := range p.accepts {
-			if acc != nil && !acc[p.f.keys[h][r]] {
+			if acc != nil && !acc[cols.Keys[h][r]] {
 				continue rows
 			}
 		}
 		for gi, ref := range p.q.Group {
-			coord[gi] = p.gmaps[gi][p.f.keys[ref.Hier][r]]
+			coord[gi] = p.gmaps[gi][cols.Keys[ref.Hier][r]]
 		}
 		key := coord.Key()
 		cell := st.cells[key]
@@ -150,7 +162,7 @@ rows:
 			st.order = append(st.order, cell)
 		}
 		for j, mi := range p.q.Measures {
-			v := p.f.meas[mi][r]
+			v := cols.Meas[mi][r]
 			switch p.ops[j] {
 			case mdm.AggSum, mdm.AggAvg:
 				cell.vals[j] += v
@@ -227,36 +239,104 @@ func (p *preparedScan) finalize(schema *cube.Cube, st scanState) (*cube.Cube, er
 	return schema, nil
 }
 
-// runParallel executes the hash fallback across workers pulling morsels
-// from a shared cursor, then tree-merges the partials. Which worker
-// scans which morsel races, so the merged cell order is scheduling-
-// dependent; sorting by coordinate makes the result deterministic.
-func (p *preparedScan) runParallel(workers, morsel int) scanState {
-	cur := &morselCursor{morsel: morsel, rows: p.f.rows}
-	parts := make([]scanState, workers)
+// parallelScan drives workers over the scan source and hands each
+// claimed morsel to work (worker-private state is indexed by w). For a
+// single-block source the block is decoded once up front and workers
+// steal fixed-size morsels within it — the resident fast path, where
+// the block is a zero-copy view of the table. Multi-block (segment)
+// sources instead have workers steal whole blocks: each claimed block
+// is decoded once into the worker's own scratch and iterated morsel by
+// morsel locally, so decode cost is paid once per segment and the
+// decoded buffers stay worker-private.
+func (p *preparedScan) parallelScan(workers, morsel int, work func(w int, sc *morselScratch, cols storage.BlockCols, lo, hi int)) error {
 	var wg sync.WaitGroup
 	var morsels atomic.Int64
+	if p.src.Blocks() == 1 {
+		var bsc storage.BlockScratch
+		cols, ok, err := p.src.Block(0, &bsc)
+		if err != nil || !ok {
+			return err
+		}
+		cur := &morselCursor{morsel: morsel, rows: cols.Rows}
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				sc := &morselScratch{}
+				n := int64(0)
+				for {
+					lo, hi, ok := cur.claim()
+					if !ok {
+						break
+					}
+					work(w, sc, cols, lo, hi)
+					n++
+				}
+				morsels.Add(n)
+			}(w)
+		}
+		wg.Wait()
+		mMorsels.Add(morsels.Load())
+		return nil
+	}
+	var next atomic.Int64
+	errs := make(chan error, workers)
+	nb := p.src.Blocks()
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			st := scanState{cells: make(map[string]*aggState)}
-			coord := make(mdm.Coordinate, len(p.q.Group))
+			sc := &morselScratch{}
 			n := int64(0)
 			for {
-				lo, hi, ok := cur.claim()
-				if !ok {
+				b := int(next.Add(1)) - 1
+				if b >= nb {
 					break
 				}
-				p.runInto(&st, coord, lo, hi)
-				n++
+				cols, ok, err := p.src.Block(b, &sc.block)
+				if err != nil {
+					errs <- err
+					break
+				}
+				if !ok {
+					continue
+				}
+				for lo := 0; lo < cols.Rows; lo += morsel {
+					work(w, sc, cols, lo, min(lo+morsel, cols.Rows))
+					n++
+				}
 			}
-			parts[w] = st
 			morsels.Add(n)
 		}(w)
 	}
 	wg.Wait()
 	mMorsels.Add(morsels.Load())
+	select {
+	case err := <-errs:
+		return err
+	default:
+		return nil
+	}
+}
+
+// runParallel executes the hash fallback across workers, then
+// tree-merges the partials. Which worker scans which morsel races, so
+// the merged cell order is scheduling-dependent; sorting by coordinate
+// makes the result deterministic.
+func (p *preparedScan) runParallel(workers, morsel int) (scanState, error) {
+	parts := make([]scanState, workers)
+	for w := range parts {
+		parts[w] = scanState{cells: make(map[string]*aggState)}
+	}
+	err := p.parallelScan(workers, morsel, func(w int, sc *morselScratch, cols storage.BlockCols, lo, hi int) {
+		if sc.coord == nil {
+			sc.coord = make(mdm.Coordinate, len(p.q.Group))
+		}
+		p.runInto(&parts[w], sc.coord, cols, lo, hi)
+	})
+	if err != nil {
+		return scanState{}, err
+	}
 	out := p.mergeTree(parts)
 	sort.Slice(out.order, func(i, j int) bool {
 		a, b := out.order[i].coord, out.order[j].coord
@@ -267,38 +347,32 @@ func (p *preparedScan) runParallel(workers, morsel int) scanState {
 		}
 		return false
 	})
-	return out
+	return out, nil
 }
 
-// runDenseParallel executes the dense kernels across workers pulling
-// morsels from a shared cursor; each worker owns private accumulator
-// arrays, merged element-wise in a log-depth tree.
-func (p *preparedScan) runDenseParallel(l *denseLayout, workers, morsel int) *denseState {
-	cur := &morselCursor{morsel: morsel, rows: p.f.rows}
-	parts := make([]*denseState, workers)
-	var wg sync.WaitGroup
-	var morsels atomic.Int64
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			st := p.newDenseState(l, false)
-			sc := &morselScratch{}
-			n := int64(0)
-			for {
-				lo, hi, ok := cur.claim()
-				if !ok {
-					break
-				}
-				p.denseMorsel(st, l, sc, lo, hi)
-				n++
-			}
-			parts[w] = st
-			morsels.Add(n)
-		}(w)
+// runDenseParallel executes the dense kernels across workers; each
+// worker owns private accumulator arrays (allocated on first touch, so
+// idle workers cost nothing), merged element-wise in a log-depth tree.
+func (p *preparedScan) runDenseParallel(l *denseLayout, workers, morsel int) (*denseState, error) {
+	states := make([]*denseState, workers)
+	err := p.parallelScan(workers, morsel, func(w int, sc *morselScratch, cols storage.BlockCols, lo, hi int) {
+		if states[w] == nil {
+			states[w] = p.newDenseState(l, false)
+		}
+		p.denseMorsel(states[w], l, sc, cols, lo, hi)
+	})
+	if err != nil {
+		return nil, err
 	}
-	wg.Wait()
-	mMorsels.Add(morsels.Load())
+	parts := states[:0]
+	for _, st := range states {
+		if st != nil {
+			parts = append(parts, st)
+		}
+	}
+	if len(parts) == 0 {
+		return p.newDenseState(l, false), nil
+	}
 	for n := len(parts); n > 1; {
 		half := n / 2
 		var mg sync.WaitGroup
@@ -312,5 +386,5 @@ func (p *preparedScan) runDenseParallel(l *denseLayout, workers, morsel int) *de
 		mg.Wait()
 		n -= half
 	}
-	return parts[0]
+	return parts[0], nil
 }

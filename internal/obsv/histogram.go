@@ -14,10 +14,10 @@ import (
 // interpolation tightens it further. Observations are recorded in
 // seconds (the Prometheus base unit).
 const (
-	histMin    = 1e-6            // lower bound of bucket 0 (1 µs)
-	histGrowth = math.Sqrt2      // geometric bucket growth
-	numBuckets = 52              // √2^52 · 1 µs ≈ 67 s
-	logGrowth  = 0.34657359028   // ln(√2), precomputed for the hot path
+	histMin    = 1e-6          // lower bound of bucket 0 (1 µs)
+	histGrowth = math.Sqrt2    // geometric bucket growth
+	numBuckets = 52            // √2^52 · 1 µs ≈ 67 s
+	logGrowth  = 0.34657359028 // ln(√2), precomputed for the hot path
 )
 
 // Histogram is a fixed-size log-bucketed latency histogram with atomic

@@ -75,9 +75,9 @@ func TestQuantileEdgeCases(t *testing.T) {
 	if got := h.Quantile(0.5); got != 0 {
 		t.Fatalf("empty histogram quantile = %v, want 0", got)
 	}
-	h.Observe(-5)          // clamped to 0
-	h.Observe(math.NaN())  // clamped to 0
-	h.Observe(1e9)         // overflow bucket
+	h.Observe(-5)         // clamped to 0
+	h.Observe(math.NaN()) // clamped to 0
+	h.Observe(1e9)        // overflow bucket
 	if n, _ := h.CountSum(); n != 3 {
 		t.Fatalf("count = %d, want 3", n)
 	}

@@ -22,14 +22,14 @@ type SlowLog struct {
 
 // SlowEntry is one slow-query log line.
 type SlowEntry struct {
-	Time       string  `json:"time"` // RFC 3339, UTC
-	RequestID  string  `json:"requestId,omitempty"`
-	Endpoint   string  `json:"endpoint"`
-	Statement  string  `json:"statement"`
-	Strategy   string  `json:"strategy,omitempty"`
-	Cache      string  `json:"cache,omitempty"`
-	Cells      int     `json:"cells,omitempty"`
-	TotalMs    float64 `json:"totalMs"`
+	Time        string  `json:"time"` // RFC 3339, UTC
+	RequestID   string  `json:"requestId,omitempty"`
+	Endpoint    string  `json:"endpoint"`
+	Statement   string  `json:"statement"`
+	Strategy    string  `json:"strategy,omitempty"`
+	Cache       string  `json:"cache,omitempty"`
+	Cells       int     `json:"cells,omitempty"`
+	TotalMs     float64 `json:"totalMs"`
 	ThresholdMs float64 `json:"thresholdMs"`
 }
 

@@ -5,12 +5,15 @@ import (
 	"fmt"
 	"os"
 
+	"github.com/assess-olap/assess/internal/colstore"
 	"github.com/assess-olap/assess/internal/core"
 	"github.com/assess-olap/assess/internal/exec"
 	"github.com/assess-olap/assess/internal/obsv"
 	"github.com/assess-olap/assess/internal/parser"
+	"github.com/assess-olap/assess/internal/persist"
 	"github.com/assess-olap/assess/internal/plan"
 	"github.com/assess-olap/assess/internal/qcache"
+	"github.com/assess-olap/assess/internal/storage"
 )
 
 // Discrepancy is one observed divergence between an execution axis and
@@ -50,23 +53,30 @@ type Report struct {
 // aggregate navigator to re-aggregate view cells through the roll-up
 // lattice — serially on the hash kernels (lattice) and morsel-parallel
 // on the dense kernels (par+lattice).
+// The storage dimension (segment axes) rebuilds both cubes as
+// segment-backed tables in a temp directory with segments far smaller
+// than the fact, so block-at-a-time scans, segment decode, and zone-map
+// pruning must reproduce the resident reference bit-for-bit.
 var axes = []struct {
 	name     string
 	parallel bool
 	views    string // "", "exact", or "lattice"
 	cache    bool
 	dense    bool
+	segment  bool
 }{
-	{"base", false, "", false, false},
-	{"dense", false, "", false, true},
-	{"par", true, "", false, false},
-	{"dense+par", true, "", false, true},
-	{"views", false, "exact", false, true},
-	{"par+views", true, "exact", false, true},
-	{"lattice", false, "lattice", false, false},
-	{"par+lattice", true, "lattice", false, true},
-	{"cache", false, "", true, true},
-	{"cache+par+views", true, "exact", true, true},
+	{"base", false, "", false, false, false},
+	{"dense", false, "", false, true, false},
+	{"par", true, "", false, false, false},
+	{"dense+par", true, "", false, true, false},
+	{"views", false, "exact", false, true, false},
+	{"par+views", true, "exact", false, true, false},
+	{"lattice", false, "lattice", false, false, false},
+	{"par+lattice", true, "lattice", false, true, false},
+	{"cache", false, "", true, true, false},
+	{"cache+par+views", true, "exact", true, true, false},
+	{"segment", false, "", false, false, true},
+	{"segment+par", true, "", false, true, true},
 }
 
 // oracleWorkers is the scan parallelism of the parallel axes,
@@ -84,6 +94,11 @@ const (
 // group-by set (their key spaces stay far smaller than this) on the
 // dense axes; the hash axes disable dense with SetDenseKeyBudget(0).
 const oracleDenseBudget = 1 << 22
+
+// oracleSegmentRows keeps segment-axis segments far smaller than the
+// generated facts (hundreds to a few thousand rows), so every sweep
+// crosses many segment boundaries.
+const oracleSegmentRows = 256
 
 // traceEnabled turns on span collection for every oracle execution
 // (ORACLE_TRACE=1): each statement runs under a live trace, proving the
@@ -128,13 +143,52 @@ func checkTrace(root *obsv.Span) string {
 	return walk(root)
 }
 
-func buildSession(c *Case, parallel bool, views string, cache, dense bool) (*core.Session, error) {
-	s := core.NewSession()
-	if err := s.RegisterCube(TargetCube, c.Fact); err != nil {
-		return nil, err
+// segmentCopy rebuilds a resident fact table as a segment-backed one in
+// a fresh temp directory. Background compaction is disabled so the
+// segment layout is deterministic; the returned cleanup closes the
+// store and removes the directory.
+func segmentCopy(f *storage.FactTable) (*storage.FactTable, func(), error) {
+	dir, err := os.MkdirTemp("", "oracle-seg-")
+	if err != nil {
+		return nil, nil, err
 	}
-	if err := s.RegisterCube(ExtCube, c.ExtFact); err != nil {
-		return nil, err
+	opts := colstore.Options{SegmentRows: oracleSegmentRows, AutoCompactRows: -1}
+	if err := persist.SaveCubeDir(dir, f, opts); err != nil {
+		os.RemoveAll(dir)
+		return nil, nil, err
+	}
+	seg, st, err := persist.OpenCubeDir(dir, opts)
+	if err != nil {
+		os.RemoveAll(dir)
+		return nil, nil, err
+	}
+	return seg, func() { st.Close(); os.RemoveAll(dir) }, nil
+}
+
+func buildSession(c *Case, parallel bool, views string, cache, dense, segment bool) (*core.Session, func(), error) {
+	cleanup := func() {}
+	fact, ext := c.Fact, c.ExtFact
+	if segment {
+		var cf, ce func()
+		var err error
+		if fact, cf, err = segmentCopy(c.Fact); err != nil {
+			return nil, cleanup, err
+		}
+		if ext, ce, err = segmentCopy(c.ExtFact); err != nil {
+			cf()
+			return nil, cleanup, err
+		}
+		cleanup = func() { cf(); ce() }
+		// The copies decode their hierarchies independently; restore the
+		// pointer sharing external-benchmark joins require.
+		persist.ReconcileSchemas(fact.Schema, ext.Schema)
+	}
+	s := core.NewSession()
+	if err := s.RegisterCube(TargetCube, fact); err != nil {
+		return nil, cleanup, err
+	}
+	if err := s.RegisterCube(ExtCube, ext); err != nil {
+		return nil, cleanup, err
 	}
 	if dense {
 		s.Engine.SetDenseKeyBudget(oracleDenseBudget)
@@ -156,17 +210,17 @@ func buildSession(c *Case, parallel bool, views string, cache, dense bool) (*cor
 		}
 		for _, v := range sets {
 			if err := s.Materialize(TargetCube, v...); err != nil {
-				return nil, err
+				return nil, cleanup, err
 			}
 			if err := s.Materialize(ExtCube, v...); err != nil {
-				return nil, err
+				return nil, cleanup, err
 			}
 		}
 	}
 	if cache {
 		s.EnableCache(0)
 	}
-	return s, nil
+	return s, cleanup, nil
 }
 
 // Run generates the case for a seed and cross-checks every statement
@@ -185,7 +239,8 @@ func Run(seed int64) *Report {
 
 	sessions := make([]*core.Session, len(axes))
 	for i, ax := range axes {
-		s, err := buildSession(c, ax.parallel, ax.views, ax.cache, ax.dense)
+		s, cleanup, err := buildSession(c, ax.parallel, ax.views, ax.cache, ax.dense, ax.segment)
+		defer cleanup()
 		if err != nil {
 			add("", "setup/"+ax.name, err.Error())
 			return rep

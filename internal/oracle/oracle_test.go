@@ -3,11 +3,15 @@ package oracle
 import (
 	"fmt"
 	"os"
+	"path/filepath"
 	"strconv"
 	"testing"
 
+	"github.com/assess-olap/assess/internal/colstore"
 	"github.com/assess-olap/assess/internal/core"
 	"github.com/assess-olap/assess/internal/parser"
+	"github.com/assess-olap/assess/internal/persist"
+	"github.com/assess-olap/assess/internal/plan"
 )
 
 // defaultSeeds is the fixed table exercised by a plain `go test`; CI
@@ -127,7 +131,7 @@ func TestGeneratorShapes(t *testing.T) {
 		if len(c.Statements) < len(stmtKinds) {
 			t.Fatalf("seed %d: only %d statements", seed, len(c.Statements))
 		}
-		s, err := buildSession(c, false, "", false, false)
+		s, _, err := buildSession(c, false, "", false, false, false)
 		if err != nil {
 			t.Fatalf("seed %d: %v", seed, err)
 		}
@@ -168,7 +172,7 @@ func TestLatticeViewsGenerated(t *testing.T) {
 		if len(c.LatticeViews) == 0 {
 			t.Fatalf("seed %d: no lattice views generated", seed)
 		}
-		if _, err := buildSession(c, false, "lattice", false, false); err != nil {
+		if _, _, err := buildSession(c, false, "lattice", false, false, false); err != nil {
 			t.Fatalf("seed %d: %v", seed, err)
 		}
 	}
@@ -181,7 +185,7 @@ func TestFeasibleStrategiesCovered(t *testing.T) {
 	counts := make(map[string]int)
 	for _, seed := range defaultSeeds {
 		c := Generate(seed)
-		s, err := buildSession(c, false, "", false, false)
+		s, _, err := buildSession(c, false, "", false, false, false)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -199,5 +203,124 @@ func TestFeasibleStrategiesCovered(t *testing.T) {
 		if counts[want] == 0 {
 			t.Errorf("no statement admits a %s plan across the default seeds (%v)", want, counts)
 		}
+	}
+}
+
+// TestSegmentWALCompaction sweeps the statement batch across the
+// resident and segment backends three times: cold from segments, after
+// identical WAL appends to both backends mid-sweep, and after an
+// explicit compaction folds the WAL tail into segments. Results must
+// stay bit-exact throughout, the segment session's generation must
+// advance with the appends (qcache/view coherence), and compaction must
+// actually run.
+func TestSegmentWALCompaction(t *testing.T) {
+	for _, seed := range []int64{3, 7, 11} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			c := Generate(seed)
+			res := core.NewSession()
+			if err := res.RegisterCube(TargetCube, c.Fact); err != nil {
+				t.Fatal(err)
+			}
+			if err := res.RegisterCube(ExtCube, c.ExtFact); err != nil {
+				t.Fatal(err)
+			}
+
+			opts := colstore.Options{SegmentRows: oracleSegmentRows, AutoCompactRows: -1}
+			factDir := filepath.Join(t.TempDir(), "fact")
+			if err := persist.SaveCubeDir(factDir, c.Fact, opts); err != nil {
+				t.Fatal(err)
+			}
+			segFact, factSt, err := persist.OpenCubeDir(factDir, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer factSt.Close()
+			segExt, extCleanup, err := segmentCopy(c.ExtFact)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer extCleanup()
+			persist.ReconcileSchemas(segFact.Schema, segExt.Schema)
+
+			seg := core.NewSession()
+			if err := seg.RegisterCube(TargetCube, segFact); err != nil {
+				t.Fatal(err)
+			}
+			if err := seg.RegisterCube(ExtCube, segExt); err != nil {
+				t.Fatal(err)
+			}
+			// Cache on: a stale hit after an append would diverge from the
+			// resident reference, so the sweeps also prove generation-based
+			// invalidation works for WAL'd appends.
+			seg.EnableCache(0)
+
+			sweep := func(stage string) {
+				t.Helper()
+				for _, stmt := range c.Statements {
+					want, _, _, err := execTracked(res, stmt, plan.NP)
+					if err != nil {
+						t.Fatalf("%s: resident: %v\n  stmt: %s", stage, err, stmt)
+					}
+					got, _, _, err := execTracked(seg, stmt, plan.NP)
+					if err != nil {
+						t.Fatalf("%s: segment: %v\n  stmt: %s", stage, err, stmt)
+					}
+					w, err := canonRows(want)
+					if err != nil {
+						t.Fatal(err)
+					}
+					g, err := canonRows(got)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if d := diffRows(w, g); d != "" {
+						t.Errorf("%s: backends diverge: %s\n  stmt: %s", stage, d, stmt)
+					}
+				}
+			}
+			sweep("cold")
+
+			// Mid-sweep WAL appends: replay the first rows of the fact into
+			// both backends identically.
+			const extra = 37
+			genBefore := seg.Generation()
+			keys := make([]int32, len(c.Schema.Hiers))
+			vals := make([]float64, len(c.Schema.Measures))
+			for r := 0; r < extra; r++ {
+				for h := range keys {
+					keys[h] = c.Fact.Keys[h][r]
+				}
+				for m := range vals {
+					vals[m] = c.Fact.Meas[m][r]
+				}
+				if err := c.Fact.Append(keys, vals); err != nil {
+					t.Fatal(err)
+				}
+				if err := segFact.Append(keys, vals); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if got := seg.Generation(); got != genBefore+extra {
+				t.Fatalf("generation after %d WAL appends: %d, want %d", extra, got, genBefore+extra)
+			}
+			if segFact.Rows() != c.Fact.Rows() {
+				t.Fatalf("row counts diverge: segment %d, resident %d", segFact.Rows(), c.Fact.Rows())
+			}
+			sweep("after-append")
+
+			before := factSt.Info()
+			if before.TailRows != extra {
+				t.Fatalf("WAL tail %d rows, want %d", before.TailRows, extra)
+			}
+			if err := factSt.Compact(); err != nil {
+				t.Fatal(err)
+			}
+			after := factSt.Info()
+			if after.Compactions <= before.Compactions || after.TailRows != 0 {
+				t.Fatalf("compaction did not fold the tail: %+v → %+v", before, after)
+			}
+			sweep("after-compact")
+		})
 	}
 }

@@ -1,0 +1,234 @@
+// Segment-directory persistence. SaveCubeDir/OpenCubeDir bridge the
+// single-file cube format and internal/colstore segment directories: a
+// cube saved as a directory can be opened out-of-core (segment-backed
+// fact table, bounded resident memory) or loaded fully resident.
+//
+// Declared labeling functions ride along in a labelers.bin sidecar so a
+// session reopened from a directory keeps its predeclared labelers
+// (Section 4.1 of the paper): SaveLabelers/LoadLabelers serialize every
+// range-based labeler by name and interval list.
+package persist
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+
+	"github.com/assess-olap/assess/internal/colstore"
+	"github.com/assess-olap/assess/internal/labeling"
+	"github.com/assess-olap/assess/internal/storage"
+)
+
+// LabelersFile is the name of the labeler sidecar inside a cube
+// directory.
+const LabelersFile = "labelers.bin"
+
+const labelersMagic = "ASSESSLBL\x01"
+
+// SaveCubeDir writes the fact table into a colstore segment directory
+// at dir, streaming block by block — the encoded form never holds more
+// than one segment's rows in flight beyond the source table itself.
+func SaveCubeDir(dir string, f *storage.FactTable, opts colstore.Options) error {
+	w, err := colstore.CreateBulk(dir, f.Schema, opts)
+	if err != nil {
+		return err
+	}
+	src := f.ScanSource(storage.ColSet{}, nil)
+	defer src.Close()
+	if err := copyRows(w.Append, src, len(f.Schema.Hiers), len(f.Schema.Measures)); err != nil {
+		w.Close()
+		return err
+	}
+	return w.Close()
+}
+
+// OpenCubeDir opens a segment directory as a segment-backed fact table.
+// The returned Store owns the on-disk state; close it when done with
+// the table.
+func OpenCubeDir(dir string, opts colstore.Options) (*storage.FactTable, *colstore.Store, error) {
+	st, err := colstore.Open(dir, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	return storage.NewSegmentTable(st.Schema(), st), st, nil
+}
+
+// LoadCubeDirResident reads a segment directory fully into an in-memory
+// fact table, decoding every segment once.
+func LoadCubeDirResident(dir string) (*storage.FactTable, error) {
+	st, err := colstore.Open(dir, colstore.Options{AutoCompactRows: -1})
+	if err != nil {
+		return nil, err
+	}
+	defer st.Close()
+	f := storage.NewFactTable(st.Schema())
+	f.Reserve(st.Rows())
+	src := st.Snapshot(storage.ColSet{}, nil)
+	defer src.Close()
+	if err := copyRows(f.Append, src, len(f.Schema.Hiers), len(f.Schema.Measures)); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// copyRows streams every row of src into the append function.
+func copyRows(appendRow func([]int32, []float64) error, src storage.ScanSource, nkeys, nmeas int) error {
+	var sc storage.BlockScratch
+	keys := make([]int32, nkeys)
+	vals := make([]float64, nmeas)
+	for b := 0; b < src.Blocks(); b++ {
+		cols, ok, err := src.Block(b, &sc)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			continue
+		}
+		for r := 0; r < cols.Rows; r++ {
+			for h := range keys {
+				keys[h] = cols.Keys[h][r]
+			}
+			for m := range vals {
+				vals[m] = cols.Meas[m][r]
+			}
+			if err := appendRow(keys, vals); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// SaveLabelers writes the range-based labelers into the cube
+// directory's labeler sidecar (replacing any previous one atomically).
+func SaveLabelers(dir string, labelers []*labeling.Ranges) error {
+	path := filepath.Join(dir, LabelersFile)
+	out, err := os.Create(path + ".tmp")
+	if err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(out)
+	bw.WriteString(labelersMagic)
+	writeU32(bw, uint32(len(labelers)))
+	for _, l := range labelers {
+		writeDirString(bw, l.Name())
+		ivs := l.Intervals()
+		writeU32(bw, uint32(len(ivs)))
+		for _, iv := range ivs {
+			writeU64(bw, math.Float64bits(iv.Lo))
+			writeU64(bw, math.Float64bits(iv.Hi))
+			var open uint8
+			if iv.LoOpen {
+				open |= 1
+			}
+			if iv.HiOpen {
+				open |= 2
+			}
+			bw.WriteByte(open)
+			writeDirString(bw, iv.Label)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		out.Close()
+		return err
+	}
+	if err := out.Sync(); err != nil {
+		out.Close()
+		return err
+	}
+	if err := out.Close(); err != nil {
+		return err
+	}
+	return os.Rename(path+".tmp", path)
+}
+
+// LoadLabelers reads the labeler sidecar of a cube directory. A missing
+// sidecar is not an error: it returns an empty slice.
+func LoadLabelers(dir string) ([]*labeling.Ranges, error) {
+	in, err := os.Open(filepath.Join(dir, LabelersFile))
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	defer in.Close()
+	br := bufio.NewReader(in)
+	head := make([]byte, len(labelersMagic))
+	if _, err := io.ReadFull(br, head); err != nil || string(head) != labelersMagic {
+		return nil, fmt.Errorf("persist: %s is not a labeler sidecar", LabelersFile)
+	}
+	n, err := readU32(br)
+	if err != nil {
+		return nil, err
+	}
+	if n > 1<<16 {
+		return nil, fmt.Errorf("persist: implausible labeler count %d", n)
+	}
+	labelers := make([]*labeling.Ranges, 0, n)
+	for i := uint32(0); i < n; i++ {
+		name, err := readDirString(br)
+		if err != nil {
+			return nil, err
+		}
+		ni, err := readU32(br)
+		if err != nil {
+			return nil, err
+		}
+		if ni > 1<<16 {
+			return nil, fmt.Errorf("persist: implausible interval count %d", ni)
+		}
+		ivs := make([]labeling.Interval, ni)
+		for j := range ivs {
+			lo, err := readU64(br)
+			if err != nil {
+				return nil, err
+			}
+			hi, err := readU64(br)
+			if err != nil {
+				return nil, err
+			}
+			open, err := br.ReadByte()
+			if err != nil {
+				return nil, fmt.Errorf("persist: truncated labeler sidecar: %w", err)
+			}
+			label, err := readDirString(br)
+			if err != nil {
+				return nil, err
+			}
+			ivs[j] = labeling.Interval{
+				Lo: math.Float64frombits(lo), Hi: math.Float64frombits(hi),
+				LoOpen: open&1 != 0, HiOpen: open&2 != 0, Label: label,
+			}
+		}
+		l, err := labeling.NewRanges(name, ivs)
+		if err != nil {
+			return nil, fmt.Errorf("persist: invalid labeler %q: %w", name, err)
+		}
+		labelers = append(labelers, l)
+	}
+	return labelers, nil
+}
+
+func writeDirString(w *bufio.Writer, s string) {
+	writeU32(w, uint32(len(s)))
+	w.WriteString(s)
+}
+
+func readDirString(r *bufio.Reader) (string, error) {
+	n, err := readU32(r)
+	if err != nil {
+		return "", err
+	}
+	if n > 1<<20 {
+		return "", fmt.Errorf("persist: implausible string length %d", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return "", fmt.Errorf("persist: truncated string: %w", err)
+	}
+	return string(buf), nil
+}

@@ -22,6 +22,7 @@ import (
 	"os"
 
 	"github.com/assess-olap/assess/internal/mdm"
+	"github.com/assess-olap/assess/internal/schemaio"
 	"github.com/assess-olap/assess/internal/storage"
 )
 
@@ -143,188 +144,15 @@ func LoadCubeFile(path string) (*storage.FactTable, error) {
 	return LoadCube(in)
 }
 
+// writeSchema and readSchema delegate to the shared schemaio codec; the
+// byte format is unchanged from format version 1, so cube files written
+// before the extraction still load.
 func writeSchema(w *bufio.Writer, s *mdm.Schema) error {
-	writeString(w, s.Name)
-	writeU32(w, uint32(len(s.Hiers)))
-	for _, h := range s.Hiers {
-		writeString(w, h.Name())
-		levels := h.Levels()
-		writeU32(w, uint32(len(levels)))
-		for _, l := range levels {
-			writeString(w, l)
-		}
-		// Member paths: one full roll-up path per base member rebuilds
-		// dictionaries and parent links on load.
-		base := h.Dict(0)
-		writeU32(w, uint32(base.Len()))
-		for id := int32(0); int(id) < base.Len(); id++ {
-			for d := 0; d < len(levels); d++ {
-				writeString(w, h.Dict(d).Name(h.Rollup(id, 0, d)))
-			}
-		}
-		// Non-base members unreachable from any base member would be lost;
-		// write each level's dictionary for completeness.
-		for d := 1; d < len(levels); d++ {
-			dict := h.Dict(d)
-			writeU32(w, uint32(dict.Len()))
-			for id := int32(0); int(id) < dict.Len(); id++ {
-				writeString(w, dict.Name(id))
-			}
-		}
-		// Properties.
-		var props []struct {
-			depth int
-			name  string
-		}
-		for d := range levels {
-			for _, name := range h.PropertyNames(d) {
-				props = append(props, struct {
-					depth int
-					name  string
-				}{d, name})
-			}
-		}
-		writeU32(w, uint32(len(props)))
-		for _, p := range props {
-			writeU32(w, uint32(p.depth))
-			writeString(w, p.name)
-			dict := h.Dict(p.depth)
-			writeU32(w, uint32(dict.Len()))
-			for id := int32(0); int(id) < dict.Len(); id++ {
-				writeU64(w, math.Float64bits(h.PropertyValue(p.depth, p.name, id)))
-			}
-		}
-	}
-	writeU32(w, uint32(len(s.Measures)))
-	for _, m := range s.Measures {
-		writeString(w, m.Name)
-		writeU32(w, uint32(m.Op))
-	}
-	return nil
+	return schemaio.Write(w, s)
 }
 
 func readSchema(r *bufio.Reader) (*mdm.Schema, error) {
-	name, err := readString(r)
-	if err != nil {
-		return nil, err
-	}
-	nh, err := readU32(r)
-	if err != nil {
-		return nil, err
-	}
-	if nh > 64 {
-		return nil, fmt.Errorf("persist: implausible hierarchy count %d", nh)
-	}
-	hiers := make([]*mdm.Hierarchy, nh)
-	for i := range hiers {
-		hname, err := readString(r)
-		if err != nil {
-			return nil, err
-		}
-		nl, err := readU32(r)
-		if err != nil {
-			return nil, err
-		}
-		if nl == 0 || nl > 32 {
-			return nil, fmt.Errorf("persist: implausible level count %d", nl)
-		}
-		levels := make([]string, nl)
-		for d := range levels {
-			if levels[d], err = readString(r); err != nil {
-				return nil, err
-			}
-		}
-		h := mdm.NewHierarchy(hname, levels...)
-		nbase, err := readU32(r)
-		if err != nil {
-			return nil, err
-		}
-		path := make([]string, nl)
-		for m := uint32(0); m < nbase; m++ {
-			for d := range path {
-				if path[d], err = readString(r); err != nil {
-					return nil, err
-				}
-			}
-			if _, err := h.AddMember(path...); err != nil {
-				return nil, fmt.Errorf("persist: %w", err)
-			}
-		}
-		// Per-level dictionaries: intern any members not on a base path.
-		for d := 1; d < int(nl); d++ {
-			n, err := readU32(r)
-			if err != nil {
-				return nil, err
-			}
-			for m := uint32(0); m < n; m++ {
-				member, err := readString(r)
-				if err != nil {
-					return nil, err
-				}
-				h.Dict(d).Intern(member)
-			}
-		}
-		// Properties.
-		np, err := readU32(r)
-		if err != nil {
-			return nil, err
-		}
-		for p := uint32(0); p < np; p++ {
-			depth, err := readU32(r)
-			if err != nil {
-				return nil, err
-			}
-			pname, err := readString(r)
-			if err != nil {
-				return nil, err
-			}
-			if err := h.AddProperty(levels[depth], pname); err != nil {
-				return nil, err
-			}
-			n, err := readU32(r)
-			if err != nil {
-				return nil, err
-			}
-			for id := uint32(0); id < n; id++ {
-				bits, err := readU64(r)
-				if err != nil {
-					return nil, err
-				}
-				v := math.Float64frombits(bits)
-				if math.IsNaN(v) {
-					continue
-				}
-				member := h.Dict(int(depth)).Name(int32(id))
-				if err := h.SetProperty(levels[depth], member, pname, v); err != nil {
-					return nil, err
-				}
-			}
-		}
-		hiers[i] = h
-	}
-	nm, err := readU32(r)
-	if err != nil {
-		return nil, err
-	}
-	if nm == 0 || nm > 1024 {
-		return nil, fmt.Errorf("persist: implausible measure count %d", nm)
-	}
-	measures := make([]mdm.Measure, nm)
-	for i := range measures {
-		mn, err := readString(r)
-		if err != nil {
-			return nil, err
-		}
-		op, err := readU32(r)
-		if err != nil {
-			return nil, err
-		}
-		if op > uint32(mdm.AggCount) {
-			return nil, fmt.Errorf("persist: unknown aggregation operator %d", op)
-		}
-		measures[i] = mdm.Measure{Name: mn, Op: mdm.AggOp(op)}
-	}
-	return mdm.NewSchema(name, hiers, measures), nil
+	return schemaio.Read(r)
 }
 
 func writeU32(w *bufio.Writer, v uint32) {
@@ -337,11 +165,6 @@ func writeU64(w *bufio.Writer, v uint64) {
 	var buf [8]byte
 	binary.LittleEndian.PutUint64(buf[:], v)
 	w.Write(buf[:])
-}
-
-func writeString(w *bufio.Writer, s string) {
-	writeU32(w, uint32(len(s)))
-	w.WriteString(s)
 }
 
 func readU32(r *bufio.Reader) (uint32, error) {
@@ -358,19 +181,4 @@ func readU64(r *bufio.Reader) (uint64, error) {
 		return 0, fmt.Errorf("persist: truncated file: %w", err)
 	}
 	return binary.LittleEndian.Uint64(buf[:]), nil
-}
-
-func readString(r *bufio.Reader) (string, error) {
-	n, err := readU32(r)
-	if err != nil {
-		return "", err
-	}
-	if n > 1<<20 {
-		return "", fmt.Errorf("persist: implausible string length %d", n)
-	}
-	buf := make([]byte, n)
-	if _, err := io.ReadFull(r, buf); err != nil {
-		return "", fmt.Errorf("persist: truncated string: %w", err)
-	}
-	return string(buf), nil
 }

@@ -1,0 +1,96 @@
+// Schema reconciliation for cubes loaded from separate files or
+// segment directories. In-memory construction shares *mdm.Hierarchy
+// objects across cubes built over the same dimensions, and the binder
+// requires that pointer identity to join a target cube with an external
+// benchmark cube (Definition 3.1). Serialization necessarily severs it:
+// each file decodes its own hierarchy objects. ReconcileSchemas
+// restores the sharing by structural comparison.
+package persist
+
+import (
+	"math"
+
+	"github.com/assess-olap/assess/internal/mdm"
+)
+
+// ReconcileSchemas replaces structurally identical hierarchies across
+// the given schemas with shared objects: the first occurrence becomes
+// canonical and later schemas adopt it. Two hierarchies are identical
+// when they agree on name, levels, every per-level dictionary in id
+// order, every parent link, and every level property — so dictionary
+// codes stored in fact data remain valid under the swap. Hierarchies
+// that differ in any of these are left untouched.
+func ReconcileSchemas(schemas ...*mdm.Schema) {
+	var canon []*mdm.Hierarchy
+	for _, s := range schemas {
+		if s == nil {
+			continue
+		}
+		for i, h := range s.Hiers {
+			adopted := false
+			for _, ch := range canon {
+				if ch == h {
+					adopted = true
+					break
+				}
+				if sameHierarchy(ch, h) {
+					s.Hiers[i] = ch
+					adopted = true
+					break
+				}
+			}
+			if !adopted {
+				canon = append(canon, h)
+			}
+		}
+	}
+}
+
+// sameHierarchy reports structural identity of two hierarchies.
+func sameHierarchy(a, b *mdm.Hierarchy) bool {
+	if a.Name() != b.Name() || a.Depth() != b.Depth() {
+		return false
+	}
+	al, bl := a.Levels(), b.Levels()
+	for d := range al {
+		if al[d] != bl[d] {
+			return false
+		}
+	}
+	for d := 0; d < a.Depth(); d++ {
+		ad, bd := a.Dict(d), b.Dict(d)
+		if ad.Len() != bd.Len() {
+			return false
+		}
+		for id := int32(0); int(id) < ad.Len(); id++ {
+			if ad.Name(id) != bd.Name(id) {
+				return false
+			}
+		}
+	}
+	for d := 0; d+1 < a.Depth(); d++ {
+		for id := int32(0); int(id) < a.Dict(d).Len(); id++ {
+			if a.Rollup(id, d, d+1) != b.Rollup(id, d, d+1) {
+				return false
+			}
+		}
+	}
+	for d := 0; d < a.Depth(); d++ {
+		ap, bp := a.PropertyNames(d), b.PropertyNames(d)
+		if len(ap) != len(bp) {
+			return false
+		}
+		for i := range ap {
+			if ap[i] != bp[i] {
+				return false
+			}
+			for id := int32(0); int(id) < a.Dict(d).Len(); id++ {
+				va, vb := a.PropertyValue(d, ap[i], id), b.PropertyValue(d, bp[i], id)
+				if va != vb && !(math.IsNaN(va) && math.IsNaN(vb)) {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,277 @@
+// Package schemaio is the binary codec for cube schemas — name,
+// hierarchies with member dictionaries, part-of links, level-property
+// tables, and measures with aggregation operators. It is shared by the
+// single-file cube format of internal/persist and the on-disk segment
+// directories of internal/colstore, so a schema serialized by either
+// container round-trips through the other unchanged.
+//
+// The byte format is exactly the schema section of the persist v1 cube
+// file (all integers little-endian):
+//
+//	name, hierarchy count
+//	per hierarchy: name, levels, one full roll-up path per base member,
+//	               per-level dictionaries, property tables
+//	measure count, per measure: name, aggregation op
+package schemaio
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"github.com/assess-olap/assess/internal/mdm"
+)
+
+// Write serializes the schema. Callers should pass a buffered writer;
+// Write issues many small writes.
+func Write(w io.Writer, s *mdm.Schema) error {
+	ew := &errWriter{w: w}
+	ew.writeString(s.Name)
+	ew.writeU32(uint32(len(s.Hiers)))
+	for _, h := range s.Hiers {
+		ew.writeString(h.Name())
+		levels := h.Levels()
+		ew.writeU32(uint32(len(levels)))
+		for _, l := range levels {
+			ew.writeString(l)
+		}
+		// Member paths: one full roll-up path per base member rebuilds
+		// dictionaries and parent links on load.
+		base := h.Dict(0)
+		ew.writeU32(uint32(base.Len()))
+		for id := int32(0); int(id) < base.Len(); id++ {
+			for d := 0; d < len(levels); d++ {
+				ew.writeString(h.Dict(d).Name(h.Rollup(id, 0, d)))
+			}
+		}
+		// Non-base members unreachable from any base member would be lost;
+		// write each level's dictionary for completeness.
+		for d := 1; d < len(levels); d++ {
+			dict := h.Dict(d)
+			ew.writeU32(uint32(dict.Len()))
+			for id := int32(0); int(id) < dict.Len(); id++ {
+				ew.writeString(dict.Name(id))
+			}
+		}
+		// Property tables.
+		var props []struct {
+			depth int
+			name  string
+		}
+		for d := range levels {
+			for _, name := range h.PropertyNames(d) {
+				props = append(props, struct {
+					depth int
+					name  string
+				}{d, name})
+			}
+		}
+		ew.writeU32(uint32(len(props)))
+		for _, p := range props {
+			ew.writeU32(uint32(p.depth))
+			ew.writeString(p.name)
+			dict := h.Dict(p.depth)
+			ew.writeU32(uint32(dict.Len()))
+			for id := int32(0); int(id) < dict.Len(); id++ {
+				ew.writeU64(math.Float64bits(h.PropertyValue(p.depth, p.name, id)))
+			}
+		}
+	}
+	ew.writeU32(uint32(len(s.Measures)))
+	for _, m := range s.Measures {
+		ew.writeString(m.Name)
+		ew.writeU32(uint32(m.Op))
+	}
+	return ew.err
+}
+
+// Read deserializes a schema written by Write, consuming exactly the
+// schema's bytes from r (no read-ahead, so r may carry trailing data).
+func Read(r io.Reader) (*mdm.Schema, error) {
+	name, err := readString(r)
+	if err != nil {
+		return nil, err
+	}
+	nh, err := readU32(r)
+	if err != nil {
+		return nil, err
+	}
+	if nh > 64 {
+		return nil, fmt.Errorf("schemaio: implausible hierarchy count %d", nh)
+	}
+	hiers := make([]*mdm.Hierarchy, nh)
+	for i := range hiers {
+		hname, err := readString(r)
+		if err != nil {
+			return nil, err
+		}
+		nl, err := readU32(r)
+		if err != nil {
+			return nil, err
+		}
+		if nl == 0 || nl > 32 {
+			return nil, fmt.Errorf("schemaio: implausible level count %d", nl)
+		}
+		levels := make([]string, nl)
+		for d := range levels {
+			if levels[d], err = readString(r); err != nil {
+				return nil, err
+			}
+		}
+		h := mdm.NewHierarchy(hname, levels...)
+		nbase, err := readU32(r)
+		if err != nil {
+			return nil, err
+		}
+		path := make([]string, nl)
+		for m := uint32(0); m < nbase; m++ {
+			for d := range path {
+				if path[d], err = readString(r); err != nil {
+					return nil, err
+				}
+			}
+			if _, err := h.AddMember(path...); err != nil {
+				return nil, fmt.Errorf("schemaio: %w", err)
+			}
+		}
+		// Per-level dictionaries: intern any members not on a base path.
+		for d := 1; d < int(nl); d++ {
+			n, err := readU32(r)
+			if err != nil {
+				return nil, err
+			}
+			for m := uint32(0); m < n; m++ {
+				member, err := readString(r)
+				if err != nil {
+					return nil, err
+				}
+				h.Dict(d).Intern(member)
+			}
+		}
+		// Property tables.
+		np, err := readU32(r)
+		if err != nil {
+			return nil, err
+		}
+		for p := uint32(0); p < np; p++ {
+			depth, err := readU32(r)
+			if err != nil {
+				return nil, err
+			}
+			pname, err := readString(r)
+			if err != nil {
+				return nil, err
+			}
+			if err := h.AddProperty(levels[depth], pname); err != nil {
+				return nil, err
+			}
+			n, err := readU32(r)
+			if err != nil {
+				return nil, err
+			}
+			for id := uint32(0); id < n; id++ {
+				bits, err := readU64(r)
+				if err != nil {
+					return nil, err
+				}
+				v := math.Float64frombits(bits)
+				if math.IsNaN(v) {
+					continue // NaN marks an unset property value
+				}
+				member := h.Dict(int(depth)).Name(int32(id))
+				if err := h.SetProperty(levels[depth], member, pname, v); err != nil {
+					return nil, err
+				}
+			}
+		}
+		hiers[i] = h
+	}
+	nm, err := readU32(r)
+	if err != nil {
+		return nil, err
+	}
+	if nm == 0 || nm > 1024 {
+		return nil, fmt.Errorf("schemaio: implausible measure count %d", nm)
+	}
+	measures := make([]mdm.Measure, nm)
+	for i := range measures {
+		mn, err := readString(r)
+		if err != nil {
+			return nil, err
+		}
+		op, err := readU32(r)
+		if err != nil {
+			return nil, err
+		}
+		if op > uint32(mdm.AggCount) {
+			return nil, fmt.Errorf("schemaio: unknown aggregation operator %d", op)
+		}
+		measures[i] = mdm.Measure{Name: mn, Op: mdm.AggOp(op)}
+	}
+	return mdm.NewSchema(name, hiers, measures), nil
+}
+
+// errWriter performs unchecked writes and keeps the first error, the
+// bufio idiom without requiring the caller's writer to be a *bufio.Writer.
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (ew *errWriter) write(p []byte) {
+	if ew.err != nil {
+		return
+	}
+	_, ew.err = ew.w.Write(p)
+}
+
+func (ew *errWriter) writeU32(v uint32) {
+	var buf [4]byte
+	binary.LittleEndian.PutUint32(buf[:], v)
+	ew.write(buf[:])
+}
+
+func (ew *errWriter) writeU64(v uint64) {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], v)
+	ew.write(buf[:])
+}
+
+func (ew *errWriter) writeString(s string) {
+	ew.writeU32(uint32(len(s)))
+	if ew.err == nil {
+		_, ew.err = io.WriteString(ew.w, s)
+	}
+}
+
+func readU32(r io.Reader) (uint32, error) {
+	var buf [4]byte
+	if _, err := io.ReadFull(r, buf[:]); err != nil {
+		return 0, fmt.Errorf("schemaio: truncated schema: %w", err)
+	}
+	return binary.LittleEndian.Uint32(buf[:]), nil
+}
+
+func readU64(r io.Reader) (uint64, error) {
+	var buf [8]byte
+	if _, err := io.ReadFull(r, buf[:]); err != nil {
+		return 0, fmt.Errorf("schemaio: truncated schema: %w", err)
+	}
+	return binary.LittleEndian.Uint64(buf[:]), nil
+}
+
+func readString(r io.Reader) (string, error) {
+	n, err := readU32(r)
+	if err != nil {
+		return "", err
+	}
+	if n > 1<<20 {
+		return "", fmt.Errorf("schemaio: implausible string length %d", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return "", fmt.Errorf("schemaio: truncated string: %w", err)
+	}
+	return string(buf), nil
+}

@@ -366,6 +366,9 @@ type statsResponse struct {
 	// view (explicit and auto-admitted) with cells, bytes, and hit
 	// counts, plus the admission budget accounting.
 	ViewStats engine.ViewStats `json:"viewStats"`
+	// Storage describes each registered fact table's backend: resident
+	// or segment, with segment/WAL/compaction counters for the latter.
+	Storage []engine.FactStorage `json:"storage"`
 	// UptimeSeconds counts from server construction.
 	UptimeSeconds float64 `json:"uptimeSeconds"`
 	Goroutines    int     `json:"goroutines"`
@@ -383,6 +386,7 @@ func (s *Server) stats(w http.ResponseWriter, r *http.Request) {
 		Cubes:         s.session.Engine.Facts(),
 		Views:         s.session.Engine.Views(),
 		ViewStats:     s.session.ViewStats(),
+		Storage:       s.session.Engine.StorageStats(),
 		UptimeSeconds: time.Since(s.start).Seconds(),
 		Goroutines:    runtime.NumGoroutine(),
 		HeapBytes:     ms.HeapAlloc,

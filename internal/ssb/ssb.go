@@ -65,9 +65,27 @@ func geography(name, base, prefix string, n int, rng *rand.Rand) *mdm.Hierarchy 
 	return h
 }
 
-// Generate builds a deterministic SSB dataset at the given scale factor.
-// The same (sf, seed) pair always yields the same data.
-func Generate(sf float64, seed int64) *Dataset {
+// Generator produces the SSB row stream one row at a time, so callers
+// can spill rows to disk without ever materializing the fact table in
+// memory (ssbgen -out-dir). Constructing the generator builds the
+// hierarchies, schemas, and per-part price table; Next then yields
+// exactly Rows() fact rows. The (sf, seed) → row mapping is identical
+// to Generate's, which is implemented on top of it.
+type Generator struct {
+	Schema       *mdm.Schema
+	BudgetSchema *mdm.Schema
+	SF           float64
+
+	rng                          *rand.Rand
+	price                        []float64
+	nDates, nCust, nSupp, nParts int
+	rows, emitted                int
+	keys                         []int32
+	meas                         [3]float64
+}
+
+// NewGenerator builds the dimension data for a deterministic SSB stream.
+func NewGenerator(sf float64, seed int64) *Generator {
 	rng := rand.New(rand.NewSource(seed))
 
 	hDate := mdm.NewHierarchy("Date", "date", "month", "year")
@@ -105,38 +123,72 @@ func Generate(sf float64, seed int64) *Dataset {
 		{Name: "expectedRevenue", Op: mdm.AggSum},
 	})
 
-	n := Rows(sf)
-	fact := storage.NewFactTable(schema)
-	fact.Reserve(n)
-	budget := storage.NewFactTable(budgetSchema)
-	budget.Reserve(n)
-
-	nDates := hDate.Dict(0).Len()
-	nCust := hCustomer.Dict(0).Len()
-	nSupp := hSupplier.Dict(0).Len()
-
 	// Per-part base price, stable across the dataset.
 	price := make([]float64, nParts)
 	for i := range price {
 		price[i] = 900 + 1200*rng.Float64()
 	}
 
-	keys := make([]int32, 4)
+	return &Generator{
+		Schema: schema, BudgetSchema: budgetSchema, SF: sf,
+		rng: rng, price: price,
+		nDates: hDate.Dict(0).Len(), nCust: hCustomer.Dict(0).Len(),
+		nSupp: hSupplier.Dict(0).Len(), nParts: nParts,
+		rows: Rows(sf), keys: make([]int32, 4),
+	}
+}
+
+// Rows is the total number of fact rows the generator yields.
+func (g *Generator) Rows() int { return g.rows }
+
+// Next yields the next fact row: the four dimension keys, the LINEORDER
+// measures (quantity, revenue, supplycost), and the LINEORDER_BUDGET
+// measure. The returned slices are reused by the following call; copy
+// them if they must outlive it. Next panics past Rows() calls.
+func (g *Generator) Next() (keys []int32, meas []float64, budget float64) {
+	if g.emitted >= g.rows {
+		panic("ssb: Generator.Next called past Rows()")
+	}
+	g.emitted++
+	rng := g.rng
+	g.keys[0] = int32(rng.Intn(g.nDates))
+	g.keys[1] = int32(rng.Intn(g.nCust))
+	g.keys[2] = int32(rng.Intn(g.nSupp))
+	g.keys[3] = int32(rng.Intn(g.nParts))
+	qty := float64(1 + rng.Intn(50))
+	discount := float64(rng.Intn(11)) / 100
+	revenue := qty * g.price[g.keys[3]] * (1 - discount)
+	cost := revenue * (0.55 + 0.15*rng.Float64())
+	g.meas[0], g.meas[1], g.meas[2] = qty, revenue, cost
+	return g.keys, g.meas[:], revenue * (0.85 + 0.3*rng.Float64())
+}
+
+// Materialize drains a fresh generator into in-memory fact tables.
+func (g *Generator) Materialize() *Dataset {
+	if g.emitted != 0 {
+		panic("ssb: Materialize on a partially consumed Generator")
+	}
+	n := g.Rows()
+	fact := storage.NewFactTable(g.Schema)
+	fact.Reserve(n)
+	budget := storage.NewFactTable(g.BudgetSchema)
+	budget.Reserve(n)
+	var bval [1]float64
 	for r := 0; r < n; r++ {
-		keys[0] = int32(rng.Intn(nDates))
-		keys[1] = int32(rng.Intn(nCust))
-		keys[2] = int32(rng.Intn(nSupp))
-		keys[3] = int32(rng.Intn(nParts))
-		qty := float64(1 + rng.Intn(50))
-		discount := float64(rng.Intn(11)) / 100
-		revenue := qty * price[keys[3]] * (1 - discount)
-		cost := revenue * (0.55 + 0.15*rng.Float64())
-		fact.MustAppend(keys, []float64{qty, revenue, cost})
-		budget.MustAppend(keys, []float64{revenue * (0.85 + 0.3*rng.Float64())})
+		keys, meas, b := g.Next()
+		fact.MustAppend(keys, meas)
+		bval[0] = b
+		budget.MustAppend(keys, bval[:])
 	}
 	return &Dataset{
-		Schema: schema, Fact: fact,
-		Budget: budget, BudgetSchema: budgetSchema,
-		SF: sf,
+		Schema: g.Schema, Fact: fact,
+		Budget: budget, BudgetSchema: g.BudgetSchema,
+		SF: g.SF,
 	}
+}
+
+// Generate builds a deterministic SSB dataset at the given scale factor.
+// The same (sf, seed) pair always yields the same data.
+func Generate(sf float64, seed int64) *Dataset {
+	return NewGenerator(sf, seed).Materialize()
 }

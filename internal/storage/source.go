@@ -1,0 +1,147 @@
+// Scan contract between fact-table backends and the query engine. A
+// scan does not read columns through the FactTable directly; it asks for
+// a ScanSource — a sequence of blocks, each exposing plain columnar
+// slices. The resident backend serves one zero-copy block covering the
+// whole table; the segment backend (internal/colstore) serves one block
+// per on-disk segment, decoded on demand into caller-owned scratch, plus
+// a final block for the WAL tail — and may refuse to decode a block
+// whose zone maps prove no row can match the scan's predicates.
+package storage
+
+// LevelPred describes one scan predicate for zone-map pruning: the
+// accepted member ids at one level of one hierarchy. Pruning treats the
+// predicate as a necessary condition only — a backend may skip a block
+// when it can prove no row satisfies the predicate, and must serve the
+// block otherwise. Row-exact filtering stays with the engine.
+type LevelPred struct {
+	Hier    int
+	Level   int
+	Members []int32
+}
+
+// ColSet says which columns a scan will touch, so block decodes can
+// skip the rest. A nil slice means "all columns of that kind".
+type ColSet struct {
+	Keys []bool // per hierarchy
+	Meas []bool // per measure
+}
+
+// NeedKey reports whether hierarchy h's key column is needed.
+func (c ColSet) NeedKey(h int) bool { return c.Keys == nil || c.Keys[h] }
+
+// NeedMeas reports whether measure m's column is needed.
+func (c ColSet) NeedMeas(m int) bool { return c.Meas == nil || c.Meas[m] }
+
+// BlockCols is one block of fact data as plain columnar slices. Columns
+// the scan did not request may be nil. Slices are read-only and valid
+// until the next Block call on the same scratch (resident blocks alias
+// the table's own storage and stay valid for the source's lifetime).
+type BlockCols struct {
+	Keys [][]int32
+	Meas [][]float64
+	Rows int
+}
+
+// BlockScratch is per-worker reusable decode memory. Each concurrent
+// consumer of a ScanSource must use its own scratch; the returned
+// BlockCols alias its buffers.
+type BlockScratch struct {
+	Keys [][]int32
+	Meas [][]float64
+	// Buf stages compressed bytes for pread-backed readers.
+	Buf []byte
+}
+
+// KeyBuf returns scratch key column h with capacity for n rows.
+func (sc *BlockScratch) KeyBuf(h, cols, n int) []int32 {
+	if len(sc.Keys) < cols {
+		sc.Keys = append(sc.Keys, make([][]int32, cols-len(sc.Keys))...)
+	}
+	if cap(sc.Keys[h]) < n {
+		sc.Keys[h] = make([]int32, n)
+	}
+	sc.Keys[h] = sc.Keys[h][:n]
+	return sc.Keys[h]
+}
+
+// MeasBuf returns scratch measure column m with capacity for n rows.
+func (sc *BlockScratch) MeasBuf(m, cols, n int) []float64 {
+	if len(sc.Meas) < cols {
+		sc.Meas = append(sc.Meas, make([][]float64, cols-len(sc.Meas))...)
+	}
+	if cap(sc.Meas[m]) < n {
+		sc.Meas[m] = make([]float64, n)
+	}
+	sc.Meas[m] = sc.Meas[m][:n]
+	return sc.Meas[m]
+}
+
+// ScanSource iterates a fact table's data block by block. Blocks are
+// ordered: concatenating them in index order yields the table in append
+// order, which is what keeps serial scans bit-exact across backends.
+// Block may be called concurrently for different blocks as long as each
+// caller owns its scratch. Close releases backend resources (segment
+// references); callers must always Close, typically via defer.
+type ScanSource interface {
+	// Rows is the total logical row count across all blocks.
+	Rows() int
+	// Blocks is the number of blocks (pruned ones included).
+	Blocks() int
+	// BlockRows is the row count of block b without decoding it.
+	BlockRows(b int) int
+	// Block decodes block b into sc. ok=false means the block was
+	// pruned by zone maps (no row can match the scan's predicates).
+	Block(b int, sc *BlockScratch) (cols BlockCols, ok bool, err error)
+	Close()
+}
+
+// SegmentBackend is the disk-resident columnar backend of a FactTable,
+// implemented by internal/colstore.Store.
+type SegmentBackend interface {
+	// Rows is the total logical row count (segments + WAL tail).
+	Rows() int
+	// Append durably appends one row (WAL) and makes it visible to
+	// subsequent snapshots.
+	Append(keys []int32, vals []float64) error
+	// Snapshot captures a consistent view of the data for one scan.
+	Snapshot(need ColSet, preds []LevelPred) ScanSource
+	// Info describes the backend for stats endpoints.
+	Info() SegmentInfo
+}
+
+// SegmentInfo is a point-in-time description of a segment backend.
+type SegmentInfo struct {
+	// Segments is the number of on-disk segment files.
+	Segments int
+	// SegmentRows is the row count stored in segments.
+	SegmentRows int
+	// TailRows is the row count of the resident WAL tail.
+	TailRows int
+	// DiskBytes is the compressed on-disk size of all segments.
+	DiskBytes int64
+	// Compactions counts WAL folds and segment merges since open.
+	Compactions int64
+}
+
+// columnsSource is a single-block zero-copy source over resident
+// columns; it backs resident fact tables and the engine's scans over
+// materialized-view columns.
+type columnsSource struct {
+	keys [][]int32
+	meas [][]float64
+	rows int
+}
+
+func (s columnsSource) Rows() int         { return s.rows }
+func (s columnsSource) Blocks() int       { return 1 }
+func (s columnsSource) BlockRows(int) int { return s.rows }
+func (s columnsSource) Close()            {}
+func (s columnsSource) Block(b int, _ *BlockScratch) (BlockCols, bool, error) {
+	return BlockCols{Keys: s.keys, Meas: s.meas, Rows: s.rows}, true, nil
+}
+
+// ColumnsSource wraps plain in-memory columns as a single-block
+// ScanSource (zero-copy; the caller's slices are aliased).
+func ColumnsSource(keys [][]int32, meas [][]float64, rows int) ScanSource {
+	return columnsSource{keys: keys, meas: meas, rows: rows}
+}
