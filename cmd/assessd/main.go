@@ -23,6 +23,8 @@
 //	        [-dense-budget 1048576] [-morsel-size 65536]
 //	        [-cache on|off] [-cache-mb 64]
 //	        [-auto-views] [-view-mb 64]
+//	        [-batch-window 500us] [-admit-slots 0] [-max-queue 256]
+//	        [-latency-budget 2s] [-tenant-header X-Tenant]
 //	        [-debug-addr :6060] [-slow-query-ms 500] [-slow-query-log path]
 package main
 
@@ -45,6 +47,7 @@ import (
 	"github.com/assess-olap/assess/internal/engine"
 	"github.com/assess-olap/assess/internal/obsv"
 	"github.com/assess-olap/assess/internal/persist"
+	"github.com/assess-olap/assess/internal/sched"
 	"github.com/assess-olap/assess/internal/server"
 )
 
@@ -66,6 +69,16 @@ func main() {
 		cacheMB   = flag.Int("cache-mb", 64, "query-result cache budget in MiB")
 		autoViews = flag.Bool("auto-views", false, "adaptively materialize hot group-by sets as views")
 		viewMB    = flag.Int("view-mb", 64, "auto-materialized view budget in MiB")
+		batchWin = flag.Duration("batch-window", 0,
+			"shared-scan batching window (e.g. 500us); concurrent queries against one cube coalesce into a single scan; 0 disables")
+		admitSlots = flag.Int("admit-slots", 0,
+			"admission-control execution slots (0 = GOMAXPROCS; admission enabled when -max-queue or -latency-budget is set)")
+		maxQueue = flag.Int("max-queue", 0,
+			"admission queue depth before shedding with 429 (0 disables admission control unless -latency-budget is set)")
+		latBudget = flag.Duration("latency-budget", 0,
+			"shed load with 429 when the p99 completion estimate exceeds this budget (0 disables)")
+		tenantHdr = flag.String("tenant-header", server.DefaultTenantHeader,
+			"request header naming the tenant for fair admission queuing")
 		debugAddr = flag.String("debug-addr", "", "debug listener (pprof, expvar, metrics); empty disables")
 		slowMS    = flag.Int("slow-query-ms", 500, "slow-query log threshold in ms (0 disables)")
 		slowPath  = flag.String("slow-query-log", "", "slow-query log file (default stderr)")
@@ -94,6 +107,9 @@ func main() {
 	if *autoViews {
 		session.EnableAutoViews(int64(*viewMB) << 20)
 	}
+	if *batchWin > 0 {
+		session.EnableSharedScans(*batchWin)
+	}
 
 	slow, err := openSlowLog(*slowPath, time.Duration(*slowMS)*time.Millisecond)
 	if err != nil {
@@ -101,10 +117,15 @@ func main() {
 	}
 	defer slow.Close()
 
-	srv := server.New(session,
+	opts := []server.Option{
 		server.WithLogger(logger),
 		server.WithSlowLog(slow),
-	)
+	}
+	if *maxQueue > 0 || *latBudget > 0 {
+		adm := sched.NewAdmission(*admitSlots, *maxQueue, *latBudget)
+		opts = append(opts, server.WithAdmission(adm, *tenantHdr))
+	}
+	srv := server.New(session, opts...)
 
 	// Serve until SIGINT/SIGTERM, then drain in-flight requests for up
 	// to 5 s, close the debug listener, and flush the slow-query log.

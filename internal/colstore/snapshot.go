@@ -74,6 +74,16 @@ func (sn *snapshot) Block(b int, sc *storage.BlockScratch) (storage.BlockCols, b
 	return storage.BlockCols{Keys: sn.tailKeys, Meas: sn.tailMeas, Rows: sn.tailRows}, true, nil
 }
 
+// PrunedFor implements storage.PruneProber: zone maps of segment blocks
+// answer arbitrary predicate sets; the WAL tail has no zone maps and is
+// never pruned.
+func (sn *snapshot) PrunedFor(b int, preds []storage.LevelPred) bool {
+	if b < len(sn.segs) {
+		return sn.segs[b].foot.prunedBy(preds)
+	}
+	return false
+}
+
 func (sn *snapshot) Close() {
 	for _, s := range sn.segs {
 		s.release()

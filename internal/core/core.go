@@ -23,6 +23,7 @@ import (
 	"github.com/assess-olap/assess/internal/parser"
 	"github.com/assess-olap/assess/internal/plan"
 	"github.com/assess-olap/assess/internal/qcache"
+	"github.com/assess-olap/assess/internal/sched"
 	"github.com/assess-olap/assess/internal/semantic"
 	"github.com/assess-olap/assess/internal/storage"
 )
@@ -72,6 +73,9 @@ type Session struct {
 	// regGen counts registry mutations (functions, labelers); folded into
 	// the cache generation so redefinitions invalidate cached results.
 	regGen atomic.Uint64
+	// batcher, when non-nil, coalesces concurrent fact scans into shared
+	// multi-query passes. Enable with EnableSharedScans.
+	batcher *sched.Batcher
 }
 
 // NewSession returns an empty session with the default library functions
@@ -95,6 +99,26 @@ func (s *Session) CacheStats() (stats qcache.Stats, ok bool) {
 		return qcache.Stats{}, false
 	}
 	return s.cache.Stats(), true
+}
+
+// EnableSharedScans installs the scan batcher: fact scans arriving
+// within the given window (<= 0 selects the sched default) are batched
+// into one shared multi-query pass. Results are bit-identical to
+// unbatched execution; each scan pays at most one window of added
+// latency for the chance to share the pass. Call before serving
+// traffic, like the other engine knobs.
+func (s *Session) EnableSharedScans(window time.Duration) {
+	s.batcher = sched.NewBatcher(s.Engine, window)
+	s.Engine.SetScanBatcher(s.batcher)
+}
+
+// BatcherStats snapshots the shared-scan batcher counters; ok is false
+// when shared scans are not enabled.
+func (s *Session) BatcherStats() (stats sched.BatcherStats, ok bool) {
+	if s.batcher == nil {
+		return sched.BatcherStats{}, false
+	}
+	return s.batcher.Stats(), true
 }
 
 // EnableAutoViews turns on the engine's adaptive view admission: hot
@@ -407,7 +431,7 @@ func (s *Session) QueryContext(ctx context.Context, stmt string) (*QueryResult, 
 	start := time.Now()
 	ctx, sp = obsv.StartSpan(ctx, "execute")
 	_, scan := obsv.StartSpan(ctx, "engine.scan")
-	c, err := s.Engine.Get(q)
+	c, err := s.Engine.GetContext(ctx, q)
 	if err != nil {
 		scan.End()
 		sp.End()

@@ -14,6 +14,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -82,7 +83,23 @@ type Engine struct {
 	// with the fact tables' append versions it forms the monotonic
 	// generation that invalidates query-result cache entries.
 	gen atomic.Uint64
+	// batcher, when set, intercepts fact scans so concurrent queries can
+	// share one pass (see SetScanBatcher and SharedScan in shared.go).
+	batcher ScanBatcher
 }
+
+// ScanBatcher coalesces concurrently-arriving fact scans into shared
+// passes; internal/sched implements it on top of Engine.SharedScan.
+// Scan must return exactly the cube the engine's own scan for (q, ops,
+// names) would produce. Only query-path scans are routed through the
+// batcher — view materialization keeps its direct scan.
+type ScanBatcher interface {
+	Scan(ctx context.Context, q Query, ops []mdm.AggOp, names []string) (*cube.Cube, error)
+}
+
+// SetScanBatcher installs (or, with nil, removes) the scan batcher.
+// Like the other engine knobs it must be set before queries start.
+func (e *Engine) SetScanBatcher(b ScanBatcher) { e.batcher = b }
 
 type rollupKey struct {
 	fact     string
@@ -164,7 +181,7 @@ type aggState struct {
 // navigator), otherwise by a fact-table scan. Lattice misses feed the
 // adaptive admission tally; a miss that earns admission is answered from
 // the freshly admitted view.
-func (e *Engine) aggregate(q Query) (*cube.Cube, error) {
+func (e *Engine) aggregate(ctx context.Context, q Query) (*cube.Cube, error) {
 	v, exact := e.lookupView(q)
 	if v == nil {
 		mViewMiss.Inc()
@@ -181,14 +198,15 @@ func (e *Engine) aggregate(q Query) (*cube.Cube, error) {
 		mViewRollup.Inc()
 		return e.rollupFromView(e.facts[q.Fact], v, q)
 	}
-	return e.scanAggregate(q)
+	return e.scanAggregate(ctx, q)
 }
 
 // scanAggregate scans the fact table (serially, or partitioned across
 // workers when parallelism is enabled), filters rows through the
 // predicates, and aggregates the requested measures by the group-by
-// coordinates.
-func (e *Engine) scanAggregate(q Query) (*cube.Cube, error) {
+// coordinates. With a scan batcher installed the scan is submitted there
+// instead, so concurrent queries over the same fact share one pass.
+func (e *Engine) scanAggregate(ctx context.Context, q Query) (*cube.Cube, error) {
 	f, ok := e.facts[q.Fact]
 	if !ok {
 		return nil, fmt.Errorf("engine: unknown cube %s", q.Fact)
@@ -205,6 +223,12 @@ func (e *Engine) scanAggregate(q Query) (*cube.Cube, error) {
 		ops[j] = s.Measures[mi].Op
 		names[j] = s.Measures[mi].Name
 	}
+	if b := e.batcher; b != nil {
+		if ctx == nil {
+			ctx = context.Background()
+		}
+		return b.Scan(ctx, q, ops, names)
+	}
 	return e.scanAggregateOps(q, ops, names)
 }
 
@@ -218,21 +242,42 @@ func (e *Engine) scanAggregateOps(q Query, ops []mdm.AggOp, names []string) (*cu
 	if !ok {
 		return nil, fmt.Errorf("engine: unknown cube %s", q.Fact)
 	}
+	prep, need, preds, err := e.buildScanPrep(f, q, ops)
+	if err != nil {
+		return nil, err
+	}
+	src := f.ScanSource(need, preds)
+	defer src.Close()
+	prep.src = src
+	prep.rows = src.Rows()
+	mRowsScanned.Add(int64(prep.rows))
+	out := cube.New(f.Schema, q.Group, names...)
+	return e.runPrepared(prep, out)
+}
+
+// buildScanPrep derives everything a scan needs before touching data:
+// predicate acceptance vectors, group-level roll-up maps and
+// cardinalities, the column set the scan will read, and the predicate
+// forms usable for zone-map pruning. The returned preparedScan has no
+// source attached yet — the caller binds src/rows, which is what lets a
+// shared scan (shared.go) prepare N queries against one source.
+func (e *Engine) buildScanPrep(f *storage.FactTable, q Query, ops []mdm.AggOp) (*preparedScan, storage.ColSet, []storage.LevelPred, error) {
+	var none storage.ColSet
 	s := f.Schema
 	for _, mi := range q.Measures {
 		if mi < 0 || mi >= f.NumMeasures() {
-			return nil, fmt.Errorf("engine: measure index %d out of range for %s", mi, q.Fact)
+			return nil, none, nil, fmt.Errorf("engine: measure index %d out of range for %s", mi, q.Fact)
 		}
 	}
 	// Per-hierarchy acceptance vectors over base member ids.
 	accepts := make([][]bool, len(s.Hiers))
 	for _, p := range q.Preds {
 		if p.Level.Hier < 0 || p.Level.Hier >= len(s.Hiers) {
-			return nil, fmt.Errorf("engine: predicate hierarchy out of range for %s", q.Fact)
+			return nil, none, nil, fmt.Errorf("engine: predicate hierarchy out of range for %s", q.Fact)
 		}
 		h := s.Hiers[p.Level.Hier]
 		if p.Level.Level < 0 || p.Level.Level >= h.Depth() {
-			return nil, fmt.Errorf("engine: predicate level out of range for hierarchy %s", h.Name())
+			return nil, none, nil, fmt.Errorf("engine: predicate level out of range for hierarchy %s", h.Name())
 		}
 		want := make(map[int32]bool, len(p.Members))
 		for _, m := range p.Members {
@@ -260,7 +305,7 @@ func (e *Engine) scanAggregateOps(q Query, ops []mdm.AggOp, names []string) (*cu
 	cards := make([]int, len(q.Group))
 	for gi, ref := range q.Group {
 		if ref.Hier < 0 || ref.Hier >= len(s.Hiers) {
-			return nil, fmt.Errorf("engine: group-by hierarchy out of range for %s", q.Fact)
+			return nil, none, nil, fmt.Errorf("engine: group-by hierarchy out of range for %s", q.Fact)
 		}
 		gmaps[gi] = e.rollupMap(q.Fact, f, ref)
 		cards[gi] = s.Dict(ref).Len()
@@ -282,21 +327,21 @@ func (e *Engine) scanAggregateOps(q Query, ops []mdm.AggOp, names []string) (*cu
 		needKeys[p.Level.Hier] = true
 		preds[i] = storage.LevelPred{Hier: p.Level.Hier, Level: p.Level.Level, Members: p.Members}
 	}
-	src := f.ScanSource(storage.ColSet{Keys: needKeys, Meas: needMeas}, preds)
-	defer src.Close()
 	prep := &preparedScan{
 		q:       q,
-		src:     src,
-		rows:    src.Rows(),
 		accepts: accepts,
 		gmaps:   gmaps,
 		cards:   cards,
 		ops:     ops,
 	}
-	mRowsScanned.Add(int64(prep.rows))
+	return prep, storage.ColSet{Keys: needKeys, Meas: needMeas}, preds, nil
+}
+
+// runPrepared drives a source-bound prepared scan through the dense or
+// hash kernels, serial or morsel-parallel, and materializes out.
+func (e *Engine) runPrepared(prep *preparedScan, out *cube.Cube) (*cube.Cube, error) {
 	workers := scanWorkers(e.workers, prep.rows, e.parallelMinRows())
 	morsel := e.effectiveMorselSize()
-	out := cube.New(s, q.Group, names...)
 	if l := prep.denseLayout(e.denseKeyBudget()); l != nil {
 		mKernelDense.Inc()
 		var st *denseState
@@ -366,7 +411,14 @@ func (e *Engine) StorageStats() []FactStorage {
 // Get evaluates a cube query and transfers the derived cube to the client
 // (the only operation pushed to SQL in a Naive Plan).
 func (e *Engine) Get(q Query) (*cube.Cube, error) {
-	c, err := e.aggregate(q)
+	return e.GetContext(context.Background(), q)
+}
+
+// GetContext is Get with a caller context: with a scan batcher installed
+// the context joins (and can detach from) a shared scan; without one it
+// only matters to the batcher, so the plain variants use Background.
+func (e *Engine) GetContext(ctx context.Context, q Query) (*cube.Cube, error) {
+	c, err := e.aggregate(ctx, q)
 	if err != nil {
 		return nil, err
 	}
@@ -378,11 +430,16 @@ func (e *Engine) Get(q Query) (*cube.Cube, error) {
 // subexpression C ⋈ B pushed to SQL by a Join-Optimized Plan (Listing 4).
 // The right cube's measures are prefixed with alias.
 func (e *Engine) GetJoined(qc, qb Query, on []mdm.LevelRef, alias string, outer bool) (*cube.Cube, error) {
-	c, err := e.aggregate(qc)
+	return e.GetJoinedContext(context.Background(), qc, qb, on, alias, outer)
+}
+
+// GetJoinedContext is GetJoined with a caller context (see GetContext).
+func (e *Engine) GetJoinedContext(ctx context.Context, qc, qb Query, on []mdm.LevelRef, alias string, outer bool) (*cube.Cube, error) {
+	c, err := e.aggregate(ctx, qc)
 	if err != nil {
 		return nil, err
 	}
-	b, err := e.aggregate(qb)
+	b, err := e.aggregate(ctx, qb)
 	if err != nil {
 		return nil, err
 	}
@@ -400,6 +457,11 @@ func (e *Engine) GetJoined(qc, qb Query, on []mdm.LevelRef, alias string, outer 
 // true, cells missing any neighbor slice are filtered out (the "is not
 // null" clauses); the assess* variant keeps them with nulls.
 func (e *Engine) GetPivoted(q Query, level mdm.LevelRef, ref int32, neighbors []int32, strict bool, rename func(measure, member string) string) (*cube.Cube, error) {
+	return e.GetPivotedContext(context.Background(), q, level, ref, neighbors, strict, rename)
+}
+
+// GetPivotedContext is GetPivoted with a caller context (see GetContext).
+func (e *Engine) GetPivotedContext(ctx context.Context, q Query, level mdm.LevelRef, ref int32, neighbors []int32, strict bool, rename func(measure, member string) string) (*cube.Cube, error) {
 	// When a materialized view matches the query's group-by set exactly,
 	// the get and the pivot are evaluated in one pipelined pass, as a
 	// DBMS would (Listing 5). Coarser lattice covers still help — the
@@ -412,7 +474,7 @@ func (e *Engine) GetPivoted(q Query, level mdm.LevelRef, ref int32, neighbors []
 		}
 		return transfer(p)
 	}
-	c, err := e.aggregate(q)
+	c, err := e.aggregate(ctx, q)
 	if err != nil {
 		return nil, err
 	}
@@ -428,11 +490,17 @@ func (e *Engine) GetPivoted(q Query, level mdm.LevelRef, ref int32, neighbors []
 // benchmark, Example 5.3): one output row per (target cell, slice member)
 // pair, transferred once.
 func (e *Engine) GetMultiplied(qc, qb Query, level mdm.LevelRef, members []int32, alias string, outer bool) (*cube.Cube, error) {
-	c, err := e.aggregate(qc)
+	return e.GetMultipliedContext(context.Background(), qc, qb, level, members, alias, outer)
+}
+
+// GetMultipliedContext is GetMultiplied with a caller context (see
+// GetContext).
+func (e *Engine) GetMultipliedContext(ctx context.Context, qc, qb Query, level mdm.LevelRef, members []int32, alias string, outer bool) (*cube.Cube, error) {
+	c, err := e.aggregate(ctx, qc)
 	if err != nil {
 		return nil, err
 	}
-	b, err := e.aggregate(qb)
+	b, err := e.aggregate(ctx, qb)
 	if err != nil {
 		return nil, err
 	}
@@ -449,11 +517,17 @@ func (e *Engine) GetMultiplied(qc, qb Query, level mdm.LevelRef, members []int32
 // benchmark cell its coordinate rolls up to. Only the joined rows cross
 // to the client (the JOP form of an ancestor benchmark).
 func (e *Engine) GetRollupJoined(qc, qb Query, alias string, outer bool) (*cube.Cube, error) {
-	c, err := e.aggregate(qc)
+	return e.GetRollupJoinedContext(context.Background(), qc, qb, alias, outer)
+}
+
+// GetRollupJoinedContext is GetRollupJoined with a caller context (see
+// GetContext).
+func (e *Engine) GetRollupJoinedContext(ctx context.Context, qc, qb Query, alias string, outer bool) (*cube.Cube, error) {
+	c, err := e.aggregate(ctx, qc)
 	if err != nil {
 		return nil, err
 	}
-	b, err := e.aggregate(qb)
+	b, err := e.aggregate(ctx, qb)
 	if err != nil {
 		return nil, err
 	}
@@ -467,7 +541,7 @@ func (e *Engine) GetRollupJoined(qc, qb Query, alias string, outer bool) (*cube.
 // Cardinality returns |C| for a cube query without transferring the
 // result (used by the Table 2 experiment).
 func (e *Engine) Cardinality(q Query) (int, error) {
-	c, err := e.aggregate(q)
+	c, err := e.aggregate(context.Background(), q)
 	if err != nil {
 		return 0, err
 	}

@@ -107,9 +107,14 @@ func (p *preparedScan) denseLayout(budget int) *denseLayout {
 // denseState is one worker's accumulator arrays over the key space. All
 // measures of a cell see the same accepted rows, so one row count per
 // slot serves every requested measure (and decides slot occupancy).
+// Scans with no count- or avg-valued measure don't need the count at
+// all: a one-byte seen flag per slot tracks occupancy instead, which
+// keeps the occupancy array 8x smaller and turns the per-row
+// count increment into a mostly-not-taken branch.
 type denseState struct {
 	vals [][]float64 // per requested measure; nil for count measures
-	cnt  []int64     // accepted rows per slot
+	cnt  []int64     // accepted rows per slot; nil when seen suffices
+	seen []bool      // slot occupancy when no measure needs a count
 	// touched records slots in first-seen order on serial scans, so the
 	// dense path emits cells in exactly the order the hash path would.
 	// Parallel scans leave it nil and emit in ascending key order.
@@ -117,7 +122,18 @@ type denseState struct {
 }
 
 func (p *preparedScan) newDenseState(l *denseLayout, trackOrder bool) *denseState {
-	st := &denseState{vals: make([][]float64, len(p.q.Measures)), cnt: make([]int64, l.slots)}
+	st := &denseState{vals: make([][]float64, len(p.q.Measures))}
+	needCnt := false
+	for j := range p.q.Measures {
+		if p.ops[j] == mdm.AggCount || p.ops[j] == mdm.AggAvg {
+			needCnt = true
+		}
+	}
+	if needCnt {
+		st.cnt = make([]int64, l.slots)
+	} else {
+		st.seen = make([]bool, l.slots)
+	}
 	for j := range p.q.Measures {
 		switch p.ops[j] {
 		case mdm.AggCount:
@@ -151,6 +167,9 @@ type morselScratch struct {
 	dk    []int
 	block storage.BlockScratch
 	coord mdm.Coordinate
+	// lv holds a shared scan's pooled level-code columns for the current
+	// morsel (see levelShare in shared.go).
+	lv [][]int32
 }
 
 // hasPreds reports whether any hierarchy carries an acceptance vector.
@@ -219,14 +238,26 @@ func (p *preparedScan) denseMorsel(st *denseState, l *denseLayout, sc *morselScr
 		sc.dk = make([]int, n)
 	}
 	dk := sc.dk[:n]
-	for i := range dk {
-		dk[i] = 0
+	if len(p.q.Group) == 0 {
+		for i := range dk {
+			dk[i] = 0
+		}
 	}
+	// The first group position initializes dk (no clear pass); later
+	// positions accumulate into it.
 	for gi, ref := range p.q.Group {
 		gm := p.gmaps[gi]
 		keys := cols.Keys[ref.Hier]
 		stride := l.stride[gi]
 		switch {
+		case sel == nil && gi == 0 && stride == 1:
+			for i := range dk {
+				dk[i] = int(gm[keys[lo+i]])
+			}
+		case sel == nil && gi == 0:
+			for i := range dk {
+				dk[i] = int(gm[keys[lo+i]]) * stride
+			}
 		case sel == nil && stride == 1:
 			for i := range dk {
 				dk[i] += int(gm[keys[lo+i]])
@@ -234,6 +265,14 @@ func (p *preparedScan) denseMorsel(st *denseState, l *denseLayout, sc *morselScr
 		case sel == nil:
 			for i := range dk {
 				dk[i] += int(gm[keys[lo+i]]) * stride
+			}
+		case gi == 0 && stride == 1:
+			for i, r := range sel {
+				dk[i] = int(gm[keys[r]])
+			}
+		case gi == 0:
+			for i, r := range sel {
+				dk[i] = int(gm[keys[r]]) * stride
 			}
 		case stride == 1:
 			for i, r := range sel {
@@ -245,22 +284,240 @@ func (p *preparedScan) denseMorsel(st *denseState, l *denseLayout, sc *morselScr
 			}
 		}
 	}
-	if st.touched != nil {
-		for _, k := range dk {
-			if st.cnt[k] == 0 {
-				st.touched = append(st.touched, k)
-			}
-			st.cnt[k]++
+	p.denseAccum(st, dk, sel, cols, lo)
+}
+
+// denseMorselShared is denseMorsel for an unpredicated query inside a
+// shared scan: group positions with a pooled level column (share[gi] >= 0
+// indexes lv) compose their dense keys from the pre-mapped codes instead
+// of re-walking the query's own rollup map row by row.
+func (p *preparedScan) denseMorselShared(st *denseState, l *denseLayout, sc *morselScratch, cols storage.BlockCols, lo, hi int, lv [][]int32, share []int) {
+	n := hi - lo
+	if cap(sc.dk) < n {
+		sc.dk = make([]int, n)
+	}
+	dk := sc.dk[:n]
+	if len(p.q.Group) == 0 {
+		for i := range dk {
+			dk[i] = 0
 		}
-	} else {
-		for _, k := range dk {
-			st.cnt[k]++
+	}
+	// The first group position initializes dk (no clear pass); later
+	// positions accumulate into it.
+	for gi, ref := range p.q.Group {
+		stride := l.stride[gi]
+		if si := share[gi]; si >= 0 {
+			col := lv[si]
+			switch {
+			case gi == 0 && stride == 1:
+				for i := range dk {
+					dk[i] = int(col[i])
+				}
+			case gi == 0:
+				for i := range dk {
+					dk[i] = int(col[i]) * stride
+				}
+			case stride == 1:
+				for i := range dk {
+					dk[i] += int(col[i])
+				}
+			default:
+				for i := range dk {
+					dk[i] += int(col[i]) * stride
+				}
+			}
+			continue
+		}
+		gm := p.gmaps[gi]
+		keys := cols.Keys[ref.Hier]
+		switch {
+		case gi == 0 && stride == 1:
+			for i := range dk {
+				dk[i] = int(gm[keys[lo+i]])
+			}
+		case gi == 0:
+			for i := range dk {
+				dk[i] = int(gm[keys[lo+i]]) * stride
+			}
+		case stride == 1:
+			for i := range dk {
+				dk[i] += int(gm[keys[lo+i]])
+			}
+		default:
+			for i := range dk {
+				dk[i] += int(gm[keys[lo+i]]) * stride
+			}
+		}
+	}
+	p.denseAccum(st, dk, nil, cols, lo)
+}
+
+// denseAccum folds one morsel's composite keys into the accumulators:
+// slot row counts first, then the measure columns. Two or three
+// sum-valued measures (sum/avg) are accumulated in one fused pass — the
+// composite key loads once per row however many measures ride the scan —
+// which changes nothing about per-slot addition order, so results stay
+// bit-identical to the per-measure loops.
+func (p *preparedScan) denseAccum(st *denseState, dk []int, sel []int, cols storage.BlockCols, lo int) {
+	var a0, a1, a2, c0, c1, c2 []float64
+	ns := 0
+	fused := true
+	for j, mi := range p.q.Measures {
+		if p.ops[j] != mdm.AggSum && p.ops[j] != mdm.AggAvg {
+			continue
+		}
+		switch ns {
+		case 0:
+			a0, c0 = st.vals[j], cols.Meas[mi]
+		case 1:
+			a1, c1 = st.vals[j], cols.Meas[mi]
+		case 2:
+			a2, c2 = st.vals[j], cols.Meas[mi]
+		default:
+			fused = false
+		}
+		ns++
+	}
+	fused = fused && ns >= 2
+	switch {
+	case !fused && st.cnt != nil:
+		if st.touched != nil {
+			for _, k := range dk {
+				if st.cnt[k] == 0 {
+					st.touched = append(st.touched, k)
+				}
+				st.cnt[k]++
+			}
+		} else {
+			for _, k := range dk {
+				st.cnt[k]++
+			}
+		}
+	case !fused:
+		seen := st.seen
+		if st.touched != nil {
+			for _, k := range dk {
+				if !seen[k] {
+					seen[k] = true
+					st.touched = append(st.touched, k)
+				}
+			}
+		} else {
+			for _, k := range dk {
+				if !seen[k] {
+					seen[k] = true
+				}
+			}
+		}
+	case st.cnt != nil:
+		// Occupancy rides the fused pass: one composite-key load per row
+		// covers the row count and every sum column.
+		cnt := st.cnt
+		switch {
+		case sel == nil && ns == 3 && st.touched == nil:
+			for i, k := range dk {
+				r := lo + i
+				cnt[k]++
+				a0[k] += c0[r]
+				a1[k] += c1[r]
+				a2[k] += c2[r]
+			}
+		case sel == nil && st.touched == nil:
+			for i, k := range dk {
+				r := lo + i
+				cnt[k]++
+				a0[k] += c0[r]
+				a1[k] += c1[r]
+			}
+		case sel == nil && ns == 3:
+			for i, k := range dk {
+				r := lo + i
+				if cnt[k] == 0 {
+					st.touched = append(st.touched, k)
+				}
+				cnt[k]++
+				a0[k] += c0[r]
+				a1[k] += c1[r]
+				a2[k] += c2[r]
+			}
+		default:
+			for i, k := range dk {
+				r := lo + i
+				if sel != nil {
+					r = sel[i]
+				}
+				if st.touched != nil && cnt[k] == 0 {
+					st.touched = append(st.touched, k)
+				}
+				cnt[k]++
+				a0[k] += c0[r]
+				a1[k] += c1[r]
+				if ns == 3 {
+					a2[k] += c2[r]
+				}
+			}
+		}
+	default:
+		seen := st.seen
+		switch {
+		case sel == nil && ns == 3 && st.touched == nil:
+			for i, k := range dk {
+				r := lo + i
+				if !seen[k] {
+					seen[k] = true
+				}
+				a0[k] += c0[r]
+				a1[k] += c1[r]
+				a2[k] += c2[r]
+			}
+		case sel == nil && st.touched == nil:
+			for i, k := range dk {
+				r := lo + i
+				if !seen[k] {
+					seen[k] = true
+				}
+				a0[k] += c0[r]
+				a1[k] += c1[r]
+			}
+		case sel == nil && ns == 3:
+			for i, k := range dk {
+				r := lo + i
+				if !seen[k] {
+					seen[k] = true
+					st.touched = append(st.touched, k)
+				}
+				a0[k] += c0[r]
+				a1[k] += c1[r]
+				a2[k] += c2[r]
+			}
+		default:
+			for i, k := range dk {
+				r := lo + i
+				if sel != nil {
+					r = sel[i]
+				}
+				if !seen[k] {
+					seen[k] = true
+					if st.touched != nil {
+						st.touched = append(st.touched, k)
+					}
+				}
+				a0[k] += c0[r]
+				a1[k] += c1[r]
+				if ns == 3 {
+					a2[k] += c2[r]
+				}
+			}
 		}
 	}
 	for j, mi := range p.q.Measures {
+		op := p.ops[j]
+		if fused && (op == mdm.AggSum || op == mdm.AggAvg) {
+			continue
+		}
 		col := cols.Meas[mi]
 		acc := st.vals[j]
-		switch p.ops[j] {
+		switch op {
 		case mdm.AggSum, mdm.AggAvg:
 			if sel == nil {
 				for i, k := range dk {
@@ -299,8 +556,16 @@ func (p *preparedScan) denseMorsel(st *denseState, l *denseLayout, sc *morselScr
 // and max for those operators; untouched slots hold the operator's
 // identity, so merging them is a no-op).
 func (p *preparedScan) mergeDense(dst, src *denseState) {
-	for s, n := range src.cnt {
-		dst.cnt[s] += n
+	if dst.cnt != nil {
+		for s, n := range src.cnt {
+			dst.cnt[s] += n
+		}
+	} else {
+		for s, v := range src.seen {
+			if v {
+				dst.seen[s] = true
+			}
+		}
 	}
 	for j := range p.q.Measures {
 		a, b := dst.vals[j], src.vals[j]
@@ -353,8 +618,19 @@ func (p *preparedScan) finalizeDense(out *cube.Cube, l *denseLayout, st *denseSt
 		}
 		return out, nil
 	}
-	for slot, n := range st.cnt {
-		if n == 0 {
+	if st.cnt != nil {
+		for slot, n := range st.cnt {
+			if n == 0 {
+				continue
+			}
+			if err := emit(slot); err != nil {
+				return nil, err
+			}
+		}
+		return out, nil
+	}
+	for slot, ok := range st.seen {
+		if !ok {
 			continue
 		}
 		if err := emit(slot); err != nil {

@@ -20,6 +20,17 @@ var (
 		"Fact-scan aggregation kernel selections by mode.", "mode", "hash")
 	mMorsels = obsv.Default.Counter("assess_engine_morsels_total",
 		"Morsels processed by morsel-driven fact scans.")
+	// Shared-scan metrics: one "scan" is one multi-query pass; queries
+	// counts the attached requests, skipped the blocks no attached query
+	// needed decoded, detached the requests that left mid-scan.
+	mSharedScans = obsv.Default.Counter("assess_engine_shared_scans_total",
+		"Multi-query shared passes executed (batches of 2+ queries).")
+	mSharedQueries = obsv.Default.Counter("assess_engine_shared_queries_total",
+		"Queries answered by multi-query shared passes.")
+	mSharedBlocksSkipped = obsv.Default.Counter("assess_engine_shared_blocks_skipped_total",
+		"Blocks skipped by a shared scan because every attached query pruned them.")
+	mSharedDetached = obsv.Default.Counter("assess_engine_shared_detached_total",
+		"Requests that detached from a shared scan on context cancellation.")
 	mTransferBytes = obsv.Default.Counter("assess_engine_transfer_bytes_total",
 		"Bytes crossing the engine-to-client cursor boundary.")
 	mTransferCells = obsv.Default.Counter("assess_engine_transfer_cells_total",

@@ -151,6 +151,11 @@ func RunContext(ctx context.Context, e *engine.Engine, p *plan.Plan) (*Result, e
 	stats := make([]OpStat, 0, len(p.Ops))
 	start := time.Now()
 	for i := range p.Ops {
+		// A caller that gave up (client disconnect, shared-scan detach on
+		// an earlier op) stops the plan between operations.
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		op := &p.Ops[i]
 		_, sp := obsv.StartSpan(ctx, opSpanName(op.Kind))
 		if sp != nil { // guard so the disabled path skips the lookups too
@@ -163,7 +168,7 @@ func RunContext(ctx context.Context, e *engine.Engine, p *plan.Plan) (*Result, e
 			}
 		}
 		t0 := time.Now()
-		err := runOp(e, p, op, cubes)
+		err := runOp(ctx, e, p, op, cubes)
 		d := time.Since(t0)
 		if err != nil {
 			sp.End()
@@ -201,9 +206,9 @@ func (r *Result) ExplainAnalyze() string {
 	return sb.String()
 }
 
-func runOp(e *engine.Engine, p *plan.Plan, op *plan.Op, ctx map[string]*cube.Cube) error {
+func runOp(ctx context.Context, e *engine.Engine, p *plan.Plan, op *plan.Op, cubes map[string]*cube.Cube) error {
 	src := func(name string) (*cube.Cube, error) {
-		c, ok := ctx[name]
+		c, ok := cubes[name]
 		if !ok {
 			return nil, fmt.Errorf("unknown intermediate cube %q", name)
 		}
@@ -211,35 +216,35 @@ func runOp(e *engine.Engine, p *plan.Plan, op *plan.Op, ctx map[string]*cube.Cub
 	}
 	switch op.Kind {
 	case plan.OpGet:
-		c, err := e.Get(op.Query)
+		c, err := e.GetContext(ctx, op.Query)
 		if err != nil {
 			return err
 		}
-		ctx[op.Dst] = c
+		cubes[op.Dst] = c
 	case plan.OpGetJoined:
-		c, err := e.GetJoined(op.Query, op.QueryB, op.On, op.Alias, op.Outer)
+		c, err := e.GetJoinedContext(ctx, op.Query, op.QueryB, op.On, op.Alias, op.Outer)
 		if err != nil {
 			return err
 		}
-		ctx[op.Dst] = c
+		cubes[op.Dst] = c
 	case plan.OpGetPivoted:
-		c, err := e.GetPivoted(op.Query, op.Level, op.Ref, op.Neighbors, op.Strict, op.Rename)
+		c, err := e.GetPivotedContext(ctx, op.Query, op.Level, op.Ref, op.Neighbors, op.Strict, op.Rename)
 		if err != nil {
 			return err
 		}
-		ctx[op.Dst] = c
+		cubes[op.Dst] = c
 	case plan.OpGetMultiplied:
-		c, err := e.GetMultiplied(op.Query, op.QueryB, op.Level, op.Members, op.Alias, op.Outer)
+		c, err := e.GetMultipliedContext(ctx, op.Query, op.QueryB, op.Level, op.Members, op.Alias, op.Outer)
 		if err != nil {
 			return err
 		}
-		ctx[op.Dst] = c
+		cubes[op.Dst] = c
 	case plan.OpGetRollupJoined:
-		c, err := e.GetRollupJoined(op.Query, op.QueryB, op.Alias, op.Outer)
+		c, err := e.GetRollupJoinedContext(ctx, op.Query, op.QueryB, op.Alias, op.Outer)
 		if err != nil {
 			return err
 		}
-		ctx[op.Dst] = c
+		cubes[op.Dst] = c
 	case plan.OpClientRollupJoin:
 		a, err := src(op.SrcA)
 		if err != nil {
@@ -253,7 +258,7 @@ func runOp(e *engine.Engine, p *plan.Plan, op *plan.Op, ctx map[string]*cube.Cub
 		if err != nil {
 			return err
 		}
-		ctx[op.Dst] = c
+		cubes[op.Dst] = c
 	case plan.OpClientJoin:
 		a, err := src(op.SrcA)
 		if err != nil {
@@ -267,7 +272,7 @@ func runOp(e *engine.Engine, p *plan.Plan, op *plan.Op, ctx map[string]*cube.Cub
 		if err != nil {
 			return err
 		}
-		ctx[op.Dst] = c
+		cubes[op.Dst] = c
 	case plan.OpClientPivot:
 		a, err := src(op.SrcA)
 		if err != nil {
@@ -277,7 +282,7 @@ func runOp(e *engine.Engine, p *plan.Plan, op *plan.Op, ctx map[string]*cube.Cub
 		if err != nil {
 			return err
 		}
-		ctx[op.Dst] = c
+		cubes[op.Dst] = c
 	case plan.OpProject:
 		a, err := src(op.SrcA)
 		if err != nil {
@@ -287,7 +292,7 @@ func runOp(e *engine.Engine, p *plan.Plan, op *plan.Op, ctx map[string]*cube.Cub
 		if err != nil {
 			return err
 		}
-		ctx[op.Dst] = c
+		cubes[op.Dst] = c
 	case plan.OpReplaceSlice:
 		a, err := src(op.SrcA)
 		if err != nil {
@@ -297,7 +302,7 @@ func runOp(e *engine.Engine, p *plan.Plan, op *plan.Op, ctx map[string]*cube.Cub
 		if err != nil {
 			return err
 		}
-		ctx[op.Dst] = c
+		cubes[op.Dst] = c
 	case plan.OpTransform:
 		c, err := src(op.Dst)
 		if err != nil {

@@ -1,0 +1,91 @@
+package loadtest_test
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	assess "github.com/assess-olap/assess"
+	"github.com/assess-olap/assess/internal/loadtest"
+	"github.com/assess-olap/assess/internal/sched"
+	"github.com/assess-olap/assess/internal/server"
+)
+
+// newTarget builds an in-process serving stack: small sales dataset,
+// shared scans on, admission with the given shape.
+func newTarget(t *testing.T, slots, maxQueue int) (loadtest.HandlerTarget, *assess.Session) {
+	t.Helper()
+	session, _, err := assess.NewSalesSession(3000, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	session.EnableSharedScans(200 * time.Microsecond)
+	adm := sched.NewAdmission(slots, maxQueue, 0)
+	srv := server.New(session, server.WithAdmission(adm, ""))
+	return loadtest.HandlerTarget{Handler: srv.Handler(), TenantHeader: server.DefaultTenantHeader}, session
+}
+
+// TestClosedLoopSmoke is the short-mode harness run wired into the
+// normal test suite: a small closed-loop experiment must complete with
+// zero errors and sane latency accounting.
+func TestClosedLoopSmoke(t *testing.T) {
+	target, session := newTarget(t, 8, 0)
+	res := loadtest.Closed(context.Background(), target, loadtest.DefaultSalesMix(), 4, 25, 42)
+	if res.Errors != 0 {
+		t.Fatalf("errors = %d, want 0", res.Errors)
+	}
+	if res.Shed != 0 {
+		t.Fatalf("shed = %d with an unbounded queue, want 0", res.Shed)
+	}
+	if res.Requests != 4*25 {
+		t.Fatalf("requests = %d, want %d", res.Requests, 4*25)
+	}
+	if got := len(res.Latencies); got != res.Requests {
+		t.Fatalf("latencies = %d, want %d", got, res.Requests)
+	}
+	if res.Percentile(50) <= 0 || res.Percentile(99) < res.Percentile(50) {
+		t.Fatalf("percentiles out of order: p50=%v p99=%v", res.Percentile(50), res.Percentile(99))
+	}
+	if res.Throughput() <= 0 {
+		t.Fatal("zero throughput")
+	}
+	// The batcher must have seen the traffic (coalescing is timing-
+	// dependent, but every query flows through it).
+	st, ok := session.BatcherStats()
+	if !ok || st.Queries != int64(res.Requests) {
+		t.Fatalf("batcher queries = %d (ok=%v), want %d", st.Queries, ok, res.Requests)
+	}
+	// Render the table — mostly asserting it doesn't blow up.
+	if out := loadtest.Table([]loadtest.Result{res}); out == "" {
+		t.Fatal("empty table")
+	}
+}
+
+// TestOpenLoopSmoke runs a short Poisson arrival experiment.
+func TestOpenLoopSmoke(t *testing.T) {
+	target, _ := newTarget(t, 8, 0)
+	res := loadtest.Open(context.Background(), target, loadtest.DefaultSalesMix(), 200, 250*time.Millisecond, 42)
+	if res.Errors != 0 {
+		t.Fatalf("errors = %d, want 0", res.Errors)
+	}
+	if res.Requests == 0 {
+		t.Fatal("open loop issued no requests")
+	}
+}
+
+// TestClosedLoopSheds overloads a 1-slot, 1-deep admission queue and
+// checks shed traffic is tallied as shed, not as errors.
+func TestClosedLoopSheds(t *testing.T) {
+	target, _ := newTarget(t, 1, 1)
+	res := loadtest.Closed(context.Background(), target, loadtest.DefaultSalesMix(), 8, 10, 42)
+	if res.Errors != 0 {
+		t.Fatalf("errors = %d, want 0 (shed must not count as error)", res.Errors)
+	}
+	if res.Shed == 0 {
+		t.Fatal("no requests shed under 8-way load on a 1-slot/1-queue server")
+	}
+	if res.Shed+res.Errors+len(res.Latencies) != res.Requests {
+		t.Fatalf("accounting mismatch: %d shed + %d errs + %d ok != %d requests",
+			res.Shed, res.Errors, len(res.Latencies), res.Requests)
+	}
+}

@@ -4,6 +4,8 @@ import (
 	"context"
 	"fmt"
 	"os"
+	"sync"
+	"time"
 
 	"github.com/assess-olap/assess/internal/colstore"
 	"github.com/assess-olap/assess/internal/core"
@@ -57,6 +59,12 @@ type Report struct {
 // segment-backed tables in a temp directory with segments far smaller
 // than the fact, so block-at-a-time scans, segment decode, and zone-map
 // pruning must reproduce the resident reference bit-for-bit.
+// The batched axes route every fact scan through the shared-scan
+// batcher (internal/sched): the per-statement pass exercises the
+// single-query delegation, and a second concurrent sweep (see Run)
+// re-executes every (statement, strategy) pair at once so arrivals
+// genuinely coalesce into multi-query shared scans — both must
+// reproduce the reference bit-for-bit.
 var axes = []struct {
 	name     string
 	parallel bool
@@ -64,19 +72,22 @@ var axes = []struct {
 	cache    bool
 	dense    bool
 	segment  bool
+	batched  bool
 }{
-	{"base", false, "", false, false, false},
-	{"dense", false, "", false, true, false},
-	{"par", true, "", false, false, false},
-	{"dense+par", true, "", false, true, false},
-	{"views", false, "exact", false, true, false},
-	{"par+views", true, "exact", false, true, false},
-	{"lattice", false, "lattice", false, false, false},
-	{"par+lattice", true, "lattice", false, true, false},
-	{"cache", false, "", true, true, false},
-	{"cache+par+views", true, "exact", true, true, false},
-	{"segment", false, "", false, false, true},
-	{"segment+par", true, "", false, true, true},
+	{"base", false, "", false, false, false, false},
+	{"dense", false, "", false, true, false, false},
+	{"par", true, "", false, false, false, false},
+	{"dense+par", true, "", false, true, false, false},
+	{"views", false, "exact", false, true, false, false},
+	{"par+views", true, "exact", false, true, false, false},
+	{"lattice", false, "lattice", false, false, false, false},
+	{"par+lattice", true, "lattice", false, true, false, false},
+	{"cache", false, "", true, true, false, false},
+	{"cache+par+views", true, "exact", true, true, false, false},
+	{"segment", false, "", false, false, true, false},
+	{"segment+par", true, "", false, true, true, false},
+	{"batched", false, "", false, true, false, true},
+	{"batched+segment", true, "", false, false, true, true},
 }
 
 // oracleWorkers is the scan parallelism of the parallel axes,
@@ -99,6 +110,11 @@ const oracleDenseBudget = 1 << 22
 // generated facts (hundreds to a few thousand rows), so every sweep
 // crosses many segment boundaries.
 const oracleSegmentRows = 256
+
+// oracleBatchWindow is the shared-scan batching window of the batched
+// axes: short enough that the serial per-statement pass stays fast,
+// long enough that the concurrent sweep's arrivals coalesce.
+const oracleBatchWindow = 200 * time.Microsecond
 
 // traceEnabled turns on span collection for every oracle execution
 // (ORACLE_TRACE=1): each statement runs under a live trace, proving the
@@ -165,7 +181,7 @@ func segmentCopy(f *storage.FactTable) (*storage.FactTable, func(), error) {
 	return seg, func() { st.Close(); os.RemoveAll(dir) }, nil
 }
 
-func buildSession(c *Case, parallel bool, views string, cache, dense, segment bool) (*core.Session, func(), error) {
+func buildSession(c *Case, parallel bool, views string, cache, dense, segment, batched bool) (*core.Session, func(), error) {
 	cleanup := func() {}
 	fact, ext := c.Fact, c.ExtFact
 	if segment {
@@ -220,6 +236,9 @@ func buildSession(c *Case, parallel bool, views string, cache, dense, segment bo
 	if cache {
 		s.EnableCache(0)
 	}
+	if batched {
+		s.EnableSharedScans(oracleBatchWindow)
+	}
 	return s, cleanup, nil
 }
 
@@ -239,7 +258,7 @@ func Run(seed int64) *Report {
 
 	sessions := make([]*core.Session, len(axes))
 	for i, ax := range axes {
-		s, cleanup, err := buildSession(c, ax.parallel, ax.views, ax.cache, ax.dense, ax.segment)
+		s, cleanup, err := buildSession(c, ax.parallel, ax.views, ax.cache, ax.dense, ax.segment, ax.batched)
 		defer cleanup()
 		if err != nil {
 			add("", "setup/"+ax.name, err.Error())
@@ -248,6 +267,10 @@ func Run(seed int64) *Report {
 		sessions[i] = s
 	}
 	base := sessions[0]
+
+	// References for the concurrent batched sweep below.
+	wants := make(map[string][]exec.Row, len(c.Statements))
+	kinds := make(map[string]parser.BenchmarkKind, len(c.Statements))
 
 	for _, stmt := range c.Statements {
 		// Parse → render → parse round trip: the generator renders from an
@@ -280,6 +303,8 @@ func Run(seed int64) *Report {
 			add(stmt, "base/NP", err.Error())
 			continue
 		}
+		wants[stmt] = want
+		kinds[stmt] = kind
 
 		for i, ax := range axes {
 			sess := sessions[i]
@@ -332,6 +357,49 @@ func Run(seed int64) *Report {
 				}
 			}
 		}
+	}
+
+	// Concurrent sweep: the per-statement loop above drove the batched
+	// axes one query at a time (single-query batches). Now fire every
+	// (statement, strategy) pair at once against each batched session so
+	// concurrent arrivals genuinely coalesce into multi-query shared
+	// scans; every result must still match the reference bit-for-bit.
+	for i, ax := range axes {
+		if !ax.batched {
+			continue
+		}
+		sess := sessions[i]
+		var wg sync.WaitGroup
+		var mu sync.Mutex
+		for _, stmt := range c.Statements {
+			want, ok := wants[stmt]
+			if !ok {
+				continue // the reference itself failed; already reported
+			}
+			for _, strat := range core.FeasibleStrategies(kinds[stmt]) {
+				wg.Add(1)
+				go func(stmt string, strat plan.Strategy, want []exec.Row) {
+					defer wg.Done()
+					axis := fmt.Sprintf("%s/%v sweep", ax.name, strat)
+					res, _, _, err := execTracked(sess, stmt, strat)
+					var detail string
+					if err != nil {
+						detail = err.Error()
+					} else if got, cerr := canonRows(res); cerr != nil {
+						detail = cerr.Error()
+					} else {
+						detail = diffRows(want, got)
+					}
+					mu.Lock()
+					defer mu.Unlock()
+					rep.Comparisons++
+					if detail != "" {
+						add(stmt, axis, detail)
+					}
+				}(stmt, strat, want)
+			}
+		}
+		wg.Wait()
 	}
 	return rep
 }

@@ -131,7 +131,7 @@ func TestGeneratorShapes(t *testing.T) {
 		if len(c.Statements) < len(stmtKinds) {
 			t.Fatalf("seed %d: only %d statements", seed, len(c.Statements))
 		}
-		s, _, err := buildSession(c, false, "", false, false, false)
+		s, _, err := buildSession(c, false, "", false, false, false, false)
 		if err != nil {
 			t.Fatalf("seed %d: %v", seed, err)
 		}
@@ -172,7 +172,7 @@ func TestLatticeViewsGenerated(t *testing.T) {
 		if len(c.LatticeViews) == 0 {
 			t.Fatalf("seed %d: no lattice views generated", seed)
 		}
-		if _, _, err := buildSession(c, false, "lattice", false, false, false); err != nil {
+		if _, _, err := buildSession(c, false, "lattice", false, false, false, false); err != nil {
 			t.Fatalf("seed %d: %v", seed, err)
 		}
 	}
@@ -185,7 +185,7 @@ func TestFeasibleStrategiesCovered(t *testing.T) {
 	counts := make(map[string]int)
 	for _, seed := range defaultSeeds {
 		c := Generate(seed)
-		s, _, err := buildSession(c, false, "", false, false, false)
+		s, _, err := buildSession(c, false, "", false, false, false, false)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -140,34 +140,47 @@ func (c *Cache) Do(key Key, gen uint64, eval func() (*exec.Result, error)) (*exe
 func (c *Cache) DoContext(ctx context.Context, key Key, gen uint64, eval func() (*exec.Result, error)) (*exec.Result, State, error) {
 	s := c.shard(key)
 	_, probe := obsv.StartSpan(ctx, "cache.probe")
-	s.mu.Lock()
-	if el, ok := s.index[key]; ok {
-		e := el.Value.(*entry)
-		if e.gen == gen {
-			s.lru.MoveToFront(el)
+	var cl *call
+	for cl == nil {
+		s.mu.Lock()
+		if el, ok := s.index[key]; ok {
+			e := el.Value.(*entry)
+			if e.gen == gen {
+				s.lru.MoveToFront(el)
+				s.mu.Unlock()
+				c.hits.Add(1)
+				probe.SetNote("hit")
+				probe.End()
+				return e.res, StateHit, nil
+			}
+			c.removeLocked(s, el) // stale generation
+			probe.SetNote("stale")
+		}
+		if lead, ok := s.inflight[key]; ok && lead.gen == gen {
 			s.mu.Unlock()
-			c.hits.Add(1)
-			probe.SetNote("hit")
-			probe.End()
-			return e.res, StateHit, nil
+			c.dedupJoins.Add(1)
+			probe.SetNote("join")
+			select {
+			case <-lead.done:
+			case <-ctx.Done():
+				probe.End()
+				return nil, StateMiss, ctx.Err()
+			}
+			if lead.err == nil {
+				probe.End()
+				return lead.res, StateHit, nil
+			}
+			// The leader failed — typically because *its* caller's context
+			// was cancelled mid-evaluation. That failure is not ours to
+			// report: go around and re-evaluate (likely becoming the new
+			// leader) instead of propagating an error this caller never
+			// caused.
+			continue
 		}
-		c.removeLocked(s, el) // stale generation
-		probe.SetNote("stale")
-	}
-	if cl, ok := s.inflight[key]; ok && cl.gen == gen {
+		cl = &call{done: make(chan struct{}), gen: gen}
+		s.inflight[key] = cl
 		s.mu.Unlock()
-		c.dedupJoins.Add(1)
-		probe.SetNote("join")
-		<-cl.done
-		probe.End()
-		if cl.err != nil {
-			return nil, StateMiss, cl.err
-		}
-		return cl.res, StateHit, nil
 	}
-	cl := &call{done: make(chan struct{}), gen: gen}
-	s.inflight[key] = cl
-	s.mu.Unlock()
 	if probe != nil && probe.Note == "" {
 		probe.SetNote("miss")
 	}

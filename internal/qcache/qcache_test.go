@@ -1,6 +1,7 @@
 package qcache_test
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -213,5 +214,119 @@ func TestSingleflight(t *testing.T) {
 	st := c.Stats()
 	if st.Misses != 1 || st.DedupJoins != workers-1 {
 		t.Fatalf("stats = %+v, want 1 miss and %d dedup joins", st, workers-1)
+	}
+}
+
+// TestSingleflightLeaderFailureRetries pins the leader-failure contract:
+// when the in-flight leader's evaluation fails (typically because the
+// leader's own caller cancelled its context), a joined waiter must not
+// inherit that error — it goes around, becomes the new leader, and
+// evaluates for itself.
+func TestSingleflightLeaderFailureRetries(t *testing.T) {
+	c := qcache.New(1 << 20)
+	key := keyInShard(3, 3)
+	res := fakeResult(t, 4)
+
+	started := make(chan struct{})
+	hold := make(chan struct{})
+	leaderErr := errors.New("leader context cancelled")
+	leaderDone := make(chan error, 1)
+	go func() {
+		_, _, err := c.Do(key, 1, func() (*exec.Result, error) {
+			close(started)
+			<-hold
+			return nil, leaderErr
+		})
+		leaderDone <- err
+	}()
+	<-started
+
+	var retries atomic.Int32
+	waiterDone := make(chan error, 1)
+	var waiterRes *exec.Result
+	go func() {
+		got, _, err := c.Do(key, 1, func() (*exec.Result, error) {
+			retries.Add(1)
+			return res, nil
+		})
+		waiterRes = got
+		waiterDone <- err
+	}()
+
+	// Ensure the waiter actually joined the leader's call before failing it.
+	deadline := time.After(10 * time.Second)
+	for c.Stats().DedupJoins < 1 {
+		select {
+		case <-deadline:
+			t.Fatal("waiter never joined the in-flight call")
+		case <-time.After(time.Millisecond):
+		}
+	}
+	close(hold)
+
+	if err := <-leaderDone; !errors.Is(err, leaderErr) {
+		t.Fatalf("leader err = %v, want %v", err, leaderErr)
+	}
+	if err := <-waiterDone; err != nil {
+		t.Fatalf("waiter err = %v, want nil (re-evaluated after leader failure)", err)
+	}
+	if waiterRes != res {
+		t.Fatalf("waiter result = %p, want its own evaluation %p", waiterRes, res)
+	}
+	if n := retries.Load(); n != 1 {
+		t.Fatalf("waiter evaluations = %d, want 1", n)
+	}
+}
+
+// TestSingleflightWaiterContextCancel: a waiter joined on a slow leader
+// must honor its own context and return promptly, leaving the leader
+// undisturbed.
+func TestSingleflightWaiterContextCancel(t *testing.T) {
+	c := qcache.New(1 << 20)
+	key := keyInShard(5, 5)
+	res := fakeResult(t, 4)
+
+	started := make(chan struct{})
+	hold := make(chan struct{})
+	leaderDone := make(chan error, 1)
+	go func() {
+		_, _, err := c.Do(key, 1, func() (*exec.Result, error) {
+			close(started)
+			<-hold
+			return res, nil
+		})
+		leaderDone <- err
+	}()
+	<-started
+
+	ctx, cancel := context.WithCancel(context.Background())
+	waiterDone := make(chan error, 1)
+	go func() {
+		_, _, err := c.DoContext(ctx, key, 1, func() (*exec.Result, error) {
+			t.Error("cancelled waiter must not evaluate")
+			return nil, nil
+		})
+		waiterDone <- err
+	}()
+	deadline := time.After(10 * time.Second)
+	for c.Stats().DedupJoins < 1 {
+		select {
+		case <-deadline:
+			t.Fatal("waiter never joined the in-flight call")
+		case <-time.After(time.Millisecond):
+		}
+	}
+	cancel()
+	select {
+	case err := <-waiterDone:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("waiter err = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancelled waiter did not return while leader was in flight")
+	}
+	close(hold)
+	if err := <-leaderDone; err != nil {
+		t.Fatalf("leader err = %v", err)
 	}
 }

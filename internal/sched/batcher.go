@@ -1,0 +1,175 @@
+// Package sched schedules query execution for the server: a scan
+// batcher that coalesces concurrently-arriving fact scans into shared
+// multi-query passes (engine.SharedScan), and an admission layer with
+// per-tenant fair queuing, bounded queue depth, and latency-based
+// backpressure. Both are wired through core.Session / internal/server;
+// neither changes what a query computes — the batcher is bit-exact by
+// the engine's shared-scan contract, and admission only decides when (or
+// whether) a request runs.
+package sched
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/assess-olap/assess/internal/cube"
+	"github.com/assess-olap/assess/internal/engine"
+	"github.com/assess-olap/assess/internal/mdm"
+	"github.com/assess-olap/assess/internal/obsv"
+)
+
+// DefaultBatchWindow is the batching window used when NewBatcher is
+// given a non-positive one: long enough for a burst of concurrent
+// arrivals to coalesce, short enough to be invisible next to a fact
+// scan.
+const DefaultBatchWindow = 500 * time.Microsecond
+
+// defaultMaxBatch caps how many queries one shared pass carries; a full
+// batch fires immediately instead of waiting out its window.
+const defaultMaxBatch = 64
+
+// Batcher implements engine.ScanBatcher: the first scan for a fact opens
+// a batch and starts its window timer; scans arriving within the window
+// join the batch; when the window closes (or the batch fills) the whole
+// batch runs as one engine.SharedScan. Every query pays at most one
+// window of added latency — the price of giving concurrent arrivals a
+// chance to share the pass. A request whose context is cancelled while
+// waiting returns immediately; the engine detaches it from the running
+// scan at morsel granularity.
+type Batcher struct {
+	eng      *engine.Engine
+	window   time.Duration
+	maxBatch int
+
+	mu   sync.Mutex
+	open map[string]*batch
+
+	// per-instance accounting for /stats (the obsv metrics are global).
+	batches  atomic.Int64
+	queries  atomic.Int64
+	maxSeen  atomic.Int64
+	detached atomic.Int64
+}
+
+type batch struct {
+	fact    string
+	reqs    []engine.ScanReq
+	results []engine.ScanResult
+	done    chan struct{} // closed after results are filled
+	fire    chan struct{} // closed to run before the window elapses
+	fired   bool
+}
+
+// NewBatcher returns a batcher over eng with the given window
+// (non-positive selects DefaultBatchWindow). Install it with
+// eng.SetScanBatcher or core.Session.EnableSharedScans.
+func NewBatcher(eng *engine.Engine, window time.Duration) *Batcher {
+	if window <= 0 {
+		window = DefaultBatchWindow
+	}
+	return &Batcher{
+		eng:      eng,
+		window:   window,
+		maxBatch: defaultMaxBatch,
+		open:     make(map[string]*batch),
+	}
+}
+
+// Window reports the configured batching window.
+func (b *Batcher) Window() time.Duration { return b.window }
+
+// Scan implements engine.ScanBatcher.
+func (b *Batcher) Scan(ctx context.Context, q engine.Query, ops []mdm.AggOp, names []string) (*cube.Cube, error) {
+	_, sp := obsv.StartSpan(ctx, "sched.batch")
+	b.mu.Lock()
+	bt := b.open[q.Fact]
+	if bt == nil {
+		bt = &batch{fact: q.Fact, done: make(chan struct{}), fire: make(chan struct{})}
+		b.open[q.Fact] = bt
+		go b.run(bt)
+	}
+	idx := len(bt.reqs)
+	bt.reqs = append(bt.reqs, engine.ScanReq{Ctx: ctx, Query: q, Ops: ops, Names: names})
+	if len(bt.reqs) >= b.maxBatch && !bt.fired {
+		// Full: seal the batch so later arrivals open a fresh one, and
+		// wake the leader early.
+		bt.fired = true
+		delete(b.open, q.Fact)
+		close(bt.fire)
+	}
+	b.mu.Unlock()
+	select {
+	case <-ctx.Done():
+		// Abandon the wait; the scan itself detaches this request when it
+		// next polls the context.
+		b.detached.Add(1)
+		mBatchAbandoned.Inc()
+		if sp != nil {
+			sp.SetNote(fmt.Sprintf("fact=%s abandoned", q.Fact))
+		}
+		sp.End()
+		return nil, ctx.Err()
+	case <-bt.done:
+		if sp != nil {
+			sp.SetNote(fmt.Sprintf("fact=%s n=%d", q.Fact, len(bt.reqs)))
+		}
+		sp.End()
+		r := bt.results[idx]
+		return r.Cube, r.Err
+	}
+}
+
+// run is the batch leader: it waits out the window (or an early fire),
+// seals the batch, and executes it as one shared scan.
+func (b *Batcher) run(bt *batch) {
+	t := time.NewTimer(b.window)
+	select {
+	case <-t.C:
+	case <-bt.fire:
+		t.Stop()
+	}
+	b.mu.Lock()
+	if b.open[bt.fact] == bt {
+		delete(b.open, bt.fact)
+	}
+	reqs := bt.reqs
+	b.mu.Unlock()
+	// From here no submitter can join bt: it is out of the map, and every
+	// append to bt.reqs happened before the unlock above.
+	b.batches.Add(1)
+	b.queries.Add(int64(len(reqs)))
+	for {
+		seen := b.maxSeen.Load()
+		if int64(len(reqs)) <= seen || b.maxSeen.CompareAndSwap(seen, int64(len(reqs))) {
+			break
+		}
+	}
+	mBatches.Inc()
+	mBatchedQueries.Add(int64(len(reqs)))
+	hBatchSize.Observe(float64(len(reqs)))
+	bt.results = b.eng.SharedScan(bt.fact, reqs)
+	close(bt.done)
+}
+
+// BatcherStats is a point-in-time snapshot for the /stats endpoint.
+type BatcherStats struct {
+	WindowMicros int64 `json:"windowMicros"`
+	Batches      int64 `json:"batches"`
+	Queries      int64 `json:"queries"`
+	MaxBatch     int64 `json:"maxBatch"`
+	Abandoned    int64 `json:"abandoned"`
+}
+
+// Stats snapshots the batcher's per-instance counters.
+func (b *Batcher) Stats() BatcherStats {
+	return BatcherStats{
+		WindowMicros: b.window.Microseconds(),
+		Batches:      b.batches.Load(),
+		Queries:      b.queries.Load(),
+		MaxBatch:     b.maxSeen.Load(),
+		Abandoned:    b.detached.Load(),
+	}
+}

@@ -1,0 +1,28 @@
+package sched
+
+import "github.com/assess-olap/assess/internal/obsv"
+
+// Scheduler metrics (assess_sched_*), published into the process-wide
+// registry next to the engine and cache families.
+var (
+	mAdmitted = obsv.Default.Counter("assess_sched_admitted_total",
+		"Requests admitted by the admission controller.")
+	mRejectedFull = obsv.Default.Counter("assess_sched_rejected_total",
+		"Requests shed by the admission controller, by reason.", "reason", "queue_full")
+	mRejectedBudget = obsv.Default.Counter("assess_sched_rejected_total",
+		"Requests shed by the admission controller, by reason.", "reason", "over_budget")
+	mWaitCancelled = obsv.Default.Counter("assess_sched_wait_cancelled_total",
+		"Queued requests whose context was cancelled before a slot freed.")
+	gQueueDepth = obsv.Default.Gauge("assess_sched_queue_depth",
+		"Requests currently waiting in the admission queue.")
+	hWaitSeconds = obsv.Default.Histogram("assess_sched_wait_seconds",
+		"Time queued requests waited for an execution slot.")
+	mBatches = obsv.Default.Counter("assess_sched_batches_total",
+		"Scan batches executed by the shared-scan batcher.")
+	mBatchedQueries = obsv.Default.Counter("assess_sched_batched_queries_total",
+		"Queries submitted through the shared-scan batcher.")
+	hBatchSize = obsv.Default.Histogram("assess_sched_batch_size",
+		"Queries per executed scan batch.")
+	mBatchAbandoned = obsv.Default.Counter("assess_sched_batch_abandoned_total",
+		"Requests that stopped waiting on a batch (context cancelled).")
+)

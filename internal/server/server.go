@@ -26,19 +26,26 @@ import (
 	"github.com/assess-olap/assess/internal/parser"
 	"github.com/assess-olap/assess/internal/plan"
 	"github.com/assess-olap/assess/internal/qcache"
+	"github.com/assess-olap/assess/internal/sched"
 	"github.com/assess-olap/assess/internal/semantic"
 )
 
 // Server serves one session.
 type Server struct {
-	session *core.Session
-	mux     *http.ServeMux
-	handler http.Handler
-	logger  *slog.Logger
-	reg     *obsv.Registry
-	slow    *obsv.SlowLog
-	start   time.Time
+	session      *core.Session
+	mux          *http.ServeMux
+	handler      http.Handler
+	logger       *slog.Logger
+	reg          *obsv.Registry
+	slow         *obsv.SlowLog
+	start        time.Time
+	admission    *sched.Admission
+	tenantHeader string
 }
+
+// DefaultTenantHeader identifies the tenant for admission fairness when
+// WithAdmission does not override it.
+const DefaultTenantHeader = "X-Tenant"
 
 // Option configures a Server.
 type Option func(*Server)
@@ -55,6 +62,22 @@ func WithSlowLog(sl *obsv.SlowLog) Option { return func(s *Server) { s.slow = sl
 // Library-layer counters (engine, exec, core) always publish to
 // obsv.Default; this override scopes only the server-owned series.
 func WithRegistry(r *obsv.Registry) Option { return func(s *Server) { s.reg = r } }
+
+// WithAdmission gates /assess and /query behind the admission
+// controller: requests acquire an execution slot (queuing with
+// per-tenant fairness), and shed requests get a 429 with a Retry-After
+// hint. tenantHeader names the header carrying the tenant identity;
+// empty selects DefaultTenantHeader, and requests without the header
+// share the "default" tenant.
+func WithAdmission(adm *sched.Admission, tenantHeader string) Option {
+	return func(s *Server) {
+		s.admission = adm
+		if tenantHeader == "" {
+			tenantHeader = DefaultTenantHeader
+		}
+		s.tenantHeader = tenantHeader
+	}
+}
 
 // New builds a server over the session.
 func New(session *core.Session, opts ...Option) *Server {
@@ -185,13 +208,51 @@ func (s *Server) metrics(w http.ResponseWriter, r *http.Request) {
 	s.reg.WritePrometheus(w)
 }
 
+// admit acquires an execution slot when admission control is enabled.
+// It returns a release function (a no-op when admission is off) the
+// handler must call with the request's service latency, and reports
+// whether the request may proceed; shed requests get a 429 with a
+// Retry-After hint and kind "overload" before admit returns false.
+func (s *Server) admit(w http.ResponseWriter, r *http.Request) (func(time.Duration), bool) {
+	if s.admission == nil {
+		return func(time.Duration) {}, true
+	}
+	tenant := r.Header.Get(s.tenantHeader)
+	if tenant == "" {
+		tenant = "default"
+	}
+	release, err := s.admission.Acquire(r.Context(), tenant)
+	if err == nil {
+		return release, true
+	}
+	var rej *sched.Rejection
+	if errors.As(err, &rej) {
+		secs := int(math.Ceil(rej.RetryAfter.Seconds()))
+		w.Header().Set("Retry-After", fmt.Sprintf("%d", secs))
+		writeJSON(w, http.StatusTooManyRequests, errorResponse{
+			Error:     rej.Error(),
+			Kind:      "overload",
+			RequestID: requestID(r.Context()),
+		})
+		return nil, false
+	}
+	// Context cancelled while queued: the client is gone.
+	writeError(w, r, statusFor(err), err)
+	return nil, false
+}
+
 func (s *Server) assess(w http.ResponseWriter, r *http.Request) {
 	req, ok := readRequest(w, r)
 	if !ok {
 		return
 	}
+	release, ok := s.admit(w, r)
+	if !ok {
+		return
+	}
 	ctx, finish := withTrace(r, req.Trace)
 	start := time.Now()
+	defer func() { release(time.Since(start)) }()
 	var (
 		res   *exec.Result
 		state core.CacheState
@@ -275,8 +336,13 @@ func (s *Server) query(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	release, ok := s.admit(w, r)
+	if !ok {
+		return
+	}
 	ctx, finish := withTrace(r, req.Trace)
 	start := time.Now()
+	defer func() { release(time.Since(start)) }()
 	qr, err := s.session.QueryContext(ctx, req.Statement)
 	if err != nil {
 		writeError(w, r, statusFor(err), err)
@@ -369,6 +435,9 @@ type statsResponse struct {
 	// Storage describes each registered fact table's backend: resident
 	// or segment, with segment/WAL/compaction counters for the latter.
 	Storage []engine.FactStorage `json:"storage"`
+	// Scheduler is the shared-scan batcher and admission-control section,
+	// null when neither is enabled.
+	Scheduler *schedStats `json:"scheduler,omitempty"`
 	// UptimeSeconds counts from server construction.
 	UptimeSeconds float64 `json:"uptimeSeconds"`
 	Goroutines    int     `json:"goroutines"`
@@ -395,7 +464,24 @@ func (s *Server) stats(w http.ResponseWriter, r *http.Request) {
 	if st, ok := s.session.CacheStats(); ok {
 		resp.Cache = &st
 	}
+	var sc schedStats
+	if bs, ok := s.session.BatcherStats(); ok {
+		sc.Batcher = &bs
+	}
+	if s.admission != nil {
+		as := s.admission.Stats()
+		sc.Admission = &as
+	}
+	if sc.Batcher != nil || sc.Admission != nil {
+		resp.Scheduler = &sc
+	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// schedStats groups the scheduler snapshots on /stats.
+type schedStats struct {
+	Batcher   *sched.BatcherStats   `json:"batcher,omitempty"`
+	Admission *sched.AdmissionStats `json:"admission,omitempty"`
 }
 
 func (s *Server) validate(w http.ResponseWriter, r *http.Request) {

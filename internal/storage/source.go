@@ -95,6 +95,21 @@ type ScanSource interface {
 	Close()
 }
 
+// PruneProber is an optional ScanSource capability: it answers whether a
+// block could be zone-map-pruned under a predicate set *other than* the
+// one the source was opened with, without decoding the block. Shared
+// scans (engine.SharedScan) open one source with no predicates for N
+// queries at once, then use this probe to skip decoding a block only
+// when every attached query prunes it, and to skip aggregating a decoded
+// block for the individual queries that prune it.
+type PruneProber interface {
+	// PrunedFor reports whether block b provably contains no row
+	// satisfying preds. It must be a necessary condition only (like
+	// Snapshot pruning): false negatives are fine, false positives are
+	// not.
+	PrunedFor(b int, preds []LevelPred) bool
+}
+
 // SegmentBackend is the disk-resident columnar backend of a FactTable,
 // implemented by internal/colstore.Store.
 type SegmentBackend interface {

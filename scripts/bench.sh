@@ -19,6 +19,12 @@
 # BENCH_CHECK_PCT percent (default 50 — generous because CI hardware
 # differs from the machine that wrote the baseline; tighten locally,
 # e.g. BENCH_CHECK_PCT=3 for an overhead check on the baseline host).
+#
+# `ratio <BenchmarkName> <metric> <min>` reruns a benchmark that reports
+# a custom metric (e.g. BenchmarkSharedScanSpeedup's "speedup", a paired
+# within-iteration ratio that is host-speed independent) and fails when
+# the best reported value falls below <min>:
+#   scripts/bench.sh ratio BenchmarkSharedScanSpeedup speedup 2.0
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -62,6 +68,38 @@ status = "ok" if delta <= pct else "REGRESSION"
 print(f"{name}: baseline {base:.0f} ns/op, current {cur:.0f} ns/op, "
       f"delta {delta:+.1f}% (limit +{pct:.0f}%) -> {status}")
 if delta > pct:
+    sys.exit(1)
+EOF
+    exit 0
+fi
+
+if [[ "${1:-}" == "ratio" ]]; then
+    name="${2:?usage: scripts/bench.sh ratio <BenchmarkName> <metric> <min>}"
+    metric="${3:?usage: scripts/bench.sh ratio <BenchmarkName> <metric> <min>}"
+    minval="${4:?usage: scripts/bench.sh ratio <BenchmarkName> <metric> <min>}"
+    raw="$(go test -run '^$' -bench "^${name}\$" -benchtime "${RATIO_BENCHTIME:-12x}" -count "${RATIO_COUNT:-3}" ./... 2>&1 | grep -E '^Benchmark')"
+    RAW="$raw" python3 - "$name" "$metric" "$minval" <<'EOF'
+import os, sys
+
+name, metric, minval = sys.argv[1], sys.argv[2], float(sys.argv[3])
+
+def matches(full):
+    return full.split("-")[0] == name
+
+vals = []
+for line in os.environ["RAW"].splitlines():
+    parts = line.split()
+    if parts and matches(parts[0]):
+        for value, unit in zip(parts[2::2], parts[3::2]):
+            if unit == metric:
+                vals.append(float(value))
+if not vals:
+    sys.exit(f"ratio: {name} reported no {metric} samples")
+best = max(vals)
+status = "ok" if best >= minval else "BELOW FLOOR"
+print(f"{name}: best {metric} {best:.3f} over {len(vals)} runs "
+      f"(floor {minval:.2f}) -> {status}")
+if best < minval:
     sys.exit(1)
 EOF
     exit 0
