@@ -1,0 +1,118 @@
+package main
+
+import (
+	"fmt"
+	"net/http"
+	"time"
+
+	assess "github.com/assess-olap/assess"
+	"github.com/assess-olap/assess/internal/dist"
+	"github.com/assess-olap/assess/internal/mdm"
+)
+
+// distConfig groups the scatter-gather flags. Exactly one of three
+// shapes is active: worker (serve one shard's partial-aggregate RPC),
+// in-process cluster (-shards N without -shard-addrs), or remote
+// coordinator (-shard-addrs).
+type distConfig struct {
+	worker     bool          // serve as a shard worker instead of a full API server
+	shards     int           // shard count (worker: of the whole cluster; coordinator: in-process worker count)
+	shardAddrs string        // comma-separated shard addresses, "|" separates replicas
+	shardIndex int           // which shard this worker owns
+	shardLevel string        // shard-by level name, "" = auto (largest base dict)
+	timeout    time.Duration // per-shard scan deadline
+	policy     string        // partial-result policy: fail or partial
+}
+
+func (c distConfig) active() bool { return c.worker || c.shards > 1 || c.shardAddrs != "" }
+
+// shardLevelFor resolves the shard level for one fact's schema: the
+// named level when -shard-level is set, else the automatic choice.
+func shardLevelFor(s *assess.Schema, name string) (mdm.LevelRef, error) {
+	if name == "" {
+		return dist.AutoShardLevel(s), nil
+	}
+	ref, ok := s.FindLevel(name)
+	if !ok {
+		return mdm.LevelRef{}, fmt.Errorf("assessd: schema %s has no level %q to shard by", s.Name, name)
+	}
+	return ref, nil
+}
+
+// workerHandler turns the session into one shard of the cluster: every
+// registered fact is split by the shard level and only slice
+// cfg.shardIndex is kept, served over the compact partial-aggregate
+// RPC (POST /dist/scan, /dist/append, GET /dist/stats, /healthz,
+// /metrics).
+func workerHandler(session *assess.Session, cfg distConfig) (http.Handler, error) {
+	if cfg.shards < 1 {
+		return nil, fmt.Errorf("assessd: -worker needs -shards >= 1, got %d", cfg.shards)
+	}
+	if cfg.shardIndex < 0 || cfg.shardIndex >= cfg.shards {
+		return nil, fmt.Errorf("assessd: -shard-index %d out of range [0,%d)", cfg.shardIndex, cfg.shards)
+	}
+	w := dist.NewWorker()
+	for _, name := range session.Engine.Facts() {
+		f, _ := session.Engine.Fact(name)
+		level, err := shardLevelFor(f.Schema, cfg.shardLevel)
+		if err != nil {
+			return nil, err
+		}
+		shards, err := dist.SplitFact(f, level, cfg.shards)
+		if err != nil {
+			return nil, fmt.Errorf("assessd: sharding %s: %w", name, err)
+		}
+		if err := w.Register(name, shards[cfg.shardIndex]); err != nil {
+			return nil, err
+		}
+	}
+	return w.Handler(), nil
+}
+
+// enableDistributed wires a scatter-gather coordinator onto the
+// session: an in-process cluster of cfg.shards workers when no
+// addresses are given, else HTTP clients for the configured shard
+// address chains. The session keeps its full local copy of every fact
+// for planning, views, and per-shard local fallback.
+func enableDistributed(session *assess.Session, cfg distConfig) error {
+	policy, err := dist.ParsePolicy(cfg.policy)
+	if err != nil {
+		return fmt.Errorf("assessd: %w", err)
+	}
+	coord := dist.NewCoordinator(session.Engine, dist.Config{
+		ShardTimeout: cfg.timeout,
+		Policy:       policy,
+	})
+
+	var (
+		lc     *dist.LocalCluster
+		chains [][]dist.ShardClient
+	)
+	if cfg.shardAddrs != "" {
+		if chains, err = dist.ParseShardAddrs(cfg.shardAddrs); err != nil {
+			return fmt.Errorf("assessd: %w", err)
+		}
+	} else {
+		lc = dist.NewLocalCluster(cfg.shards)
+	}
+
+	for _, name := range session.Engine.Facts() {
+		f, _ := session.Engine.Fact(name)
+		level, err := shardLevelFor(f.Schema, cfg.shardLevel)
+		if err != nil {
+			return err
+		}
+		tableChains := chains
+		if lc != nil {
+			if err := lc.AddFact(name, f, level); err != nil {
+				return fmt.Errorf("assessd: sharding %s: %w", name, err)
+			}
+			tableChains = lc.Clients()
+		}
+		if err := coord.AddTable(name, level, tableChains, true); err != nil {
+			return err
+		}
+	}
+	session.EnableDistributed(coord)
+	return nil
+}

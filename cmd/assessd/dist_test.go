@@ -1,0 +1,207 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"strings"
+	"testing"
+
+	assess "github.com/assess-olap/assess"
+	"github.com/assess-olap/assess/internal/server"
+)
+
+// newServerHandler is the full-API handler a non-worker assessd serves.
+func newServerHandler(s *assess.Session) http.Handler {
+	return server.New(s).Handler()
+}
+
+func newSalesSession(t *testing.T) *assess.Session {
+	t.Helper()
+	s, _, err := assess.NewSalesSession(4_000, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func postJSON(t *testing.T, url string, body any) (int, []byte) {
+	t.Helper()
+	buf, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out bytes.Buffer
+	if _, err := out.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, out.Bytes()
+}
+
+// TestWorkerCoordinatorEndToEnd drives the assessd wiring the way the
+// multi-process smoke does, but in-process: two sessions become shard
+// workers over HTTP, a third session scatter-gathers over them via
+// -shard-addrs-style configuration, and its answers must match a solo
+// server's bit for bit on the integer measure.
+func TestWorkerCoordinatorEndToEnd(t *testing.T) {
+	const nShards = 2
+	cfgBase := distConfig{shards: nShards, shardLevel: "product"}
+
+	// Shard workers: each opens the full dataset and keeps its slice.
+	var addrs []string
+	for i := 0; i < nShards; i++ {
+		wcfg := cfgBase
+		wcfg.worker = true
+		wcfg.shardIndex = i
+		h, err := workerHandler(newSalesSession(t), wcfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ws := httptest.NewServer(h)
+		t.Cleanup(ws.Close)
+		addrs = append(addrs, ws.URL)
+
+		resp, err := http.Get(ws.URL + "/healthz")
+		if err != nil || resp.StatusCode != http.StatusOK {
+			t.Fatalf("worker %d health: %v %v", i, err, resp)
+		}
+		resp.Body.Close()
+	}
+
+	// Coordinator session over the remote workers.
+	coordSession := newSalesSession(t)
+	ccfg := cfgBase
+	ccfg.shardAddrs = strings.Join(addrs, ",")
+	if err := enableDistributed(coordSession, ccfg); err != nil {
+		t.Fatal(err)
+	}
+	coord := httptest.NewServer(newServerHandler(coordSession))
+	t.Cleanup(coord.Close)
+
+	solo := httptest.NewServer(newServerHandler(newSalesSession(t)))
+	t.Cleanup(solo.Close)
+
+	statements := []string{
+		`with SALES by product, country get quantity`,
+		`with SALES for category = 'Fruit' by type, year get quantity`,
+		`with SALES for product = 'Apple' by country get quantity`,
+	}
+	for _, stmt := range statements {
+		req := map[string]any{"statement": stmt}
+		code, body := postJSON(t, coord.URL+"/query", req)
+		if code != http.StatusOK {
+			t.Fatalf("%s: coordinator status %d: %s", stmt, code, body)
+		}
+		scode, sbody := postJSON(t, solo.URL+"/query", req)
+		if scode != http.StatusOK {
+			t.Fatalf("%s: solo status %d: %s", stmt, scode, sbody)
+		}
+		if got, want := canonQuantities(t, body), canonQuantities(t, sbody); got != want {
+			t.Errorf("%s:\ncoordinator %s\nsolo        %s", stmt, got, want)
+		}
+	}
+
+	// The coordinator's /stats must expose the shard topology.
+	resp, err := http.Get(coord.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var stats struct {
+		Dist *struct {
+			Tables []struct {
+				Fact   string `json:"fact"`
+				Shards []struct {
+					Targets []string `json:"targets"`
+				} `json:"shards"`
+			} `json:"tables"`
+		} `json:"dist"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Dist == nil || len(stats.Dist.Tables) != 2 {
+		t.Fatalf("dist stats = %+v, want 2 sharded tables", stats.Dist)
+	}
+	for _, tb := range stats.Dist.Tables {
+		if len(tb.Shards) != nShards {
+			t.Errorf("table %s has %d shards, want %d", tb.Fact, len(tb.Shards), nShards)
+		}
+	}
+}
+
+// TestInProcessClusterFlagWiring covers the -shards N (no addresses)
+// shape end to end through enableDistributed.
+func TestInProcessClusterFlagWiring(t *testing.T) {
+	session := newSalesSession(t)
+	if err := enableDistributed(session, distConfig{shards: 3, policy: "partial"}); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(newServerHandler(session))
+	t.Cleanup(srv.Close)
+
+	code, body := postJSON(t, srv.URL+"/query", map[string]any{
+		"statement": `with SALES by country get quantity`,
+	})
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, body)
+	}
+	var out struct {
+		Partial bool `json:"partial"`
+		Cells   int  `json:"cells"`
+	}
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Partial || out.Cells == 0 {
+		t.Fatalf("response = %+v", out)
+	}
+}
+
+// TestWorkerHandlerValidation pins the flag-validation errors.
+func TestWorkerHandlerValidation(t *testing.T) {
+	if _, err := workerHandler(newSalesSession(t), distConfig{worker: true, shards: 0}); err == nil {
+		t.Error("no error for -shards 0")
+	}
+	if _, err := workerHandler(newSalesSession(t), distConfig{worker: true, shards: 2, shardIndex: 2}); err == nil {
+		t.Error("no error for out-of-range -shard-index")
+	}
+	if _, err := workerHandler(newSalesSession(t), distConfig{worker: true, shards: 2, shardLevel: "nope"}); err == nil {
+		t.Error("no error for unknown -shard-level")
+	}
+	if err := enableDistributed(newSalesSession(t), distConfig{shards: 2, policy: "maybe"}); err == nil {
+		t.Error("no error for unknown -dist-policy")
+	}
+}
+
+// canonQuantities renders a /query response's rows as a sorted
+// "coordinate=quantity" list for cross-server comparison of the
+// integer-valued measure.
+func canonQuantities(t *testing.T, body []byte) string {
+	t.Helper()
+	var out struct {
+		Levels []string         `json:"levels"`
+		Rows   []map[string]any `json:"rows"`
+	}
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatalf("%v: %s", err, body)
+	}
+	lines := make([]string, 0, len(out.Rows))
+	for _, r := range out.Rows {
+		var coord []string
+		for _, l := range out.Levels {
+			coord = append(coord, fmt.Sprint(r[l]))
+		}
+		lines = append(lines, fmt.Sprintf("%s=%v", strings.Join(coord, "|"), r["quantity"]))
+	}
+	sort.Strings(lines)
+	return strings.Join(lines, "; ")
+}

@@ -15,10 +15,17 @@
 // With -debug-addr set, a second listener serves net/http/pprof,
 // expvar (/debug/vars), and /metrics, kept off the serving port.
 //
+// Distribution: `-shards N` scatter-gathers every query over N
+// in-process shard workers; `-shard-addrs` points at remote workers
+// started with `-worker -shards N -shard-index I` (replicas joined
+// with '|'). See docs/distribution.md.
+//
 // Usage:
 //
 //	assessd [-addr :8080] [-data sales|ssb] [-rows 50000] [-sf 0.01]
 //	        [-seed 42] [-load cube.bin] [-store-dir DIR] [-resident]
+//	        [-worker] [-shards N] [-shard-index I] [-shard-addrs URLS]
+//	        [-shard-level LEVEL] [-shard-timeout 2s] [-dist-policy fail|partial]
 //	        [-parallel 0]
 //	        [-dense-budget 1048576] [-morsel-size 65536]
 //	        [-cache on|off] [-cache-mb 64]
@@ -69,7 +76,7 @@ func main() {
 		cacheMB   = flag.Int("cache-mb", 64, "query-result cache budget in MiB")
 		autoViews = flag.Bool("auto-views", false, "adaptively materialize hot group-by sets as views")
 		viewMB    = flag.Int("view-mb", 64, "auto-materialized view budget in MiB")
-		batchWin = flag.Duration("batch-window", 0,
+		batchWin  = flag.Duration("batch-window", 0,
 			"shared-scan batching window (e.g. 500us); concurrent queries against one cube coalesce into a single scan; 0 disables")
 		admitSlots = flag.Int("admit-slots", 0,
 			"admission-control execution slots (0 = GOMAXPROCS; admission enabled when -max-queue or -latency-budget is set)")
@@ -79,6 +86,19 @@ func main() {
 			"shed load with 429 when the p99 completion estimate exceeds this budget (0 disables)")
 		tenantHdr = flag.String("tenant-header", server.DefaultTenantHeader,
 			"request header naming the tenant for fair admission queuing")
+		worker = flag.Bool("worker", false,
+			"serve as a shard worker: keep shard -shard-index of -shards and answer the partial-aggregate RPC instead of the full API")
+		shards = flag.Int("shards", 0,
+			"shard count: with -worker, the cluster size; without, spin up that many in-process shard workers and scatter-gather over them")
+		shardAddrs = flag.String("shard-addrs", "",
+			"comma-separated shard worker base URLs (replicas joined with '|'); scatter-gather over remote workers")
+		shardIndex = flag.Int("shard-index", 0, "with -worker, which shard of -shards this process owns")
+		shardLevel = flag.String("shard-level", "",
+			"level name to hash-shard facts by (default: the base level with the largest dictionary)")
+		shardTimeout = flag.Duration("shard-timeout", 0,
+			"per-shard scan deadline before re-dispatching to a replica or the local copy (0 = default)")
+		distPolicy = flag.String("dist-policy", "fail",
+			"result policy when a shard is lost entirely: fail (503) or partial (annotated degraded result)")
 		debugAddr = flag.String("debug-addr", "", "debug listener (pprof, expvar, metrics); empty disables")
 		slowMS    = flag.Int("slow-query-ms", 500, "slow-query log threshold in ms (0 disables)")
 		slowPath  = flag.String("slow-query-log", "", "slow-query log file (default stderr)")
@@ -87,11 +107,54 @@ func main() {
 
 	logger := slog.New(slog.NewJSONHandler(os.Stderr, nil))
 
+	distCfg := distConfig{
+		worker:     *worker,
+		shards:     *shards,
+		shardAddrs: *shardAddrs,
+		shardIndex: *shardIndex,
+		shardLevel: *shardLevel,
+		timeout:    *shardTimeout,
+		policy:     *distPolicy,
+	}
+
 	session, closeStores, err := open(*data, *rows, *sf, *seed, *load, *storeDir, *resident)
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer closeStores()
+
+	if distCfg.worker {
+		// Shard-worker mode: keep one hash slice of every fact and serve
+		// the compact partial-aggregate RPC; the full API, cache, views,
+		// and admission control live on the coordinator.
+		handler, err := workerHandler(session, distCfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		defer stop()
+		err = serve(ctx, serveConfig{
+			addr:      *addr,
+			debugAddr: *debugAddr,
+			handler:   handler,
+			metrics:   http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) { metricsHandler(w) }),
+			slow:      obsv.NewSlowLog(os.Stderr, 0),
+			logger:    logger,
+			drain:     5 * time.Second,
+			ready: func(api, debug net.Addr) {
+				logger.Info("assessd shard worker listening",
+					"addr", api.String(),
+					"shard", distCfg.shardIndex,
+					"shards", distCfg.shards,
+					"cubes", session.Engine.Facts())
+			},
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+
 	if *parallel != 1 {
 		session.Engine.SetParallelism(*parallel)
 	}
@@ -109,6 +172,13 @@ func main() {
 	}
 	if *batchWin > 0 {
 		session.EnableSharedScans(*batchWin)
+	}
+	// Distribution last: the coordinator becomes the engine's scan
+	// batcher and chains to the shared-scan batcher for unsharded facts.
+	if distCfg.active() {
+		if err := enableDistributed(session, distCfg); err != nil {
+			log.Fatal(err)
+		}
 	}
 
 	slow, err := openSlowLog(*slowPath, time.Duration(*slowMS)*time.Millisecond)

@@ -33,6 +33,7 @@ import (
 func main() {
 	var (
 		url       = flag.String("url", "http://localhost:8080", "assessd base URL")
+		targets   = flag.String("targets", "", "comma-separated assessd base URLs to round-robin across (overrides -url)")
 		mode      = flag.String("mode", "closed", "generator: closed or open")
 		workers   = flag.String("workers", "1,2,4,8", "closed-loop worker counts to sweep")
 		perWorker = flag.Int("per-worker", 100, "closed-loop requests per worker")
@@ -57,10 +58,25 @@ func main() {
 		mix.Tenants = append(mix.Tenants, fmt.Sprintf("tenant%d", i))
 	}
 
-	target := loadtest.HTTPTarget{
-		BaseURL:      strings.TrimRight(*url, "/"),
-		Client:       &http.Client{Timeout: *timeout},
-		TenantHeader: server.DefaultTenantHeader,
+	httpTarget := func(base string) loadtest.HTTPTarget {
+		return loadtest.HTTPTarget{
+			BaseURL:      strings.TrimRight(base, "/"),
+			Client:       &http.Client{Timeout: *timeout},
+			TenantHeader: server.DefaultTenantHeader,
+		}
+	}
+	var target loadtest.Target = httpTarget(*url)
+	if *targets != "" {
+		mt := &loadtest.MultiTarget{}
+		for _, u := range strings.Split(*targets, ",") {
+			if u = strings.TrimSpace(u); u != "" {
+				mt.Targets = append(mt.Targets, httpTarget(u))
+			}
+		}
+		if len(mt.Targets) == 0 {
+			log.Fatal("loadgen: -targets is empty")
+		}
+		target = mt
 	}
 	ctx := context.Background()
 

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"github.com/assess-olap/assess/internal/cube"
+	"github.com/assess-olap/assess/internal/dist"
 	"github.com/assess-olap/assess/internal/engine"
 	"github.com/assess-olap/assess/internal/exec"
 	"github.com/assess-olap/assess/internal/funcs"
@@ -76,6 +77,9 @@ type Session struct {
 	// batcher, when non-nil, coalesces concurrent fact scans into shared
 	// multi-query passes. Enable with EnableSharedScans.
 	batcher *sched.Batcher
+	// dist, when non-nil, scatter-gathers scans over sharded facts.
+	// Enable with EnableDistributed.
+	dist *dist.Coordinator
 }
 
 // NewSession returns an empty session with the default library functions
@@ -120,6 +124,34 @@ func (s *Session) BatcherStats() (stats sched.BatcherStats, ok bool) {
 	}
 	return s.batcher.Stats(), true
 }
+
+// EnableDistributed installs a distributed scatter-gather coordinator
+// as the session's scan batcher. Scans of facts the coordinator knows
+// as sharded fan out to shard workers; everything else falls through
+// to the previously-installed batcher (call EnableSharedScans first to
+// keep shared-scan admission for non-sharded facts) or to a direct
+// engine scan. Call before serving traffic, after the other enables.
+func (s *Session) EnableDistributed(c *dist.Coordinator) {
+	if s.batcher != nil {
+		c.SetFallback(s.batcher)
+	}
+	s.dist = c
+	s.Engine.SetScanBatcher(c)
+}
+
+// DistStats snapshots the distributed coordinator; ok is false when
+// distribution is not enabled.
+func (s *Session) DistStats() (stats dist.Stats, ok bool) {
+	if s.dist == nil {
+		return dist.Stats{}, false
+	}
+	return s.dist.Stats(), true
+}
+
+// Distributed returns the session's coordinator (nil when distribution
+// is not enabled); the server uses it to route appends and expose
+// shard snapshots.
+func (s *Session) Distributed() *dist.Coordinator { return s.dist }
 
 // EnableAutoViews turns on the engine's adaptive view admission: hot
 // group-by sets that keep missing the view lattice are auto-materialized

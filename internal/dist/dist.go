@@ -1,0 +1,294 @@
+// Package dist implements distributed scatter-gather execution over
+// hash-sharded fact tables. A fact is partitioned by the hash of each
+// row's member at a chosen shard level; every shard's slice lives in a
+// worker — either an in-process *Worker (tests, benchmarks, single-box
+// deployments) or a separate `assessd -worker` process reached over a
+// compact partial-aggregate RPC (see http.go). A Coordinator implements
+// engine.ScanBatcher: it plans each fact scan once, fans per-shard
+// requests out concurrently (routing around shards the predicates prove
+// empty), and merges the distributive/algebraic partials in a log-depth
+// merge tree, shipping AVG as (sum,count) exactly like the lattice
+// navigator does for views.
+//
+// The decomposition keeps results bit-exact for the measures the oracle
+// generates: SUM/MIN/MAX/COUNT are distributive, AVG is algebraic via
+// (sum,count), and integer-valued partials make the cross-shard merge
+// order irrelevant. Failure handling — per-shard deadlines, re-dispatch
+// to replicas, local fallback, and a configurable partial-result policy
+// — lives in coordinator.go; docs/distribution.md documents the wire
+// format and the coherence contract.
+package dist
+
+import (
+	"context"
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"github.com/assess-olap/assess/internal/cube"
+	"github.com/assess-olap/assess/internal/engine"
+	"github.com/assess-olap/assess/internal/mdm"
+)
+
+// Policy selects what the coordinator does when a shard cannot be
+// served by any replica or a local fallback.
+type Policy int
+
+const (
+	// PolicyFail rejects the query with an *Unavailable error (the
+	// server maps it to HTTP 503).
+	PolicyFail Policy = iota
+	// PolicyPartial merges the partials that did arrive and annotates
+	// the response as partial via the context's PartialNote.
+	PolicyPartial
+)
+
+// ParsePolicy maps the -dist-policy flag values to a Policy.
+func ParsePolicy(s string) (Policy, error) {
+	switch s {
+	case "", "fail":
+		return PolicyFail, nil
+	case "partial":
+		return PolicyPartial, nil
+	}
+	return PolicyFail, fmt.Errorf("dist: unknown policy %q (want fail or partial)", s)
+}
+
+func (p Policy) String() string {
+	if p == PolicyPartial {
+		return "partial"
+	}
+	return "fail"
+}
+
+// Unavailable reports that one or more shards of a fact could not be
+// served and the coordinator's policy is PolicyFail. The server maps it
+// to HTTP 503 Service Unavailable.
+type Unavailable struct {
+	Fact   string
+	Shards []int // shard indices that failed
+	Err    error // representative cause from the last failed attempt
+}
+
+func (u *Unavailable) Error() string {
+	return fmt.Sprintf("dist: fact %s unavailable: shard(s) %v failed: %v", u.Fact, u.Shards, u.Err)
+}
+
+func (u *Unavailable) Unwrap() error { return u.Err }
+
+// PartialNote collects, per request, whether any scan under it was
+// served partially and which shards were degraded. Server handlers
+// install one with TrackPartial before executing a statement and
+// annotate the response from it.
+type PartialNote struct {
+	mu      sync.Mutex
+	partial bool
+	shards  []string // "FACT/3" entries, deduplicated
+}
+
+type noteKey struct{}
+
+// TrackPartial derives a context carrying a fresh PartialNote. Every
+// coordinator scan under the returned context records degraded shards
+// into the note instead of failing (given PolicyPartial).
+func TrackPartial(ctx context.Context) (context.Context, *PartialNote) {
+	n := &PartialNote{}
+	return context.WithValue(ctx, noteKey{}, n), n
+}
+
+func noteFrom(ctx context.Context) *PartialNote {
+	n, _ := ctx.Value(noteKey{}).(*PartialNote)
+	return n
+}
+
+func (n *PartialNote) record(fact string, shards []int) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.partial = true
+	for _, s := range shards {
+		tag := fmt.Sprintf("%s/%d", fact, s)
+		found := false
+		for _, have := range n.shards {
+			if have == tag {
+				found = true
+				break
+			}
+		}
+		if !found {
+			n.shards = append(n.shards, tag)
+		}
+	}
+	sort.Strings(n.shards)
+}
+
+// Partial reports whether any scan under the tracked context was
+// degraded.
+func (n *PartialNote) Partial() bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.partial
+}
+
+// DegradedShards lists the degraded "FACT/shard" tags, sorted.
+func (n *PartialNote) DegradedShards() []string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return append([]string(nil), n.shards...)
+}
+
+// partialPlan decomposes the requested aggregates into distributive
+// partials the shards compute and the coordinator merges: SUM, MIN,
+// MAX, COUNT map to themselves (merged with sum, min, max, sum), and
+// the algebraic AVG ships as a (sum,count) pair finalized to sum/count
+// after the merge — the same decomposition the lattice navigator uses
+// when answering from coarser views.
+type partialPlan struct {
+	ops   []mdm.AggOp // shard-side operator per partial column
+	meas  []int       // fact measure index per partial column
+	names []string    // partial column names ("p0", "p1", ...)
+	merge []mdm.AggOp // cross-shard combine per partial (Sum/Min/Max)
+	// out[j] holds the partial column indices backing requested
+	// measure j: {sum, count} for AVG, {col, -1} for everything else.
+	out [][2]int
+	// finalOps[j] is the originally requested operator for measure j.
+	finalOps []mdm.AggOp
+}
+
+func decompose(measures []int, ops []mdm.AggOp) *partialPlan {
+	p := &partialPlan{
+		out:      make([][2]int, len(ops)),
+		finalOps: append([]mdm.AggOp(nil), ops...),
+	}
+	add := func(op mdm.AggOp, meas int, merge mdm.AggOp) int {
+		idx := len(p.ops)
+		p.ops = append(p.ops, op)
+		p.meas = append(p.meas, meas)
+		p.names = append(p.names, fmt.Sprintf("p%d", idx))
+		p.merge = append(p.merge, merge)
+		return idx
+	}
+	for j, op := range ops {
+		m := measures[j]
+		switch op {
+		case mdm.AggAvg:
+			p.out[j] = [2]int{add(mdm.AggSum, m, mdm.AggSum), add(mdm.AggCount, m, mdm.AggSum)}
+		case mdm.AggCount:
+			p.out[j] = [2]int{add(mdm.AggCount, m, mdm.AggSum), -1}
+		case mdm.AggMin:
+			p.out[j] = [2]int{add(mdm.AggMin, m, mdm.AggMin), -1}
+		case mdm.AggMax:
+			p.out[j] = [2]int{add(mdm.AggMax, m, mdm.AggMax), -1}
+		default:
+			p.out[j] = [2]int{add(mdm.AggSum, m, mdm.AggSum), -1}
+		}
+	}
+	return p
+}
+
+// WirePred is one scan predicate on the wire: accepted member ids at
+// one level of one hierarchy.
+type WirePred struct {
+	Hier    int     `json:"hier"`
+	Level   int     `json:"level"`
+	Members []int32 `json:"members"`
+}
+
+// ScanRequest is the partial-aggregate RPC request: a group-by set,
+// predicates, and the partial columns to compute. Hierarchies, levels
+// and members travel as the coordinator's integer ids — every node
+// builds the identical schema (same dataset, same dictionaries), so ids
+// agree by construction; docs/distribution.md states this contract.
+type ScanRequest struct {
+	Fact     string         `json:"fact"`
+	Group    []mdm.LevelRef `json:"group"`
+	Preds    []WirePred     `json:"preds,omitempty"`
+	Measures []int          `json:"measures"`
+	Ops      []int          `json:"ops"`
+	Names    []string       `json:"names"`
+}
+
+func (r *ScanRequest) query() (engine.Query, []mdm.AggOp) {
+	q := engine.Query{
+		Fact:     r.Fact,
+		Group:    mdm.GroupBy(r.Group),
+		Measures: r.Measures,
+	}
+	for _, p := range r.Preds {
+		q.Preds = append(q.Preds, engine.Predicate{
+			Level:   mdm.LevelRef{Hier: p.Hier, Level: p.Level},
+			Members: p.Members,
+		})
+	}
+	ops := make([]mdm.AggOp, len(r.Ops))
+	for i, o := range r.Ops {
+		ops[i] = mdm.AggOp(o)
+	}
+	return q, ops
+}
+
+// respMagic versions the binary partial-aggregate response format.
+const respMagic = "ADP1"
+
+// EncodeResponse serializes a worker's partial cube: magic, the shard
+// fact's generation, and the cells as little-endian int32 coordinates
+// followed by float64 bit patterns per partial column — the same
+// row-wire idiom as the engine/client cursor format.
+func EncodeResponse(gen uint64, c *cube.Cube) []byte {
+	ncoord := len(c.Group)
+	ncols := len(c.Cols)
+	nrows := c.Len()
+	buf := make([]byte, 0, 4+8+12+nrows*(4*ncoord+8*ncols))
+	buf = append(buf, respMagic...)
+	buf = binary.LittleEndian.AppendUint64(buf, gen)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(ncoord))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(ncols))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(nrows))
+	for i := 0; i < nrows; i++ {
+		for _, id := range c.Coords[i] {
+			buf = binary.LittleEndian.AppendUint32(buf, uint32(id))
+		}
+		for j := 0; j < ncols; j++ {
+			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(c.Cols[j][i]))
+		}
+	}
+	return buf
+}
+
+// DecodeResponse parses an encoded partial response against the
+// coordinator's schema and the request's group-by and partial names.
+func DecodeResponse(s *mdm.Schema, g mdm.GroupBy, names []string, buf []byte) (uint64, *cube.Cube, error) {
+	if len(buf) < 4+8+12 || string(buf[:4]) != respMagic {
+		return 0, nil, fmt.Errorf("dist: bad response header")
+	}
+	gen := binary.LittleEndian.Uint64(buf[4:])
+	ncoord := int(binary.LittleEndian.Uint32(buf[12:]))
+	ncols := int(binary.LittleEndian.Uint32(buf[16:]))
+	nrows := int(binary.LittleEndian.Uint32(buf[20:]))
+	if ncoord != len(g) || ncols != len(names) {
+		return 0, nil, fmt.Errorf("dist: response shape %dx%d, want %dx%d", ncoord, ncols, len(g), len(names))
+	}
+	rowBytes := 4*ncoord + 8*ncols
+	body := buf[24:]
+	if len(body) != nrows*rowBytes {
+		return 0, nil, fmt.Errorf("dist: response body %d bytes, want %d", len(body), nrows*rowBytes)
+	}
+	c := cube.New(s, g, names...)
+	vals := make([]float64, ncols)
+	for i := 0; i < nrows; i++ {
+		off := i * rowBytes
+		coord := make(mdm.Coordinate, ncoord)
+		for k := 0; k < ncoord; k++ {
+			coord[k] = int32(binary.LittleEndian.Uint32(body[off+4*k:]))
+		}
+		off += 4 * ncoord
+		for j := 0; j < ncols; j++ {
+			vals[j] = math.Float64frombits(binary.LittleEndian.Uint64(body[off+8*j:]))
+		}
+		if err := c.AddCell(coord, vals); err != nil {
+			return 0, nil, err
+		}
+	}
+	return gen, c, nil
+}

@@ -1,0 +1,126 @@
+// Cross-shard partial merge: the coordinator-side half of the
+// distributive/algebraic decomposition in dist.go. Shard partials are
+// folded pairwise in log-depth rounds — the same shape as the engine's
+// in-process merge tree (engine/parallel.go) — and finalized into the
+// cube the engine's own solo scan would have produced.
+package dist
+
+import (
+	"sort"
+	"sync"
+
+	"github.com/assess-olap/assess/internal/cube"
+	"github.com/assess-olap/assess/internal/mdm"
+)
+
+// pcell is one merged cell: a coordinate and one value per partial
+// column.
+type pcell struct {
+	coord mdm.Coordinate
+	vals  []float64
+}
+
+// partialTable accumulates shard partials keyed by coordinate.
+type partialTable struct {
+	cells map[string]*pcell
+}
+
+// tableFrom indexes one shard's decoded partial cube.
+func tableFrom(c *cube.Cube) *partialTable {
+	t := &partialTable{cells: make(map[string]*pcell, c.Len())}
+	for i, coord := range c.Coords {
+		vals := make([]float64, len(c.Cols))
+		for j := range c.Cols {
+			vals[j] = c.Cols[j][i]
+		}
+		t.cells[coord.Key()] = &pcell{coord: coord, vals: vals}
+	}
+	return t
+}
+
+// mergeInto folds src into dst with the plan's per-column combine ops.
+func (p *partialPlan) mergeInto(dst, src *partialTable) {
+	for key, sc := range src.cells {
+		dc, ok := dst.cells[key]
+		if !ok {
+			dst.cells[key] = sc
+			continue
+		}
+		for j, op := range p.merge {
+			switch op {
+			case mdm.AggMin:
+				if sc.vals[j] < dc.vals[j] {
+					dc.vals[j] = sc.vals[j]
+				}
+			case mdm.AggMax:
+				if sc.vals[j] > dc.vals[j] {
+					dc.vals[j] = sc.vals[j]
+				}
+			default: // AggSum
+				dc.vals[j] += sc.vals[j]
+			}
+		}
+	}
+}
+
+// mergeTree folds shard partials pairwise in ceil(log2(n)) concurrent
+// rounds, mirroring the engine's in-process merge tree. Distributive
+// combines are associative and commutative, so tree shape does not
+// change the result.
+func (p *partialPlan) mergeTree(parts []*partialTable) *partialTable {
+	if len(parts) == 0 {
+		return &partialTable{cells: make(map[string]*pcell)}
+	}
+	for len(parts) > 1 {
+		half := (len(parts) + 1) / 2
+		var wg sync.WaitGroup
+		for i := 0; i+half < len(parts); i++ {
+			wg.Add(1)
+			go func(dst, src *partialTable) {
+				defer wg.Done()
+				p.mergeInto(dst, src)
+			}(parts[i], parts[i+half])
+		}
+		wg.Wait()
+		parts = parts[:half]
+	}
+	return parts[0]
+}
+
+// finalize turns the merged partial table into the requested cube:
+// AVG cells divide sum by count, COUNT cells surface the count, and
+// everything else passes through. Cells are emitted in ascending
+// coordinate-id order — the same canonical order the engine's
+// partitioned scans produce, which exec's canonicalization and the
+// query layer's SortByCoordinate both accept.
+func (p *partialPlan) finalize(s *mdm.Schema, g mdm.GroupBy, names []string, t *partialTable) (*cube.Cube, error) {
+	cells := make([]*pcell, 0, len(t.cells))
+	for _, c := range t.cells {
+		cells = append(cells, c)
+	}
+	sort.Slice(cells, func(a, b int) bool {
+		ca, cb := cells[a].coord, cells[b].coord
+		for k := range ca {
+			if ca[k] != cb[k] {
+				return ca[k] < cb[k]
+			}
+		}
+		return false
+	})
+	out := cube.New(s, g, names...)
+	vals := make([]float64, len(p.out))
+	for _, c := range cells {
+		for j, cols := range p.out {
+			switch p.finalOps[j] {
+			case mdm.AggAvg:
+				vals[j] = c.vals[cols[0]] / c.vals[cols[1]]
+			default:
+				vals[j] = c.vals[cols[0]]
+			}
+		}
+		if err := out.AddCell(c.coord, vals); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

@@ -352,8 +352,8 @@ func benchSharedReqs(s *mdm.Schema) []ScanReq {
 	reqs := make([]ScanReq, len(groups))
 	for i, g := range groups {
 		reqs[i] = ScanReq{Query: Query{
-			Fact:     "LINEORDER",
-			Group:    mdm.MustGroupBy(s, g...),
+			Fact:  "LINEORDER",
+			Group: mdm.MustGroupBy(s, g...),
 			Preds: []Predicate{{
 				Level:   mdm.MustGroupBy(s, filters[i].level)[0],
 				Members: []int32{filters[i].member},

@@ -232,6 +232,17 @@ func (e *Engine) scanAggregate(ctx context.Context, q Query) (*cube.Cube, error)
 	return e.scanAggregateOps(q, ops, names)
 }
 
+// ScanWithOps evaluates a fact scan with caller-supplied per-measure
+// operators and output names, bypassing views and the scan batcher.
+// The distributed layer (internal/dist) builds on it twice: workers
+// compute shard-side partials with it (zone-map pruning still applies
+// via q.Preds), and the coordinator's local fallback reproduces a lost
+// shard's partial by scanning the local copy under a synthesized
+// shard-ownership predicate.
+func (e *Engine) ScanWithOps(q Query, ops []mdm.AggOp, names []string) (*cube.Cube, error) {
+	return e.scanAggregateOps(q, ops, names)
+}
+
 // scanAggregateOps is scanAggregate with the per-measure operators and
 // output names supplied by the caller instead of read off the schema:
 // q.Measures index fact columns, ops[j] aggregates column q.Measures[j]

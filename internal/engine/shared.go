@@ -322,10 +322,29 @@ func (e *Engine) sharedParallel(src storage.ScanSource, qs []*sharedQuery, worke
 			}
 		}
 	}
+	// liveCnt tracks queries not yet detached so workers can stop
+	// claiming morsels (resident path) and blocks (segment path) as
+	// soon as every query has cancelled — without it a scan whose
+	// requests are all dead would keep decoding to the end.
+	var liveCnt atomic.Int64
+	liveCnt.Store(int64(len(qs)))
 	detach := func(sq *sharedQuery, err error) {
 		if sq.detached.CompareAndSwap(false, true) {
 			sq.detachErr = err
+			liveCnt.Add(-1)
 			mSharedDetached.Inc()
+		}
+	}
+	// sweepCancelled detaches queries whose context died, so the
+	// segment path notices cancellation before paying for the next
+	// block decode, not just at morsel granularity after it.
+	sweepCancelled := func() {
+		for _, sq := range qs {
+			if !sq.detached.Load() {
+				if err := sq.ctxErr(); err != nil {
+					detach(sq, err)
+				}
+			}
 		}
 	}
 	ls := newLevelShare(qs)
@@ -389,7 +408,7 @@ func (e *Engine) sharedParallel(src storage.ScanSource, qs []*sharedQuery, worke
 					defer wg.Done()
 					sc := &morselScratch{}
 					n := int64(0)
-					for {
+					for liveCnt.Load() > 0 {
 						lo, hi, ok := cur.claim()
 						if !ok {
 							break
@@ -412,6 +431,10 @@ func (e *Engine) sharedParallel(src storage.ScanSource, qs []*sharedQuery, worke
 				sc := &morselScratch{}
 				n := int64(0)
 				for scanErr.Load() == nil {
+					sweepCancelled()
+					if liveCnt.Load() == 0 {
+						break
+					}
 					b := int(next.Add(1)) - 1
 					if b >= nb {
 						break

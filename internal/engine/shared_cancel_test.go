@@ -1,0 +1,193 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/assess-olap/assess/internal/mdm"
+	"github.com/assess-olap/assess/internal/storage"
+)
+
+// countingBackend is a fake segment backend that slices a resident
+// fact into many small blocks and counts every decode, with a hook at
+// a chosen decode number — the instrument for proving the shared
+// scan's segment path notices cancellation promptly instead of
+// decoding to the end.
+type countingBackend struct {
+	f         *storage.FactTable
+	blockRows int
+	decodes   atomic.Int64
+	onDecode  func(n int64)
+}
+
+func (b *countingBackend) Rows() int { return b.f.Rows() }
+
+func (b *countingBackend) Append([]int32, []float64) error {
+	return errors.New("countingBackend: append not supported")
+}
+
+func (b *countingBackend) Info() storage.SegmentInfo {
+	return storage.SegmentInfo{Segments: b.blocks(), SegmentRows: b.f.Rows()}
+}
+
+func (b *countingBackend) blocks() int {
+	return (b.f.Rows() + b.blockRows - 1) / b.blockRows
+}
+
+func (b *countingBackend) Snapshot(storage.ColSet, []storage.LevelPred) storage.ScanSource {
+	return &countingSource{b: b}
+}
+
+type countingSource struct{ b *countingBackend }
+
+func (s *countingSource) Rows() int   { return s.b.f.Rows() }
+func (s *countingSource) Blocks() int { return s.b.blocks() }
+func (s *countingSource) Close()      {}
+
+func (s *countingSource) BlockRows(bi int) int {
+	lo := bi * s.b.blockRows
+	hi := min(lo+s.b.blockRows, s.b.f.Rows())
+	return hi - lo
+}
+
+func (s *countingSource) Block(bi int, _ *storage.BlockScratch) (storage.BlockCols, bool, error) {
+	n := s.b.decodes.Add(1)
+	if s.b.onDecode != nil {
+		s.b.onDecode(n)
+	}
+	lo := bi * s.b.blockRows
+	hi := min(lo+s.b.blockRows, s.b.f.Rows())
+	cols := storage.BlockCols{Rows: hi - lo}
+	for _, k := range s.b.f.Keys {
+		cols.Keys = append(cols.Keys, k[lo:hi])
+	}
+	for _, m := range s.b.f.Meas {
+		cols.Meas = append(cols.Meas, m[lo:hi])
+	}
+	return cols, true, nil
+}
+
+// TestSharedScanSegmentCancelPrompt cancels both attached queries after
+// a handful of block decodes on a many-block (segment-path) shared
+// scan. Regression: workers used to notice cancellation only at morsel
+// granularity after each decode and kept claiming blocks while every
+// query was already dead; now the claim loop sweeps contexts before
+// each decode, so at most the in-flight decodes (one per worker) can
+// land after the cancellation.
+func TestSharedScanSegmentCancelPrompt(t *testing.T) {
+	const workers = 4
+	const cancelAt = 5
+	s := twoHierSchema(60, 11)
+	res := intFact(s, 4000, 3)
+	backend := &countingBackend{f: res, blockRows: 10}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	backend.onDecode = func(n int64) {
+		if n == cancelAt {
+			cancel()
+		}
+	}
+
+	e := New()
+	e.SetParallelism(workers)
+	e.SetParallelMinRows(1)
+	seg := storage.NewSegmentTable(s, backend)
+	if err := e.Register("T", seg); err != nil {
+		t.Fatal(err)
+	}
+
+	reqs := []ScanReq{
+		{Ctx: ctx, Query: Query{Fact: "T", Group: mdm.MustGroupBy(s, "k"), Measures: []int{0, 1}}},
+		{Ctx: ctx, Query: Query{Fact: "T", Group: mdm.MustGroupBy(s, "c"), Measures: []int{2}}},
+	}
+	start := time.Now()
+	results := e.SharedScan("T", reqs)
+	elapsed := time.Since(start)
+
+	for i, r := range results {
+		if !errors.Is(r.Err, context.Canceled) {
+			t.Errorf("request %d: err %v, want context.Canceled", i, r.Err)
+		}
+	}
+	decodes := backend.decodes.Load()
+	if max := int64(cancelAt + workers); decodes > max {
+		t.Errorf("scan decoded %d blocks after mid-scan cancellation, want ≤ %d (of %d total)",
+			decodes, max, backend.blocks())
+	}
+	if elapsed > 5*time.Second {
+		t.Errorf("cancelled scan took %v", elapsed)
+	}
+
+	// A scan entered with an already-dead context must not decode a
+	// single block: the claim loop sweeps contexts before paying for a
+	// decode, not after.
+	backend.onDecode = nil
+	before := backend.decodes.Load()
+	results = e.SharedScan("T", reqs)
+	for i, r := range results {
+		if !errors.Is(r.Err, context.Canceled) {
+			t.Errorf("dead-context request %d: err %v, want context.Canceled", i, r.Err)
+		}
+	}
+	if got := backend.decodes.Load(); got != before {
+		t.Errorf("dead-context scan decoded %d blocks, want 0", got-before)
+	}
+}
+
+// TestSharedScanSegmentUncancelledStillComplete guards the fix's other
+// side: a shared scan over the fake backend with live contexts must
+// decode every block and match solo results.
+func TestSharedScanSegmentUncancelledStillComplete(t *testing.T) {
+	s := twoHierSchema(60, 11)
+	res := intFact(s, 2000, 3)
+	backend := &countingBackend{f: res, blockRows: 10}
+
+	solo := New()
+	if err := solo.Register("T", res); err != nil {
+		t.Fatal(err)
+	}
+	e := New()
+	e.SetParallelism(4)
+	e.SetParallelMinRows(1)
+	if err := e.Register("T", storage.NewSegmentTable(s, backend)); err != nil {
+		t.Fatal(err)
+	}
+
+	q := Query{Fact: "T", Group: mdm.MustGroupBy(s, "k"), Measures: []int{0, 1, 2}}
+	reqs := []ScanReq{
+		{Ctx: context.Background(), Query: q},
+		{Ctx: context.Background(), Query: Query{Fact: "T", Group: mdm.MustGroupBy(s, "c"), Measures: []int{0}}},
+	}
+	results := e.SharedScan("T", reqs)
+	for i, r := range results {
+		if r.Err != nil {
+			t.Fatalf("request %d: %v", i, r.Err)
+		}
+	}
+	want, err := solo.Get(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := results[0].Cube
+	if got.Len() != want.Len() {
+		t.Fatalf("shared result has %d cells, solo %d", got.Len(), want.Len())
+	}
+	for i, coord := range want.Coords {
+		j, ok := got.Lookup(coord)
+		if !ok {
+			t.Fatalf("missing coordinate %v", coord)
+		}
+		for c := range want.Cols {
+			if want.Cols[c][i] != got.Cols[c][j] {
+				t.Fatalf("cell %v col %d: %v vs %v", coord, c, got.Cols[c][j], want.Cols[c][i])
+			}
+		}
+	}
+	if decodes := backend.decodes.Load(); decodes < int64(backend.blocks()) {
+		t.Fatalf("only %d of %d blocks decoded on an uncancelled scan", decodes, backend.blocks())
+	}
+}

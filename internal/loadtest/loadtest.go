@@ -23,6 +23,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -307,6 +308,19 @@ func (h HTTPTarget) Do(ctx context.Context, req Request) error {
 	defer resp.Body.Close()
 	snip, _ := io.ReadAll(io.LimitReader(resp.Body, 200))
 	return statusErr(resp.StatusCode, string(snip))
+}
+
+// MultiTarget fans requests across several targets round-robin — e.g.
+// the coordinators of a distributed deployment, or one coordinator
+// listed twice to double per-target concurrency.
+type MultiTarget struct {
+	Targets []Target
+	next    atomic.Uint64
+}
+
+func (m *MultiTarget) Do(ctx context.Context, req Request) error {
+	t := m.Targets[(m.next.Add(1)-1)%uint64(len(m.Targets))]
+	return t.Do(ctx, req)
 }
 
 func statusErr(code int, bodySnip string) error {

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	assess "github.com/assess-olap/assess"
+	"github.com/assess-olap/assess/internal/dist"
 	"github.com/assess-olap/assess/internal/loadtest"
 	"github.com/assess-olap/assess/internal/sched"
 	"github.com/assess-olap/assess/internal/server"
@@ -70,6 +71,65 @@ func TestOpenLoopSmoke(t *testing.T) {
 	}
 	if res.Requests == 0 {
 		t.Fatal("open loop issued no requests")
+	}
+}
+
+// countingTarget tallies Do calls for MultiTarget distribution checks.
+type countingTarget struct{ calls int }
+
+func (c *countingTarget) Do(context.Context, loadtest.Request) error {
+	c.calls++
+	return nil
+}
+
+// TestMultiTargetRoundRobin checks requests spread evenly across the
+// fan-out targets.
+func TestMultiTargetRoundRobin(t *testing.T) {
+	a, b := &countingTarget{}, &countingTarget{}
+	mt := &loadtest.MultiTarget{Targets: []loadtest.Target{a, b}}
+	for i := 0; i < 10; i++ {
+		if err := mt.Do(context.Background(), loadtest.Request{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if a.calls != 5 || b.calls != 5 {
+		t.Fatalf("calls split %d/%d, want 5/5", a.calls, b.calls)
+	}
+}
+
+// TestMultiTargetAgainstCluster drives the harness round-robin against
+// two handles of one distributed serving stack: a 2-shard in-process
+// scatter-gather cluster must absorb the closed-loop smoke with zero
+// errors and fan every query out to its shards.
+func TestMultiTargetAgainstCluster(t *testing.T) {
+	session, _, err := assess.NewSalesSession(3000, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fact, _ := session.Engine.Fact("SALES")
+	level := dist.AutoShardLevel(fact.Schema)
+	lc := dist.NewLocalCluster(2)
+	if err := lc.AddFact("SALES", fact, level); err != nil {
+		t.Fatal(err)
+	}
+	coord := dist.NewCoordinator(session.Engine, dist.Config{})
+	if err := coord.AddTable("SALES", level, lc.Clients(), true); err != nil {
+		t.Fatal(err)
+	}
+	session.EnableDistributed(coord)
+	srv := server.New(session)
+	target := loadtest.HandlerTarget{Handler: srv.Handler()}
+
+	mt := &loadtest.MultiTarget{Targets: []loadtest.Target{target, target}}
+	res := loadtest.Closed(context.Background(), mt, loadtest.DefaultSalesMix(), 4, 10, 42)
+	if res.Errors != 0 {
+		t.Fatalf("errors = %d, want 0", res.Errors)
+	}
+	if res.Requests != 4*10 {
+		t.Fatalf("requests = %d, want %d", res.Requests, 4*10)
+	}
+	if st := coord.Stats(); st.Fanouts == 0 {
+		t.Fatalf("coordinator saw no fanouts under load: %+v", st)
 	}
 }
 

@@ -9,7 +9,9 @@ import (
 
 	"github.com/assess-olap/assess/internal/colstore"
 	"github.com/assess-olap/assess/internal/core"
+	"github.com/assess-olap/assess/internal/dist"
 	"github.com/assess-olap/assess/internal/exec"
+	"github.com/assess-olap/assess/internal/mdm"
 	"github.com/assess-olap/assess/internal/obsv"
 	"github.com/assess-olap/assess/internal/parser"
 	"github.com/assess-olap/assess/internal/persist"
@@ -65,6 +67,13 @@ type Report struct {
 // re-executes every (statement, strategy) pair at once so arrivals
 // genuinely coalesce into multi-query shared scans — both must
 // reproduce the reference bit-for-bit.
+// The sharded axes hash-split both cubes across an in-process cluster
+// (1, 2, 3, or 5 shards by seed) and scatter-gather every scan through
+// internal/dist: partial aggregation on each shard, wire encode/decode,
+// and the log-depth merge tree must reproduce the unsharded reference
+// bit-for-bit — the generator's integer-valued measures make every
+// shard association order exact. sharded+par additionally runs each
+// worker's scans morsel-parallel on the dense kernels.
 var axes = []struct {
 	name     string
 	parallel bool
@@ -73,21 +82,35 @@ var axes = []struct {
 	dense    bool
 	segment  bool
 	batched  bool
+	sharded  bool
 }{
-	{"base", false, "", false, false, false, false},
-	{"dense", false, "", false, true, false, false},
-	{"par", true, "", false, false, false, false},
-	{"dense+par", true, "", false, true, false, false},
-	{"views", false, "exact", false, true, false, false},
-	{"par+views", true, "exact", false, true, false, false},
-	{"lattice", false, "lattice", false, false, false, false},
-	{"par+lattice", true, "lattice", false, true, false, false},
-	{"cache", false, "", true, true, false, false},
-	{"cache+par+views", true, "exact", true, true, false, false},
-	{"segment", false, "", false, false, true, false},
-	{"segment+par", true, "", false, true, true, false},
-	{"batched", false, "", false, true, false, true},
-	{"batched+segment", true, "", false, false, true, true},
+	{"base", false, "", false, false, false, false, false},
+	{"dense", false, "", false, true, false, false, false},
+	{"par", true, "", false, false, false, false, false},
+	{"dense+par", true, "", false, true, false, false, false},
+	{"views", false, "exact", false, true, false, false, false},
+	{"par+views", true, "exact", false, true, false, false, false},
+	{"lattice", false, "lattice", false, false, false, false, false},
+	{"par+lattice", true, "lattice", false, true, false, false, false},
+	{"cache", false, "", true, true, false, false, false},
+	{"cache+par+views", true, "exact", true, true, false, false, false},
+	{"segment", false, "", false, false, true, false, false},
+	{"segment+par", true, "", false, true, true, false, false},
+	{"batched", false, "", false, true, false, true, false},
+	{"batched+segment", true, "", false, false, true, true, false},
+	{"sharded", false, "", false, false, false, false, true},
+	{"sharded+par", true, "", false, true, false, false, true},
+}
+
+// oracleShardCounts rotates the sharded axes' cluster size by seed:
+// a 1-shard cluster pins the degenerate wire round trip, the larger
+// counts exercise genuine cross-shard merges. Over a wide sweep every
+// count is hit many times.
+var oracleShardCounts = []int{1, 2, 3, 5}
+
+// shardCountFor picks the sharded axes' cluster size for a seed.
+func shardCountFor(seed int64) int {
+	return oracleShardCounts[int(seed)%len(oracleShardCounts)]
 }
 
 // oracleWorkers is the scan parallelism of the parallel axes,
@@ -181,7 +204,45 @@ func segmentCopy(f *storage.FactTable) (*storage.FactTable, func(), error) {
 	return seg, func() { st.Close(); os.RemoveAll(dir) }, nil
 }
 
-func buildSession(c *Case, parallel bool, views string, cache, dense, segment, batched bool) (*core.Session, func(), error) {
+// shardSession splits both cubes across an in-process cluster of n
+// workers (hash-sharded on the first hierarchy's base level) and
+// installs a scatter-gather coordinator on s. The worker engines get
+// the same kernel knobs as the coordinator session so the sharded axes
+// test the intended kernel dimension shard-side too.
+func shardSession(s *core.Session, fact, ext *storage.FactTable, n int, parallel, dense bool) error {
+	level := mdm.LevelRef{Hier: 0, Level: 0}
+	lc := dist.NewLocalCluster(n)
+	if err := lc.AddFact(TargetCube, fact, level); err != nil {
+		return err
+	}
+	if err := lc.AddFact(ExtCube, ext, level); err != nil {
+		return err
+	}
+	for _, w := range lc.Workers {
+		we := w.Engine()
+		if dense {
+			we.SetDenseKeyBudget(oracleDenseBudget)
+		} else {
+			we.SetDenseKeyBudget(0)
+		}
+		if parallel {
+			we.SetParallelism(oracleWorkers)
+			we.SetParallelMinRows(oracleMinParRows)
+			we.SetMorselSize(oracleMorselRows)
+		}
+	}
+	coord := dist.NewCoordinator(s.Engine, dist.Config{})
+	if err := coord.AddTable(TargetCube, level, lc.Clients(), true); err != nil {
+		return err
+	}
+	if err := coord.AddTable(ExtCube, level, lc.Clients(), true); err != nil {
+		return err
+	}
+	s.EnableDistributed(coord)
+	return nil
+}
+
+func buildSession(c *Case, parallel bool, views string, cache, dense, segment, batched bool, shards int) (*core.Session, func(), error) {
 	cleanup := func() {}
 	fact, ext := c.Fact, c.ExtFact
 	if segment {
@@ -239,6 +300,11 @@ func buildSession(c *Case, parallel bool, views string, cache, dense, segment, b
 	if batched {
 		s.EnableSharedScans(oracleBatchWindow)
 	}
+	if shards > 0 {
+		if err := shardSession(s, fact, ext, shards, parallel, dense); err != nil {
+			return nil, cleanup, err
+		}
+	}
 	return s, cleanup, nil
 }
 
@@ -258,7 +324,11 @@ func Run(seed int64) *Report {
 
 	sessions := make([]*core.Session, len(axes))
 	for i, ax := range axes {
-		s, cleanup, err := buildSession(c, ax.parallel, ax.views, ax.cache, ax.dense, ax.segment, ax.batched)
+		shards := 0
+		if ax.sharded {
+			shards = shardCountFor(seed)
+		}
+		s, cleanup, err := buildSession(c, ax.parallel, ax.views, ax.cache, ax.dense, ax.segment, ax.batched, shards)
 		defer cleanup()
 		if err != nil {
 			add("", "setup/"+ax.name, err.Error())

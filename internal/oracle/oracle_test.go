@@ -1,6 +1,7 @@
 package oracle
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -12,6 +13,7 @@ import (
 	"github.com/assess-olap/assess/internal/parser"
 	"github.com/assess-olap/assess/internal/persist"
 	"github.com/assess-olap/assess/internal/plan"
+	"github.com/assess-olap/assess/internal/storage"
 )
 
 // defaultSeeds is the fixed table exercised by a plain `go test`; CI
@@ -131,7 +133,7 @@ func TestGeneratorShapes(t *testing.T) {
 		if len(c.Statements) < len(stmtKinds) {
 			t.Fatalf("seed %d: only %d statements", seed, len(c.Statements))
 		}
-		s, _, err := buildSession(c, false, "", false, false, false, false)
+		s, _, err := buildSession(c, false, "", false, false, false, false, 0)
 		if err != nil {
 			t.Fatalf("seed %d: %v", seed, err)
 		}
@@ -172,7 +174,7 @@ func TestLatticeViewsGenerated(t *testing.T) {
 		if len(c.LatticeViews) == 0 {
 			t.Fatalf("seed %d: no lattice views generated", seed)
 		}
-		if _, _, err := buildSession(c, false, "lattice", false, false, false, false); err != nil {
+		if _, _, err := buildSession(c, false, "lattice", false, false, false, false, 0); err != nil {
 			t.Fatalf("seed %d: %v", seed, err)
 		}
 	}
@@ -185,7 +187,7 @@ func TestFeasibleStrategiesCovered(t *testing.T) {
 	counts := make(map[string]int)
 	for _, seed := range defaultSeeds {
 		c := Generate(seed)
-		s, _, err := buildSession(c, false, "", false, false, false, false)
+		s, _, err := buildSession(c, false, "", false, false, false, false, 0)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -203,6 +205,125 @@ func TestFeasibleStrategiesCovered(t *testing.T) {
 		if counts[want] == 0 {
 			t.Errorf("no statement admits a %s plan across the default seeds (%v)", want, counts)
 		}
+	}
+}
+
+// copyFact rebuilds a resident fact table row by row so two sessions
+// can append to independent storage while sharing the schema.
+func copyFact(f *storage.FactTable) *storage.FactTable {
+	cp := storage.NewFactTable(f.Schema)
+	cp.Reserve(f.Rows())
+	keys := make([]int32, len(f.Keys))
+	vals := make([]float64, len(f.Meas))
+	for r := 0; r < f.Rows(); r++ {
+		for h := range keys {
+			keys[h] = f.Keys[h][r]
+		}
+		for m := range vals {
+			vals[m] = f.Meas[m][r]
+		}
+		cp.MustAppend(keys, vals)
+	}
+	return cp
+}
+
+// TestShardedAppendReconciliation sweeps the statement batch across an
+// unsharded reference and a multi-shard scatter-gather cluster, then
+// appends rows through the coordinator mid-sweep and sweeps again.
+// Results must stay bit-exact, and the sharded session's generation
+// must advance with the appends: the coordinator routes each row to
+// its hash shard, mirrors it into the local copy, and absorbs the
+// reported shard generation without double-counting — the machinery
+// qcache/view coherence rides on (the sharded session runs with the
+// query cache enabled so a stale post-append hit would diverge).
+// ORACLE_SEEDS widens the sweep in CI like TestDifferential.
+func TestShardedAppendReconciliation(t *testing.T) {
+	for _, seed := range seedsUnderTest(t) {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			t.Parallel()
+			c := Generate(seed)
+			res := core.NewSession()
+			if err := res.RegisterCube(TargetCube, c.Fact); err != nil {
+				t.Fatal(err)
+			}
+			if err := res.RegisterCube(ExtCube, c.ExtFact); err != nil {
+				t.Fatal(err)
+			}
+
+			// The sharded session needs its own local copies: coordinator
+			// appends write shard + local, and the reference appends must
+			// not land in the same storage twice.
+			shFact, shExt := copyFact(c.Fact), copyFact(c.ExtFact)
+			sh := core.NewSession()
+			if err := sh.RegisterCube(TargetCube, shFact); err != nil {
+				t.Fatal(err)
+			}
+			if err := sh.RegisterCube(ExtCube, shExt); err != nil {
+				t.Fatal(err)
+			}
+			shards := []int{2, 3, 5}[seed%3]
+			if err := shardSession(sh, shFact, shExt, shards, false, false); err != nil {
+				t.Fatal(err)
+			}
+			sh.EnableCache(0)
+			coord := sh.Distributed()
+
+			sweep := func(stage string) {
+				t.Helper()
+				for _, stmt := range c.Statements {
+					want, _, _, err := execTracked(res, stmt, plan.NP)
+					if err != nil {
+						t.Fatalf("%s: reference: %v\n  stmt: %s", stage, err, stmt)
+					}
+					got, _, _, err := execTracked(sh, stmt, plan.NP)
+					if err != nil {
+						t.Fatalf("%s: sharded: %v\n  stmt: %s", stage, err, stmt)
+					}
+					w, err := canonRows(want)
+					if err != nil {
+						t.Fatal(err)
+					}
+					g, err := canonRows(got)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if d := diffRows(w, g); d != "" {
+						t.Errorf("%s: sharded diverges from reference: %s\n  stmt: %s", stage, d, stmt)
+					}
+				}
+			}
+			sweep("cold")
+
+			// Mid-sweep appends: replay the first rows of the fact into the
+			// reference directly and into the cluster through the
+			// coordinator, which hashes each row to its shard.
+			const extra = 37
+			genBefore := sh.Generation()
+			keys := make([]int32, len(c.Schema.Hiers))
+			vals := make([]float64, len(c.Schema.Measures))
+			for r := 0; r < extra; r++ {
+				for h := range keys {
+					keys[h] = c.Fact.Keys[h][r]
+				}
+				for m := range vals {
+					vals[m] = c.Fact.Meas[m][r]
+				}
+				if err := c.Fact.Append(keys, vals); err != nil {
+					t.Fatal(err)
+				}
+				if err := coord.Append(context.Background(), TargetCube, keys, vals); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if got := sh.Generation(); got != genBefore+extra {
+				t.Fatalf("generation after %d coordinator appends: %d, want %d", extra, got, genBefore+extra)
+			}
+			if shFact.Rows() != c.Fact.Rows() {
+				t.Fatalf("row counts diverge: sharded local %d, reference %d", shFact.Rows(), c.Fact.Rows())
+			}
+			sweep("after-append")
+		})
 	}
 }
 

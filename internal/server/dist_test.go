@@ -1,0 +1,179 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"github.com/assess-olap/assess/internal/core"
+	"github.com/assess-olap/assess/internal/dist"
+	"github.com/assess-olap/assess/internal/mdm"
+	"github.com/assess-olap/assess/internal/sales"
+)
+
+// newDistServer builds a server whose session scatter-gathers over a
+// 2-shard in-process cluster sharded on the date level, with shard 0's
+// only client rigged to fail every scan. No replicas, no local
+// fallback: the policy decides the outcome.
+func newDistServer(t *testing.T, policy dist.Policy) *httptest.Server {
+	t.Helper()
+	session := core.NewSession()
+	ds := sales.FigureOne()
+	if err := session.RegisterCube("SALES", ds.Fact); err != nil {
+		t.Fatal(err)
+	}
+	level := mdm.LevelRef{Hier: 0, Level: 0} // date
+	lc := dist.NewLocalCluster(2)
+	if err := lc.AddFact("SALES", ds.Fact, level); err != nil {
+		t.Fatal(err)
+	}
+	chains := lc.Clients()
+	chains[0] = chains[0][:1]
+	chains[0][0].(*dist.LocalClient).Hook = func(context.Context) error {
+		return errors.New("injected shard failure")
+	}
+	coord := dist.NewCoordinator(session.Engine, dist.Config{Policy: policy})
+	if err := coord.AddTable("SALES", level, chains, false); err != nil {
+		t.Fatal(err)
+	}
+	session.EnableDistributed(coord)
+	srv := httptest.NewServer(New(session).Handler())
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+// TestDistPolicyFailReturns503 loses a shard under the fail policy: the
+// handler must answer 503 with the unavailable error kind rather than a
+// silently incomplete cube.
+func TestDistPolicyFailReturns503(t *testing.T) {
+	srv := newDistServer(t, dist.PolicyFail)
+	resp, body := post(t, srv, "/assess", map[string]any{"statement": siblingStatement})
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status %d, want 503: %s", resp.StatusCode, body)
+	}
+	var out struct {
+		Error string `json:"error"`
+		Kind  string `json:"kind"`
+	}
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Kind != "unavailable" {
+		t.Errorf("error kind = %q, want unavailable: %s", out.Kind, body)
+	}
+}
+
+// TestDistPolicyPartialAnnotates loses a shard under the partial
+// policy: both /assess and /query must succeed and carry the partial
+// flag plus the degraded shard tags, and /stats must expose the dist
+// section with the partial counter.
+func TestDistPolicyPartialAnnotates(t *testing.T) {
+	srv := newDistServer(t, dist.PolicyPartial)
+
+	resp, body := post(t, srv, "/assess", map[string]any{"statement": siblingStatement})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/assess status %d: %s", resp.StatusCode, body)
+	}
+	var aout struct {
+		Partial        bool     `json:"partial"`
+		DegradedShards []string `json:"degradedShards"`
+	}
+	if err := json.Unmarshal(body, &aout); err != nil {
+		t.Fatal(err)
+	}
+	if !aout.Partial || len(aout.DegradedShards) == 0 {
+		t.Fatalf("/assess partial annotation missing: %s", body)
+	}
+	if aout.DegradedShards[0] != "SALES/0" {
+		t.Errorf("degraded shards = %v, want [SALES/0]", aout.DegradedShards)
+	}
+
+	resp, body = post(t, srv, "/query", map[string]any{
+		"statement": `with SALES for country = 'Italy' by product, country get quantity`,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/query status %d: %s", resp.StatusCode, body)
+	}
+	var qout struct {
+		Partial        bool     `json:"partial"`
+		DegradedShards []string `json:"degradedShards"`
+	}
+	if err := json.Unmarshal(body, &qout); err != nil {
+		t.Fatal(err)
+	}
+	if !qout.Partial || len(qout.DegradedShards) == 0 {
+		t.Fatalf("/query partial annotation missing: %s", body)
+	}
+
+	sresp, err := http.Get(srv.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sresp.Body.Close()
+	var stats struct {
+		Dist *dist.Stats `json:"dist"`
+	}
+	if err := json.NewDecoder(sresp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Dist == nil {
+		t.Fatal("/stats has no dist section")
+	}
+	if stats.Dist.Partials == 0 {
+		t.Errorf("dist stats report no partial fanouts: %+v", stats.Dist)
+	}
+	if len(stats.Dist.Tables) != 1 || stats.Dist.Tables[0].Fact != "SALES" {
+		t.Errorf("dist table snapshot = %+v", stats.Dist.Tables)
+	}
+}
+
+// TestDistHealthyClusterServesExact is the control: with both shards
+// healthy the distributed server answers the same assessment as the
+// solo server, with no partial annotation.
+func TestDistHealthyClusterServesExact(t *testing.T) {
+	session := core.NewSession()
+	ds := sales.FigureOne()
+	if err := session.RegisterCube("SALES", ds.Fact); err != nil {
+		t.Fatal(err)
+	}
+	level := mdm.LevelRef{Hier: 0, Level: 0}
+	lc := dist.NewLocalCluster(3)
+	if err := lc.AddFact("SALES", ds.Fact, level); err != nil {
+		t.Fatal(err)
+	}
+	coord := dist.NewCoordinator(session.Engine, dist.Config{})
+	if err := coord.AddTable("SALES", level, lc.Clients(), true); err != nil {
+		t.Fatal(err)
+	}
+	session.EnableDistributed(coord)
+	srv := httptest.NewServer(New(session).Handler())
+	t.Cleanup(srv.Close)
+
+	resp, body := post(t, srv, "/assess", map[string]any{"statement": siblingStatement})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var out struct {
+		Partial bool `json:"partial"`
+		Rows    []struct {
+			Coordinate []string `json:"coordinate"`
+			Label      string   `json:"label"`
+		} `json:"rows"`
+	}
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Partial {
+		t.Error("healthy cluster answered partial")
+	}
+	labels := map[string]string{}
+	for _, r := range out.Rows {
+		labels[r.Coordinate[0]] = r.Label
+	}
+	if labels["Apple"] != "bad" || labels["Pear"] != "ok" || labels["Lemon"] != "ok" {
+		t.Errorf("labels = %v", labels)
+	}
+}

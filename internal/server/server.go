@@ -10,6 +10,7 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -20,6 +21,7 @@ import (
 	"time"
 
 	"github.com/assess-olap/assess/internal/core"
+	"github.com/assess-olap/assess/internal/dist"
 	"github.com/assess-olap/assess/internal/engine"
 	"github.com/assess-olap/assess/internal/exec"
 	"github.com/assess-olap/assess/internal/obsv"
@@ -164,6 +166,11 @@ type assessResponse struct {
 	// Cache is "hit" or "miss" when the session has a query-result
 	// cache, omitted when caching is off.
 	Cache string `json:"cache,omitempty"`
+	// Partial marks a degraded distributed result: one or more shards
+	// were unreachable and the coordinator's policy is "partial".
+	// DegradedShards lists them as "FACT/shard" tags.
+	Partial        bool     `json:"partial,omitempty"`
+	DegradedShards []string `json:"degradedShards,omitempty"`
 	// Trace is the span tree of this request (?trace=1 only).
 	Trace *obsv.SpanJSON `json:"trace,omitempty"`
 	Rows  []resultRow    `json:"rows"`
@@ -251,6 +258,7 @@ func (s *Server) assess(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	ctx, finish := withTrace(r, req.Trace)
+	ctx, note := s.trackPartial(ctx)
 	start := time.Now()
 	defer func() { release(time.Since(start)) }()
 	var (
@@ -303,6 +311,10 @@ func (s *Server) assess(w http.ResponseWriter, r *http.Request) {
 		Trace:     trace,
 		Rows:      make([]resultRow, len(rows)),
 	}
+	if note != nil && note.Partial() {
+		resp.Partial = true
+		resp.DegradedShards = note.DegradedShards()
+	}
 	for p, d := range res.Breakdown {
 		if d > 0 {
 			resp.Breakdown[plan.Phase(p).String()] = float64(d) / float64(time.Millisecond)
@@ -322,12 +334,26 @@ func (s *Server) assess(w http.ResponseWriter, r *http.Request) {
 
 // queryResponse is the body of a /query response: the derived cube.
 type queryResponse struct {
-	Levels   []string         `json:"levels"`
-	Measures []string         `json:"measures"`
-	Cells    int              `json:"cells"`
-	TotalMs  float64          `json:"totalMs"`
-	Trace    *obsv.SpanJSON   `json:"trace,omitempty"`
-	Rows     []map[string]any `json:"rows"`
+	Levels   []string `json:"levels"`
+	Measures []string `json:"measures"`
+	Cells    int      `json:"cells"`
+	TotalMs  float64  `json:"totalMs"`
+	// Partial / DegradedShards mirror assessResponse: set when shards
+	// were lost and the coordinator served a degraded result.
+	Partial        bool             `json:"partial,omitempty"`
+	DegradedShards []string         `json:"degradedShards,omitempty"`
+	Trace          *obsv.SpanJSON   `json:"trace,omitempty"`
+	Rows           []map[string]any `json:"rows"`
+}
+
+// trackPartial wraps ctx with a dist.PartialNote when the session runs
+// a distributed coordinator, so handlers can annotate degraded results
+// under the partial policy. Returns a nil note otherwise.
+func (s *Server) trackPartial(ctx context.Context) (context.Context, *dist.PartialNote) {
+	if s.session.Distributed() == nil {
+		return ctx, nil
+	}
+	return dist.TrackPartial(ctx)
 }
 
 // query evaluates a plain cube query (get statement).
@@ -341,6 +367,7 @@ func (s *Server) query(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	ctx, finish := withTrace(r, req.Trace)
+	ctx, note := s.trackPartial(ctx)
 	start := time.Now()
 	defer func() { release(time.Since(start)) }()
 	qr, err := s.session.QueryContext(ctx, req.Statement)
@@ -360,6 +387,10 @@ func (s *Server) query(w http.ResponseWriter, r *http.Request) {
 		Cells:    c.Len(),
 		TotalMs:  float64(qr.Total) / float64(time.Millisecond),
 		Trace:    finish(),
+	}
+	if note != nil && note.Partial() {
+		resp.Partial = true
+		resp.DegradedShards = note.DegradedShards()
 	}
 	for _, g := range c.Group {
 		resp.Levels = append(resp.Levels, c.Schema.LevelName(g))
@@ -438,6 +469,10 @@ type statsResponse struct {
 	// Scheduler is the shared-scan batcher and admission-control section,
 	// null when neither is enabled.
 	Scheduler *schedStats `json:"scheduler,omitempty"`
+	// Dist is the scatter-gather coordinator section — per-table shard
+	// snapshots (targets, generation, scans, errors, redispatches,
+	// fallbacks) — null when the session is not distributed.
+	Dist *dist.Stats `json:"dist,omitempty"`
 	// UptimeSeconds counts from server construction.
 	UptimeSeconds float64 `json:"uptimeSeconds"`
 	Goroutines    int     `json:"goroutines"`
@@ -474,6 +509,9 @@ func (s *Server) stats(w http.ResponseWriter, r *http.Request) {
 	}
 	if sc.Batcher != nil || sc.Admission != nil {
 		resp.Scheduler = &sc
+	}
+	if ds, ok := s.session.DistStats(); ok {
+		resp.Dist = &ds
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -544,12 +582,17 @@ func parsePlan(name string) (plan.Strategy, error) {
 	return 0, fmt.Errorf("unknown plan %q (want best, cost, np, jop, or pop)", name)
 }
 
-// statusFor maps statement errors to 400 and everything else to 500.
+// statusFor maps statement errors to 400, shard unavailability under
+// the fail policy to 503, and everything else to 422.
 func statusFor(err error) int {
 	var syn *parser.SyntaxError
 	var sem *semantic.BindError
 	if errors.As(err, &syn) || errors.As(err, &sem) {
 		return http.StatusBadRequest
+	}
+	var unavail *dist.Unavailable
+	if errors.As(err, &unavail) {
+		return http.StatusServiceUnavailable
 	}
 	return http.StatusUnprocessableEntity
 }
@@ -578,6 +621,10 @@ func writeError(w http.ResponseWriter, r *http.Request, status int, err error) {
 		kind = "syntax"
 	case errors.As(err, &sem):
 		kind = "semantic"
+	}
+	var unavail *dist.Unavailable
+	if errors.As(err, &unavail) {
+		kind = "unavailable"
 	}
 	writeJSON(w, status, errorResponse{Error: err.Error(), Kind: kind, RequestID: requestID(r.Context())})
 }

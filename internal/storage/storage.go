@@ -44,6 +44,14 @@ type FactTable struct {
 // segment-backed tables, so reopening mid-process never rewinds it).
 func (f *FactTable) Version() uint64 { return f.version.Load() }
 
+// AdvanceVersion bumps the version by delta without appending rows. The
+// distributed coordinator uses it to reconcile shard generations: when
+// a shard reports appends the coordinator has not accounted for (or a
+// result is degraded to a partial), advancing the local version
+// invalidates cached results and stale views exactly as local appends
+// would.
+func (f *FactTable) AdvanceVersion(delta uint64) { f.version.Add(delta) }
+
 // NewFactTable creates an empty resident fact table for the schema.
 func NewFactTable(s *mdm.Schema) *FactTable {
 	return &FactTable{

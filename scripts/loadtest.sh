@@ -78,3 +78,40 @@ import json, sys
 sched = json.load(sys.stdin).get("scheduler") or {}
 print(json.dumps(sched, indent=2))
 '
+
+echo
+echo "== sharded: restart with a 2-worker in-process scatter-gather cluster"
+kill "$server_pid" 2>/dev/null || true
+wait "$server_pid" 2>/dev/null || true
+"$bin/assessd" -addr "$ADDR" -data sales -rows "$ROWS" -parallel 0 \
+    -shards 2 -dist-policy partial \
+    -max-queue "$MAX_QUEUE" -admit-slots "$ADMIT_SLOTS" \
+    -slow-query-ms 0 2>"$bin/assessd-sharded.log" &
+server_pid=$!
+for _ in $(seq 1 100); do
+    if curl -fsS "http://$ADDR/healthz" >/dev/null 2>&1; then
+        break
+    fi
+    if ! kill -0 "$server_pid" 2>/dev/null; then
+        echo "sharded assessd exited during startup:" >&2
+        cat "$bin/assessd-sharded.log" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+curl -fsS "http://$ADDR/healthz" >/dev/null
+
+# -targets round-robins the generator across coordinator handles (here
+# the same coordinator twice, doubling per-target concurrency).
+"$bin/loadgen" -targets "http://$ADDR,http://$ADDR" \
+    -mode closed -workers "$WORKERS" -per-worker "$PER_WORKER"
+
+echo
+echo "== shard coordinator counters"
+curl -fsS "http://$ADDR/stats" | python3 -c '
+import json, sys
+dist = json.load(sys.stdin).get("dist") or {}
+print(json.dumps(dist, indent=2))
+if not dist.get("fanouts"):
+    sys.exit("no scatter-gather fanouts recorded; distribution inactive")
+'
