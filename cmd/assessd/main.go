@@ -24,6 +24,7 @@
 //
 //	assessd [-addr :8080] [-data sales|ssb] [-rows 50000] [-sf 0.01]
 //	        [-seed 42] [-load cube.bin] [-store-dir DIR] [-resident]
+//	        [-store-eager] [-store-gather-cutoff 0.25]
 //	        [-worker] [-shards N] [-shard-index I] [-shard-addrs URLS]
 //	        [-shard-level LEVEL] [-shard-timeout 2s] [-dist-policy fail|partial]
 //	        [-parallel 0]
@@ -60,14 +61,18 @@ import (
 
 func main() {
 	var (
-		addr      = flag.String("addr", ":8080", "listen address")
-		data      = flag.String("data", "sales", "dataset: sales or ssb")
-		rows      = flag.Int("rows", 50_000, "fact rows for the sales dataset")
-		sf        = flag.Float64("sf", 0.01, "scale factor for the ssb dataset")
-		seed      = flag.Int64("seed", 42, "generator seed")
-		load      = flag.String("load", "", "serve a cube loaded from a file instead of generating one")
-		storeDir  = flag.String("store-dir", "", "serve cubes from columnar segment directories (out-of-core; see ssbgen -out-dir)")
-		resident  = flag.Bool("resident", false, "with -store-dir, load the segment directories fully into memory")
+		addr       = flag.String("addr", ":8080", "listen address")
+		data       = flag.String("data", "sales", "dataset: sales or ssb")
+		rows       = flag.Int("rows", 50_000, "fact rows for the sales dataset")
+		sf         = flag.Float64("sf", 0.01, "scale factor for the ssb dataset")
+		seed       = flag.Int64("seed", 42, "generator seed")
+		load       = flag.String("load", "", "serve a cube loaded from a file instead of generating one")
+		storeDir   = flag.String("store-dir", "", "serve cubes from columnar segment directories (out-of-core; see ssbgen -out-dir)")
+		resident   = flag.Bool("resident", false, "with -store-dir, load the segment directories fully into memory")
+		storeEager = flag.Bool("store-eager", false,
+			"with -store-dir, disable late materialization: decode every needed column in full (debug/compare)")
+		storeGather = flag.Float64("store-gather-cutoff", -1,
+			"with -store-dir, selectivity at or below which surviving rows are gather-decoded (0 disables, <0 = default)")
 		parallel  = flag.Int("parallel", 1, "fact-scan parallelism (0 = all cores)")
 		denseBudg = flag.Int("dense-budget", engine.DefaultDenseKeyBudget,
 			"dense aggregation key-space budget in slots (0 = hash kernels only)")
@@ -117,7 +122,16 @@ func main() {
 		policy:     *distPolicy,
 	}
 
-	session, closeStores, err := open(*data, *rows, *sf, *seed, *load, *storeDir, *resident)
+	// Flag semantics (-1 = library default, 0 = disable) invert the
+	// colstore convention (0 = default, <0 = disable); translate here.
+	storeOpts := colstore.Options{Eager: *storeEager}
+	switch {
+	case *storeGather == 0:
+		storeOpts.GatherCutoff = -1
+	case *storeGather > 0:
+		storeOpts.GatherCutoff = *storeGather
+	}
+	session, closeStores, err := open(*data, *rows, *sf, *seed, *load, *storeDir, *resident, storeOpts)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -250,10 +264,10 @@ func openSlowLog(path string, threshold time.Duration) (*obsv.SlowLog, error) {
 	return obsv.NewSlowLog(f, threshold), nil
 }
 
-func open(data string, rows int, sf float64, seed int64, load, storeDir string, resident bool) (*assess.Session, func(), error) {
+func open(data string, rows int, sf float64, seed int64, load, storeDir string, resident bool, opts colstore.Options) (*assess.Session, func(), error) {
 	noop := func() {}
 	if storeDir != "" {
-		return openStoreDir(storeDir, resident)
+		return openStoreDir(storeDir, resident, opts)
 	}
 	if load != "" {
 		f, err := assess.LoadCubeFile(load)
@@ -279,7 +293,7 @@ func open(data string, rows int, sf float64, seed int64, load, storeDir string, 
 // store subdirectories are each registered under their schema name.
 // Out-of-core by default; -resident decodes everything into memory.
 // The returned function closes the underlying stores.
-func openStoreDir(dir string, resident bool) (*assess.Session, func(), error) {
+func openStoreDir(dir string, resident bool, opts colstore.Options) (*assess.Session, func(), error) {
 	s := assess.NewSession()
 	var closers []func() error
 	closeAll := func() {
@@ -301,7 +315,7 @@ func openStoreDir(dir string, resident bool) (*assess.Session, func(), error) {
 			}
 		} else {
 			var st *colstore.Store
-			if f, st, err = persist.OpenCubeDir(sub, colstore.Options{}); err != nil {
+			if f, st, err = persist.OpenCubeDir(sub, opts); err != nil {
 				return nil, closeAll, fmt.Errorf("assessd: %s: %w", sub, err)
 			}
 			closers = append(closers, st.Close)

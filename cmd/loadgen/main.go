@@ -43,14 +43,20 @@ func main() {
 		seed      = flag.Int64("seed", 42, "statement-mix seed")
 		tenants   = flag.Int("tenants", 3, "distinct tenants in the mix (0 disables the header)")
 		timeout   = flag.Duration("timeout", 30*time.Second, "per-request timeout")
+		selective = flag.Float64("selectivity", 0,
+			"fraction of draws taken from the narrow-predicate statement set (0..1; exercises late materialization)")
 	)
 	flag.Parse()
 
 	mix := loadtest.DefaultSalesMix()
 	mix.Path = *endpoint
+	mix.Selectivity = *selective
 	if *endpoint == "/assess" {
 		for i, s := range mix.Statements {
 			mix.Statements[i] = strings.Replace(s, " get ", " assess ", 1) + " labels quartiles"
+		}
+		for i, s := range mix.Selective {
+			mix.Selective[i] = strings.Replace(s, " get ", " assess ", 1) + " labels quartiles"
 		}
 	}
 	mix.Tenants = mix.Tenants[:0]

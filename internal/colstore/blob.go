@@ -16,6 +16,12 @@ type blob interface {
 	// way the result is only valid until the next call with the same
 	// scratch.
 	bytes(off int64, n int, scratch *[]byte) ([]byte, error)
+	// stable reports whether repeated bytes calls for the same range
+	// return the same memory (mmap): true lets the reader cache
+	// integrity checks per open segment instead of re-verifying every
+	// fetch. pread blobs refill scratch from the file each time, so
+	// each fetch could observe different bytes and must re-verify.
+	stable() bool
 	close() error
 }
 
@@ -33,6 +39,8 @@ func (b preadBlob) bytes(off int64, n int, scratch *[]byte) ([]byte, error) {
 	}
 	return buf, nil
 }
+
+func (b preadBlob) stable() bool { return false }
 
 func (b preadBlob) close() error { return b.f.Close() }
 
@@ -67,6 +75,13 @@ type segment struct {
 	blob blob
 	foot *footer
 	refs atomic.Int32
+	// verified caches per-column CRC checks for stable blobs: segment
+	// files are immutable and an mmap view returns the same memory on
+	// every fetch, so each payload is verified on first decode and
+	// trusted for the rest of the segment's open lifetime. nil for
+	// pread blobs, which re-verify every fetch. Indexed key columns
+	// first, then measures.
+	verified []atomic.Bool
 	// removeOnRelease unlinks the file once the last reference drops —
 	// set when compaction replaces the segment.
 	removeOnRelease atomic.Bool
@@ -97,6 +112,9 @@ func openSegment(path string, noMmap bool) (*segment, error) {
 		return nil, err
 	}
 	s := &segment{path: path, blob: b, foot: foot}
+	if b.stable() {
+		s.verified = make([]atomic.Bool, len(foot.keys)+len(foot.meas))
+	}
 	s.refs.Store(1)
 	return s, nil
 }

@@ -228,7 +228,7 @@ func (st *Store) concatSegments(segs []*segment, rows int) ([][]int32, [][]float
 	}
 	var sc storage.BlockScratch
 	for _, s := range segs {
-		cols, err := s.decodeInto(storage.ColSet{}, &sc)
+		cols, _, err := s.decodeInto(storage.ColSet{}, nil, 0, &sc)
 		if err != nil {
 			return nil, nil, err
 		}

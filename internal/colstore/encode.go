@@ -97,10 +97,82 @@ func decodeKeys(dst []int32, enc, width uint8, base uint64, payload []byte) {
 			dst[i] = int32(binary.LittleEndian.Uint32(payload[4*i:]))
 		}
 	default: // kencPacked
-		lo, w := int32(uint32(base)), uint(width)
+		unpackWordsKeys(dst, int32(uint32(base)), uint(width), payload)
+	}
+}
+
+// unpackWordsKeys is the batched packed-key decoder: one 64-bit load
+// per group of values instead of one per value. After shifting off the
+// sub-byte offset a word holds ≥57 usable bits, so it fully contains
+// six values up to width 9, four up to 14, three up to 19, and two up
+// to 28; the group
+// members are extracted with independent shifts (no loop-carried
+// dependency, unlike a running bit-buffer) and bounds-check-free
+// stores. Byte-aligned widths skip the bit arithmetic entirely, and a
+// short per-slot tail finishes whatever the group loop leaves (the
+// payload's 8 pad bytes keep every whole-word read in bounds).
+func unpackWordsKeys(dst []int32, lo int32, w uint, payload []byte) {
+	switch w {
+	case 8:
 		for i := range dst {
-			dst[i] = lo + int32(unpackU64(payload, i, w))
+			dst[i] = lo + int32(payload[i])
 		}
+		return
+	case 16:
+		for i := range dst {
+			dst[i] = lo + int32(binary.LittleEndian.Uint16(payload[2*i:]))
+		}
+		return
+	case 32:
+		for i := range dst {
+			dst[i] = lo + int32(binary.LittleEndian.Uint32(payload[4*i:]))
+		}
+		return
+	}
+	mask := uint64(1)<<w - 1
+	n, i, bp := len(dst), 0, 0
+	switch {
+	case w <= 9: // six values per load
+		w2, w3, w4, w5, step := 2*w, 3*w, 4*w, 5*w, 6*int(w)
+		for ; i+6 <= n; i, bp = i+6, bp+step {
+			word := binary.LittleEndian.Uint64(payload[bp>>3:]) >> uint(bp&7)
+			d := dst[i : i+6 : i+6]
+			d[0] = lo + int32(word&mask)
+			d[1] = lo + int32(word>>w&mask)
+			d[2] = lo + int32(word>>w2&mask)
+			d[3] = lo + int32(word>>w3&mask)
+			d[4] = lo + int32(word>>w4&mask)
+			d[5] = lo + int32(word>>w5&mask)
+		}
+	case w <= 14: // four values per load
+		w2, w3, step := 2*w, 3*w, 4*int(w)
+		for ; i+4 <= n; i, bp = i+4, bp+step {
+			word := binary.LittleEndian.Uint64(payload[bp>>3:]) >> uint(bp&7)
+			d := dst[i : i+4 : i+4]
+			d[0] = lo + int32(word&mask)
+			d[1] = lo + int32(word>>w&mask)
+			d[2] = lo + int32(word>>w2&mask)
+			d[3] = lo + int32(word>>w3&mask)
+		}
+	case w <= 19: // three values per load
+		w2, step := 2*w, 3*int(w)
+		for ; i+3 <= n; i, bp = i+3, bp+step {
+			word := binary.LittleEndian.Uint64(payload[bp>>3:]) >> uint(bp&7)
+			d := dst[i : i+3 : i+3]
+			d[0] = lo + int32(word&mask)
+			d[1] = lo + int32(word>>w&mask)
+			d[2] = lo + int32(word>>w2&mask)
+		}
+	case w <= 28: // two values per load
+		for ; i+2 <= n; i, bp = i+2, bp+2*int(w) {
+			word := binary.LittleEndian.Uint64(payload[bp>>3:]) >> uint(bp&7)
+			d := dst[i : i+2 : i+2]
+			d[0] = lo + int32(word&mask)
+			d[1] = lo + int32(word>>w&mask)
+		}
+	}
+	for ; i < n; i++ {
+		dst[i] = lo + int32(unpackU64(payload, i, w))
 	}
 }
 
@@ -185,21 +257,203 @@ func decodeMeas(dst []float64, enc, width uint8, base uint64, payload []byte) {
 			dst[i] = v
 		}
 	case mencFOR:
-		lo, w := int64(base), uint(width)
-		for i := range dst {
-			dst[i] = float64(lo + int64(unpackU64(payload, i, w)))
-		}
+		unpackWordsFOR(dst, int64(base), uint(width), payload)
 	case mencDelta:
-		v, w := int64(base), uint(width)
-		for i := range dst {
-			v += unzigzag(unpackU64(payload, i, w))
-			dst[i] = float64(v)
-		}
+		unpackWordsDelta(dst, int64(base), uint(width), payload)
 	default: // mencRaw
 		for i := range dst {
 			dst[i] = math.Float64frombits(binary.LittleEndian.Uint64(payload[8*i:]))
 		}
 	}
+}
+
+// unpackWordsFOR is the batched frame-of-reference measure decoder;
+// same group-load structure as unpackWordsKeys (widths above 28 — rare
+// for FOR deltas — fall through to the per-slot tail).
+func unpackWordsFOR(dst []float64, lo int64, w uint, payload []byte) {
+	switch w {
+	case 8:
+		for i := range dst {
+			dst[i] = float64(lo + int64(payload[i]))
+		}
+		return
+	case 16:
+		for i := range dst {
+			dst[i] = float64(lo + int64(binary.LittleEndian.Uint16(payload[2*i:])))
+		}
+		return
+	case 32:
+		for i := range dst {
+			dst[i] = float64(lo + int64(binary.LittleEndian.Uint32(payload[4*i:])))
+		}
+		return
+	}
+	mask := uint64(1)<<w - 1
+	n, i, bp := len(dst), 0, 0
+	switch {
+	case w <= 9: // six values per load
+		w2, w3, w4, w5, step := 2*w, 3*w, 4*w, 5*w, 6*int(w)
+		for ; i+6 <= n; i, bp = i+6, bp+step {
+			word := binary.LittleEndian.Uint64(payload[bp>>3:]) >> uint(bp&7)
+			d := dst[i : i+6 : i+6]
+			d[0] = float64(lo + int64(word&mask))
+			d[1] = float64(lo + int64(word>>w&mask))
+			d[2] = float64(lo + int64(word>>w2&mask))
+			d[3] = float64(lo + int64(word>>w3&mask))
+			d[4] = float64(lo + int64(word>>w4&mask))
+			d[5] = float64(lo + int64(word>>w5&mask))
+		}
+	case w <= 14: // four values per load
+		w2, w3, step := 2*w, 3*w, 4*int(w)
+		for ; i+4 <= n; i, bp = i+4, bp+step {
+			word := binary.LittleEndian.Uint64(payload[bp>>3:]) >> uint(bp&7)
+			d := dst[i : i+4 : i+4]
+			d[0] = float64(lo + int64(word&mask))
+			d[1] = float64(lo + int64(word>>w&mask))
+			d[2] = float64(lo + int64(word>>w2&mask))
+			d[3] = float64(lo + int64(word>>w3&mask))
+		}
+	case w <= 19: // three values per load
+		w2, step := 2*w, 3*int(w)
+		for ; i+3 <= n; i, bp = i+3, bp+step {
+			word := binary.LittleEndian.Uint64(payload[bp>>3:]) >> uint(bp&7)
+			d := dst[i : i+3 : i+3]
+			d[0] = float64(lo + int64(word&mask))
+			d[1] = float64(lo + int64(word>>w&mask))
+			d[2] = float64(lo + int64(word>>w2&mask))
+		}
+	case w <= 28: // two values per load
+		for ; i+2 <= n; i, bp = i+2, bp+2*int(w) {
+			word := binary.LittleEndian.Uint64(payload[bp>>3:]) >> uint(bp&7)
+			d := dst[i : i+2 : i+2]
+			d[0] = float64(lo + int64(word&mask))
+			d[1] = float64(lo + int64(word>>w&mask))
+		}
+	}
+	for ; i < n; i++ {
+		dst[i] = float64(lo + int64(unpackU64(payload, i, w)))
+	}
+}
+
+// unpackWordsDelta is the word-at-a-time zig-zag delta measure decoder.
+// The running sum is loop-carried, but each payload word is still loaded
+// exactly once.
+func unpackWordsDelta(dst []float64, v0 int64, w uint, payload []byte) {
+	v := v0
+	switch w {
+	case 8:
+		for i := range dst {
+			v += unzigzag(uint64(payload[i]))
+			dst[i] = float64(v)
+		}
+		return
+	case 16:
+		for i := range dst {
+			v += unzigzag(uint64(binary.LittleEndian.Uint16(payload[2*i:])))
+			dst[i] = float64(v)
+		}
+		return
+	case 32:
+		for i := range dst {
+			v += unzigzag(uint64(binary.LittleEndian.Uint32(payload[4*i:])))
+			dst[i] = float64(v)
+		}
+		return
+	}
+	mask := uint64(1)<<w - 1
+	kFull := int(64 / w) // values fully inside a fresh word; hoists the division
+	n, i, pos := len(dst), 0, 0
+	var carry uint64
+	var cb uint
+	for i < n {
+		word := binary.LittleEndian.Uint64(payload[pos:])
+		pos += 8
+		avail := uint(64)
+		if cb != 0 {
+			v += unzigzag(carry | word<<cb&mask)
+			dst[i] = float64(v)
+			i++
+			word >>= w - cb
+			avail -= w - cb
+			cb = 0
+		}
+		k := kFull
+		if uint(k)*w > avail {
+			k--
+		}
+		if rem := n - i; k > rem {
+			k = rem
+		}
+		d := dst[i : i+k]
+		for j := range d {
+			v += unzigzag(word & mask)
+			d[j] = float64(v)
+			word >>= w
+		}
+		i += k
+		carry, cb = word, avail-uint(k)*w
+	}
+}
+
+// gatherKeys decodes only the rows set in sel (a little-endian row
+// bitmap) out of a key payload, leaving every other slot of dst
+// untouched — callers must read selected rows only. It reports whether
+// the encoding supports random access: kencPacked and kencRaw do;
+// kencConst never carries a payload and is decoded for free.
+func gatherKeys(dst []int32, enc, width uint8, base uint64, payload []byte, sel []uint64) bool {
+	switch enc {
+	case kencPacked:
+		lo, w := int32(uint32(base)), uint(width)
+		for wi, word := range sel {
+			for word != 0 {
+				r := wi<<6 + bits.TrailingZeros64(word)
+				word &= word - 1
+				dst[r] = lo + int32(unpackU64(payload, r, w))
+			}
+		}
+		return true
+	case kencRaw:
+		for wi, word := range sel {
+			for word != 0 {
+				r := wi<<6 + bits.TrailingZeros64(word)
+				word &= word - 1
+				dst[r] = int32(binary.LittleEndian.Uint32(payload[4*r:]))
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// gatherMeas decodes only the rows set in sel (a little-endian row
+// bitmap) out of a measure payload, leaving every other slot of dst
+// untouched — callers must read selected rows only. It reports whether
+// the encoding supports random access: mencRaw and mencFOR do, mencDelta
+// does not (each value depends on the running sum) and mencConst never
+// reaches here (decoded for free).
+func gatherMeas(dst []float64, enc, width uint8, base uint64, payload []byte, sel []uint64) bool {
+	switch enc {
+	case mencRaw:
+		for wi, word := range sel {
+			for word != 0 {
+				r := wi<<6 + bits.TrailingZeros64(word)
+				word &= word - 1
+				dst[r] = math.Float64frombits(binary.LittleEndian.Uint64(payload[8*r:]))
+			}
+		}
+		return true
+	case mencFOR:
+		lo, w := int64(base), uint(width)
+		for wi, word := range sel {
+			for word != 0 {
+				r := wi<<6 + bits.TrailingZeros64(word)
+				word &= word - 1
+				dst[r] = float64(lo + int64(unpackU64(payload, r, w)))
+			}
+		}
+		return true
+	}
+	return false
 }
 
 func zigzag(v int64) uint64   { return uint64(v<<1) ^ uint64(v>>63) }

@@ -1,0 +1,213 @@
+// Late materialization: predicate-first evaluation over packed codes.
+// A scan's LevelPreds are prepared once into (a) sorted member sets with
+// min/max bounds for zone-map probes — a couple of comparisons and a
+// binary search per segment instead of a linear member sweep — and (b)
+// per-hierarchy acceptance vectors over base-level codes, derived from
+// the store's resident rollup maps exactly as the engine derives its
+// own, so code-space filtering is bit-exact with engine-side filtering.
+// decodeInto evaluates the vectors against decoded key columns before
+// touching any measure payload: const-encoded key columns resolve the
+// whole segment in O(1), packed columns produce a selection bitmap, an
+// empty bitmap skips measure decode entirely, and sparse selections
+// gather-decode only the surviving rows.
+package colstore
+
+import (
+	"math/bits"
+	"sort"
+
+	"github.com/assess-olap/assess/internal/storage"
+)
+
+// preparedPred is the prune-probe form of one LevelPred: members sorted,
+// with the min/max precomputed. An empty member set accepts nothing and
+// therefore prunes every segment.
+type preparedPred struct {
+	hier, level int
+	members     []int32 // sorted ascending
+	lo, hi      int32   // members[0], members[len-1]; lo > hi when empty
+}
+
+// scanPlan is the per-scan prepared predicate set: prune probes for the
+// zone maps plus per-hierarchy base-code acceptance vectors for
+// row-level code-space filtering.
+type scanPlan struct {
+	preds   []preparedPred
+	accepts [][]bool // per hierarchy; nil = no predicate on it
+	// filtered lists the hierarchies with non-nil accepts, so the block
+	// path iterates predicated hierarchies only.
+	filtered []int
+}
+
+// preparePreds builds the prune-probe forms alone (no acceptance
+// vectors); it needs nothing from the store, so shared scans can prepare
+// arbitrary predicate sets against an open snapshot.
+func preparePreds(preds []storage.LevelPred) []preparedPred {
+	if len(preds) == 0 {
+		return nil
+	}
+	pps := make([]preparedPred, len(preds))
+	for i, p := range preds {
+		pp := preparedPred{hier: p.Hier, level: p.Level, lo: 1, hi: 0}
+		pp.members = append([]int32(nil), p.Members...)
+		sort.Slice(pp.members, func(a, b int) bool { return pp.members[a] < pp.members[b] })
+		if len(pp.members) > 0 {
+			pp.lo, pp.hi = pp.members[0], pp.members[len(pp.members)-1]
+		}
+		pps[i] = pp
+	}
+	return pps
+}
+
+// prepare builds the full scan plan: prune probes plus acceptance
+// vectors over base codes via the store's rollup maps. Returns nil when
+// there is nothing to prepare.
+func (st *Store) prepare(preds []storage.LevelPred) *scanPlan {
+	if len(preds) == 0 {
+		return nil
+	}
+	plan := &scanPlan{preds: preparePreds(preds), accepts: make([][]bool, len(st.ruMaps))}
+	for _, p := range preds {
+		if p.Hier < 0 || p.Hier >= len(st.ruMaps) || p.Level < 0 || p.Level >= len(st.ruMaps[p.Hier]) {
+			continue
+		}
+		rm := st.ruMaps[p.Hier][p.Level]
+		want := make([]bool, st.schema.Hiers[p.Hier].Dict(p.Level).Len())
+		for _, m := range p.Members {
+			if int(m) < len(want) && m >= 0 {
+				want[m] = true
+			}
+		}
+		acc := plan.accepts[p.Hier]
+		if acc == nil {
+			acc = make([]bool, len(rm))
+			for base, lc := range rm {
+				acc[base] = want[lc]
+			}
+		} else {
+			// A second predicate on the same hierarchy intersects.
+			for base, lc := range rm {
+				acc[base] = acc[base] && want[lc]
+			}
+		}
+		plan.accepts[p.Hier] = acc
+	}
+	for h, acc := range plan.accepts {
+		if acc != nil {
+			plan.filtered = append(plan.filtered, h)
+		}
+	}
+	return plan
+}
+
+// prunedByPreds probes the zone maps with prepared predicates: identical
+// decisions to a linear sweep over the raw member lists (a segment is
+// pruned iff no accepted member falls inside its [lo, hi] code range),
+// but each probe is a range check plus one binary search.
+func (foot *footer) prunedByPreds(pps []preparedPred) bool {
+	for i := range pps {
+		p := &pps[i]
+		if p.hier >= len(foot.keys) || p.level >= len(foot.keys[p.hier].zones) {
+			continue
+		}
+		z := foot.keys[p.hier].zones[p.level]
+		if p.lo > z.hi || p.hi < z.lo {
+			return true
+		}
+		j := sort.Search(len(p.members), func(k int) bool { return p.members[k] >= z.lo })
+		if j == len(p.members) || p.members[j] > z.hi {
+			return true
+		}
+	}
+	return false
+}
+
+// selInit fills sel with the rows col's acceptance vector passes and
+// returns the surviving count. Trailing bits beyond len(col) stay zero.
+func selInit(sel []uint64, col []int32, acc []bool) int {
+	count := 0
+	for w := range sel {
+		c := col[w<<6:]
+		if len(c) > 64 {
+			c = c[:64]
+		}
+		var word uint64
+		for j, v := range c {
+			if acc[v] {
+				word |= 1 << uint(j)
+			}
+		}
+		sel[w] = word
+		count += bits.OnesCount64(word)
+	}
+	return count
+}
+
+// selInitPacked fills sel by evaluating acc against a bit-packed key
+// column straight off its payload — the column is never materialized.
+// 64·w bits is a whole number of bytes, so every 64-row block starts on
+// a byte boundary and batch-decodes independently into a stack buffer
+// that stays in L1; only the acceptance bits leave the register file.
+func selInitPacked(sel []uint64, rows int, acc []bool, lo int32, w uint, payload []byte) int {
+	var buf [64]int32
+	count := 0
+	for wi := range sel {
+		base := wi << 6
+		m := rows - base
+		if m > 64 {
+			m = 64
+		}
+		unpackWordsKeys(buf[:m], lo, w, payload[base/8*int(w):])
+		var word uint64
+		for j := 0; j < m; j++ {
+			if acc[buf[j]] {
+				word |= 1 << uint(j)
+			}
+		}
+		sel[wi] = word
+		count += bits.OnesCount64(word)
+	}
+	return count
+}
+
+// selAndPacked intersects sel with acc evaluated off a bit-packed
+// payload; only currently-set rows are unpacked and tested.
+func selAndPacked(sel []uint64, acc []bool, lo int32, w uint, payload []byte) int {
+	count := 0
+	for wi, word := range sel {
+		if word == 0 {
+			continue
+		}
+		base := wi << 6
+		for t := word; t != 0; t &= t - 1 {
+			j := bits.TrailingZeros64(t)
+			if !acc[lo+int32(unpackU64(payload, base+j, w))] {
+				word &^= 1 << uint(j)
+			}
+		}
+		sel[wi] = word
+		count += bits.OnesCount64(word)
+	}
+	return count
+}
+
+// selAnd intersects sel with col's acceptance vector in place and
+// returns the surviving count; only currently-set rows are tested.
+func selAnd(sel []uint64, col []int32, acc []bool) int {
+	count := 0
+	for w, word := range sel {
+		if word == 0 {
+			continue
+		}
+		base := w << 6
+		for t := word; t != 0; t &= t - 1 {
+			j := bits.TrailingZeros64(t)
+			if !acc[col[base+j]] {
+				word &^= 1 << uint(j)
+			}
+		}
+		sel[w] = word
+		count += bits.OnesCount64(word)
+	}
+	return count
+}

@@ -14,6 +14,12 @@ var (
 		"Segments decoded for scans.")
 	hDecodeBytes = obsv.Default.Histogram("assess_store_decode_bytes",
 		"Compressed bytes read per segment decode.")
+	mLazyFiltered = obsv.Default.Counter("assess_store_lazy_filtered_total",
+		"Segments whose predicates were evaluated in code space before measure decode (late materialization).")
+	mLazySkipped = obsv.Default.Counter("assess_store_lazy_skipped_total",
+		"Segments skipped because code-space predicate evaluation proved no row matches (row-level complement to zone maps).")
+	mLazyGathered = obsv.Default.Counter("assess_store_lazy_gather_total",
+		"Columns gather-decoded for sparse selections (selected rows only) instead of fully materialized.")
 	mWALAppends = obsv.Default.Counter("assess_store_wal_appends_total",
 		"Rows appended through the write-ahead log.")
 	mCompactions = obsv.Default.Counter("assess_store_compactions_total",

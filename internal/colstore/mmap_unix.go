@@ -25,4 +25,6 @@ func (m mapped) bytes(off int64, n int, _ *[]byte) ([]byte, error) {
 	return m.data[off : off+int64(n)], nil
 }
 
+func (m mapped) stable() bool { return true }
+
 func (m mapped) close() error { return syscall.Munmap(m.data) }

@@ -268,26 +268,143 @@ func (foot *footer) prunedBy(preds []storage.LevelPred) bool {
 }
 
 // decodeInto decodes the segment's needed columns into sc and returns
-// the block. Verifies payload CRCs; counts decode metrics.
-func (s *segment) decodeInto(need storage.ColSet, sc *storage.BlockScratch) (storage.BlockCols, error) {
+// the block. When plan is non-nil the segment is late-materialized:
+// predicates are evaluated in code space against the key columns before
+// any measure payload is touched — a const-encoded predicated key
+// resolves the segment in O(1), packed ones build a selection bitmap,
+// an empty bitmap skips the segment (ok=false, like a zone-map prune),
+// and selections at or below gatherCutoff×rows gather-decode the
+// remaining key and measure columns (selected rows only). Key columns
+// marked predicate-only (storage.ColSet.PredOnly) are evaluated in
+// code space straight off their packed payloads and omitted from the
+// block whenever a bitmap is produced. Verifies payload CRCs — once
+// per open segment for stable (mmap) blobs, every fetch for pread;
+// counts decode metrics.
+func (s *segment) decodeInto(need storage.ColSet, plan *scanPlan, gatherCutoff float64, sc *storage.BlockScratch) (storage.BlockCols, bool, error) {
 	foot := s.foot
 	cols := storage.BlockCols{
 		Keys: make([][]int32, len(foot.keys)),
 		Meas: make([][]float64, len(foot.meas)),
 		Rows: foot.rows,
 	}
+	if plan != nil {
+		// O(1) code-space test: a const-encoded predicated key column
+		// settles the whole segment before any payload is read.
+		for _, h := range plan.filtered {
+			if h >= len(foot.keys) || foot.keys[h].enc != kencConst {
+				continue
+			}
+			if c := int(uint32(foot.keys[h].base)); c >= len(plan.accepts[h]) || !plan.accepts[h][c] {
+				mLazySkipped.Inc()
+				return cols, false, nil
+			}
+		}
+	}
+	// Predicated key columns the scan consumes (grouped by as well as
+	// filtered on) are decoded in full first: the selection bitmap is
+	// built from them, so they cannot wait for it. Predicate-only
+	// columns are left alone — the bitmap loop below evaluates them in
+	// code space straight off their packed payloads. Every other needed
+	// key column is deferred until the bitmap exists and can be
+	// gather-decoded like a measure when the selection is sparse.
 	var readBytes int64
 	for h := range foot.keys {
-		if !need.NeedKey(h) {
+		if plan == nil || h >= len(plan.accepts) || plan.accepts[h] == nil || need.PredOnlyKey(h) {
 			continue
 		}
 		km := &foot.keys[h]
-		payload, err := s.payload(km.off, km.size, km.crc, sc)
+		payload, err := s.payload(h, km.off, km.size, km.crc, sc)
 		if err != nil {
-			return cols, err
+			return cols, false, err
 		}
 		dst := sc.KeyBuf(h, len(foot.keys), foot.rows)
 		decodeKeys(dst, km.enc, km.width, km.base, payload)
+		cols.Keys[h] = dst
+		readBytes += km.size
+	}
+	if plan != nil && len(plan.filtered) > 0 {
+		sel := sc.SelBuf(foot.rows)
+		count, first := foot.rows, true
+		for _, h := range plan.filtered {
+			if h >= len(foot.keys) || foot.keys[h].enc == kencConst {
+				continue // const columns were settled above
+			}
+			km := &foot.keys[h]
+			if col := cols.Keys[h]; col != nil {
+				if first {
+					count = selInit(sel, col, plan.accepts[h])
+					first = false
+				} else if count > 0 {
+					count = selAnd(sel, col, plan.accepts[h])
+				}
+				continue
+			}
+			// Predicate-only column: evaluate acceptance in code space
+			// off the packed payload without ever materializing it.
+			payload, err := s.payload(h, km.off, km.size, km.crc, sc)
+			if err != nil {
+				return cols, false, err
+			}
+			readBytes += km.size
+			if km.enc != kencPacked {
+				// Raw-encoded keys (wider than the pack limit) have no
+				// code-space kernel; decode into scratch for the test
+				// but keep the column out of the block.
+				dst := sc.KeyBuf(h, len(foot.keys), foot.rows)
+				decodeKeys(dst, km.enc, km.width, km.base, payload)
+				if first {
+					count = selInit(sel, dst, plan.accepts[h])
+					first = false
+				} else if count > 0 {
+					count = selAnd(sel, dst, plan.accepts[h])
+				}
+				continue
+			}
+			lo, w := int32(uint32(km.base)), uint(km.width)
+			if first {
+				count = selInitPacked(sel, foot.rows, plan.accepts[h], lo, w, payload)
+				first = false
+			} else if count > 0 {
+				count = selAndPacked(sel, plan.accepts[h], lo, w, payload)
+			}
+		}
+		if first {
+			// Every predicated column is const-accepted: all rows match.
+			for i := range sel {
+				sel[i] = ^uint64(0)
+			}
+			if tail := uint(foot.rows) & 63; tail != 0 {
+				sel[len(sel)-1] = ^uint64(0) >> (64 - tail)
+			}
+		}
+		mLazyFiltered.Inc()
+		if count == 0 {
+			mLazySkipped.Inc()
+			return cols, false, nil
+		}
+		cols.Sel, cols.SelCount = sel, count
+	}
+	gather := cols.Sel != nil && float64(cols.SelCount) <= gatherCutoff*float64(foot.rows)
+	for h := range foot.keys {
+		if cols.Keys[h] != nil || !need.NeedKey(h) {
+			continue
+		}
+		if cols.Sel != nil && need.PredOnlyKey(h) {
+			// The bitmap already accounts for this predicate and no
+			// consumer reads the column itself (ColSet.PredOnly).
+			continue
+		}
+		km := &foot.keys[h]
+		payload, err := s.payload(h, km.off, km.size, km.crc, sc)
+		if err != nil {
+			return cols, false, err
+		}
+		dst := sc.KeyBuf(h, len(foot.keys), foot.rows)
+		if gather && gatherKeys(dst, km.enc, km.width, km.base, payload, cols.Sel) {
+			mLazyGathered.Inc()
+		} else {
+			decodeKeys(dst, km.enc, km.width, km.base, payload)
+		}
 		cols.Keys[h] = dst
 		readBytes += km.size
 	}
@@ -296,22 +413,30 @@ func (s *segment) decodeInto(need storage.ColSet, sc *storage.BlockScratch) (sto
 			continue
 		}
 		mm := &foot.meas[m]
-		payload, err := s.payload(mm.off, mm.size, mm.crc, sc)
+		payload, err := s.payload(len(foot.keys)+m, mm.off, mm.size, mm.crc, sc)
 		if err != nil {
-			return cols, err
+			return cols, false, err
 		}
 		dst := sc.MeasBuf(m, len(foot.meas), foot.rows)
-		decodeMeas(dst, mm.enc, mm.width, mm.base, payload)
+		if gather && gatherMeas(dst, mm.enc, mm.width, mm.base, payload, cols.Sel) {
+			mLazyGathered.Inc()
+		} else {
+			decodeMeas(dst, mm.enc, mm.width, mm.base, payload)
+		}
 		cols.Meas[m] = dst
 		readBytes += mm.size
 	}
 	mDecoded.Inc()
 	hDecodeBytes.Observe(float64(readBytes))
-	return cols, nil
+	return cols, true, nil
 }
 
-// payload fetches and CRC-checks one column payload.
-func (s *segment) payload(off, size int64, crc uint32, sc *storage.BlockScratch) ([]byte, error) {
+// payload fetches and CRC-checks one column payload. idx is the
+// column's position in the segment's verification cache (key columns
+// first, then measures): stable blobs verify each payload once per
+// open segment — the mapping returns the same bytes on every fetch —
+// while pread blobs re-verify every fetch.
+func (s *segment) payload(idx int, off, size int64, crc uint32, sc *storage.BlockScratch) ([]byte, error) {
 	if size == 0 {
 		return nil, nil
 	}
@@ -319,8 +444,14 @@ func (s *segment) payload(off, size int64, crc uint32, sc *storage.BlockScratch)
 	if err != nil {
 		return nil, fmt.Errorf("colstore: %s: %w", s.path, err)
 	}
+	if s.verified != nil && s.verified[idx].Load() {
+		return p, nil
+	}
 	if got := crc32.Checksum(p, castTable); got != crc {
 		return nil, fmt.Errorf("colstore: %s: column checksum mismatch (corrupt segment)", s.path)
+	}
+	if s.verified != nil {
+		s.verified[idx].Store(true)
 	}
 	return p, nil
 }

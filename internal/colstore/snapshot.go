@@ -13,25 +13,37 @@ type snapshot struct {
 	pruned []bool
 	need   storage.ColSet
 
+	// plan is the prepared predicate set (nil without predicates); lazy
+	// gates row-level code-space filtering (Options.Eager turns it off,
+	// keeping the prepared zone-map probes).
+	plan         *scanPlan
+	lazy         bool
+	gatherCutoff float64
+
 	tailKeys [][]int32
 	tailMeas [][]float64
 	tailRows int
 	rows     int
 }
 
-// Snapshot captures a consistent view for one scan. preds are used for
-// zone-map pruning only; row-exact filtering stays with the engine.
-// The caller must Close the snapshot to release segment references.
+// Snapshot captures a consistent view for one scan. preds are prepared
+// once (sorted member sets for the zone-map probes, acceptance vectors
+// over base codes for late materialization) and evaluated against every
+// segment; with Options.Eager the predicates prune segments only and
+// row-exact filtering stays with the engine. The caller must Close the
+// snapshot to release segment references.
 func (st *Store) Snapshot(need storage.ColSet, preds []storage.LevelPred) storage.ScanSource {
 	st.mu.Lock()
 	sn := &snapshot{
-		segs:     make([]*segment, len(st.segs)),
-		pruned:   make([]bool, len(st.segs)),
-		need:     need,
-		tailKeys: make([][]int32, len(st.tailKeys)),
-		tailMeas: make([][]float64, len(st.tailMeas)),
-		tailRows: st.tailRows,
-		rows:     st.segRows + st.tailRows,
+		segs:         make([]*segment, len(st.segs)),
+		pruned:       make([]bool, len(st.segs)),
+		need:         need,
+		lazy:         !st.opts.Eager,
+		gatherCutoff: st.opts.GatherCutoff,
+		tailKeys:     make([][]int32, len(st.tailKeys)),
+		tailMeas:     make([][]float64, len(st.tailMeas)),
+		tailRows:     st.tailRows,
+		rows:         st.segRows + st.tailRows,
 	}
 	copy(sn.segs, st.segs)
 	for _, s := range sn.segs {
@@ -46,8 +58,11 @@ func (st *Store) Snapshot(need storage.ColSet, preds []storage.LevelPred) storag
 		sn.tailMeas[m] = col[:st.tailRows]
 	}
 	st.mu.Unlock()
-	for i, s := range sn.segs {
-		sn.pruned[i] = s.foot.prunedBy(preds)
+	sn.plan = st.prepare(preds)
+	if sn.plan != nil {
+		for i, s := range sn.segs {
+			sn.pruned[i] = s.foot.prunedByPreds(sn.plan.preds)
+		}
 	}
 	return sn
 }
@@ -68,9 +83,14 @@ func (sn *snapshot) Block(b int, sc *storage.BlockScratch) (storage.BlockCols, b
 			mPruned.Inc()
 			return storage.BlockCols{}, false, nil
 		}
-		cols, err := sn.segs[b].decodeInto(sn.need, sc)
-		return cols, err == nil, err
+		var plan *scanPlan
+		if sn.lazy {
+			plan = sn.plan
+		}
+		return sn.segs[b].decodeInto(sn.need, plan, sn.gatherCutoff, sc)
 	}
+	// The resident WAL tail is served zero-copy with no selection: the
+	// engine filters it on decoded codes as before.
 	return storage.BlockCols{Keys: sn.tailKeys, Meas: sn.tailMeas, Rows: sn.tailRows}, true, nil
 }
 
@@ -82,6 +102,26 @@ func (sn *snapshot) PrunedFor(b int, preds []storage.LevelPred) bool {
 		return sn.segs[b].foot.prunedBy(preds)
 	}
 	return false
+}
+
+// prunePlanProbe is a prepared PrunedFor: the predicate set is sorted
+// and min-maxed once, then each block probe is a couple of comparisons
+// plus a binary search per predicate.
+type prunePlanProbe struct {
+	sn  *snapshot
+	pps []preparedPred
+}
+
+func (p prunePlanProbe) Pruned(b int) bool {
+	if b < len(p.sn.segs) {
+		return p.sn.segs[b].foot.prunedByPreds(p.pps)
+	}
+	return false
+}
+
+// PrunePlan implements storage.PrunePlanner.
+func (sn *snapshot) PrunePlan(preds []storage.LevelPred) storage.PrunePlan {
+	return prunePlanProbe{sn: sn, pps: preparePreds(preds)}
 }
 
 func (sn *snapshot) Close() {

@@ -50,6 +50,18 @@ type Options struct {
 	AutoCompactRows int
 	// NoMmap forces pread readers even where mmap is available.
 	NoMmap bool
+	// Eager disables late materialization: predicates still prune
+	// segments via zone maps, but no code-space row filtering or
+	// selective measure decode happens and every block is fully
+	// materialized (the pre-lazy behavior, kept for ablation and the
+	// eager oracle axes).
+	Eager bool
+	// GatherCutoff is the selectivity at or below which sparse
+	// selections gather-decode mencRaw/mencFOR measure columns instead
+	// of fully materializing them (selected/rows ≤ cutoff). 0 defaults
+	// to 0.25; negative disables gather decode while keeping the rest
+	// of the lazy path.
+	GatherCutoff float64
 }
 
 func (o Options) withDefaults() Options {
@@ -58,6 +70,11 @@ func (o Options) withDefaults() Options {
 	}
 	if o.AutoCompactRows == 0 {
 		o.AutoCompactRows = o.SegmentRows
+	}
+	if o.GatherCutoff == 0 {
+		o.GatherCutoff = 0.25
+	} else if o.GatherCutoff < 0 {
+		o.GatherCutoff = 0
 	}
 	return o
 }

@@ -334,7 +334,17 @@ func (e *Engine) buildScanPrep(f *storage.FactTable, q Query, ops []mdm.AggOp) (
 		needMeas[mi] = true
 	}
 	preds := make([]storage.LevelPred, len(q.Preds))
+	var predOnly []bool
 	for i, p := range q.Preds {
+		if !needKeys[p.Level.Hier] {
+			// Filtered on but not grouped by: a bitmap-producing
+			// backend may evaluate this column in code space and never
+			// materialize it (storage.ColSet.PredOnly).
+			if predOnly == nil {
+				predOnly = make([]bool, len(s.Hiers))
+			}
+			predOnly[p.Level.Hier] = true
+		}
 		needKeys[p.Level.Hier] = true
 		preds[i] = storage.LevelPred{Hier: p.Level.Hier, Level: p.Level.Level, Members: p.Members}
 	}
@@ -345,7 +355,7 @@ func (e *Engine) buildScanPrep(f *storage.FactTable, q Query, ops []mdm.AggOp) (
 		cards:   cards,
 		ops:     ops,
 	}
-	return prep, storage.ColSet{Keys: needKeys, Meas: needMeas}, preds, nil
+	return prep, storage.ColSet{Keys: needKeys, Meas: needMeas, PredOnly: predOnly}, preds, nil
 }
 
 // runPrepared drives a source-bound prepared scan through the dense or

@@ -2,6 +2,8 @@ package engine
 
 import (
 	"math"
+	"math/bits"
+	"sync"
 
 	"github.com/assess-olap/assess/internal/cube"
 	"github.com/assess-olap/assess/internal/mdm"
@@ -172,6 +174,24 @@ type morselScratch struct {
 	lv [][]int32
 }
 
+// scratchPool recycles morsel scratch across scans and workers. A
+// segment-backed scan's decode buffers run to megabytes per worker;
+// reallocating them for every query made allocation and GC a fixed
+// per-query cost that dwarfed the useful work of selective scans.
+// Pooled scratch must never outlive the scan that got it: every
+// BlockCols handed to the kernels aliases its buffers, and results are
+// materialized (cloned) before the scratch is put back.
+var scratchPool = sync.Pool{New: func() any { return new(morselScratch) }}
+
+func getScratch() *morselScratch { return scratchPool.Get().(*morselScratch) }
+
+func putScratch(sc *morselScratch) {
+	for i := range sc.lv {
+		sc.lv[i] = nil // drop refs into a scan's level-share pool
+	}
+	scratchPool.Put(sc)
+}
+
 // hasPreds reports whether any hierarchy carries an acceptance vector.
 func (p *preparedScan) hasPreds() bool {
 	for _, acc := range p.accepts {
@@ -185,8 +205,15 @@ func (p *preparedScan) hasPreds() bool {
 // selection evaluates the scan predicates once over the block-local
 // morsel [lo, hi) into a reusable selection vector of accepted row
 // indices: the first predicated hierarchy fills the vector, later ones
-// compact it in place.
+// compact it in place. When the backend already evaluated the predicates
+// (cols.Sel non-nil, late materialization), the vector is read straight
+// off the selection bitmap — same rows, same ascending order — and the
+// acceptance vectors are not re-evaluated.
 func (p *preparedScan) selection(sc *morselScratch, cols storage.BlockCols, lo, hi int) []int {
+	if cols.Sel != nil {
+		sc.sel = storage.AppendSelIndices(sc.sel[:0], cols.Sel, lo, hi)
+		return sc.sel
+	}
 	if cap(sc.sel) < hi-lo {
 		sc.sel = make([]int, hi-lo)
 	}
@@ -220,6 +247,65 @@ func (p *preparedScan) selection(sc *morselScratch, cols storage.BlockCols, lo, 
 	return sel[:n]
 }
 
+// predSel evaluates the scan's acceptance vectors over every row of a
+// decoded block into a selection bitmap. Shared scans open their union
+// source predicate-free, so each predicated query derives its own
+// per-block bitmap engine-side once per decode and the morsel kernels
+// consume it through the same cols.Sel path late materialization uses —
+// an empty bitmap skips the query for the whole block. Returns the
+// bitmap (reusing buf when it fits) and the surviving-row count; callers
+// must guard with hasPreds.
+func (p *preparedScan) predSel(cols storage.BlockCols, buf []uint64) ([]uint64, int) {
+	words := (cols.Rows + 63) >> 6
+	if cap(buf) < words {
+		buf = make([]uint64, words)
+	}
+	buf = buf[:words]
+	first := true
+	count := 0
+	for h, acc := range p.accepts {
+		if acc == nil {
+			continue
+		}
+		col := cols.Keys[h]
+		count = 0
+		if first {
+			first = false
+			for wi := range buf {
+				base := wi << 6
+				m := cols.Rows - base
+				if m > 64 {
+					m = 64
+				}
+				var word uint64
+				for j := 0; j < m; j++ {
+					if acc[col[base+j]] {
+						word |= 1 << uint(j)
+					}
+				}
+				buf[wi] = word
+				count += bits.OnesCount64(word)
+			}
+			continue
+		}
+		for wi, word := range buf {
+			if word == 0 {
+				continue
+			}
+			base := wi << 6
+			for t := word; t != 0; t &= t - 1 {
+				j := bits.TrailingZeros64(t)
+				if !acc[col[base+j]] {
+					word &^= 1 << uint(j)
+				}
+			}
+			buf[wi] = word
+			count += bits.OnesCount64(word)
+		}
+	}
+	return buf, count
+}
+
 // denseMorsel aggregates one morsel into the worker's dense state:
 // selection vector (skipped entirely on unpredicated scans), then
 // composite keys column-at-a-time, then one tight loop per requested
@@ -227,7 +313,17 @@ func (p *preparedScan) selection(sc *morselScratch, cols storage.BlockCols, lo, 
 func (p *preparedScan) denseMorsel(st *denseState, l *denseLayout, sc *morselScratch, cols storage.BlockCols, lo, hi int) {
 	var sel []int
 	n := hi - lo
-	if p.hasPreds() {
+	if cols.Sel != nil {
+		// The backend filtered rows already; SelCount == Rows means every
+		// row survived and the identity selection stands.
+		if cols.SelCount < cols.Rows {
+			sel = p.selection(sc, cols, lo, hi)
+			n = len(sel)
+			if n == 0 {
+				return
+			}
+		}
+	} else if p.hasPreds() {
 		sel = p.selection(sc, cols, lo, hi)
 		n = len(sel)
 		if n == 0 {
@@ -646,7 +742,8 @@ func (p *preparedScan) finalizeDense(out *cube.Cube, l *denseLayout, st *denseSt
 // first-seen cell order because a pruned block holds no accepted rows.
 func (p *preparedScan) runDenseSerial(l *denseLayout, morsel int) (*denseState, error) {
 	st := p.newDenseState(l, true)
-	sc := &morselScratch{}
+	sc := getScratch()
+	defer putScratch(sc)
 	n := int64(0)
 	for b := 0; b < p.src.Blocks(); b++ {
 		cols, ok, err := p.src.Block(b, &sc.block)

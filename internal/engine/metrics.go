@@ -29,6 +29,8 @@ var (
 		"Queries answered by multi-query shared passes.")
 	mSharedBlocksSkipped = obsv.Default.Counter("assess_engine_shared_blocks_skipped_total",
 		"Blocks skipped by a shared scan because every attached query pruned them.")
+	mSharedQueryBlocksSkipped = obsv.Default.Counter("assess_engine_shared_query_blocks_skipped_total",
+		"Per-query block skips in shared scans: a query's engine-side selection bitmap proved no row of a decoded block matches.")
 	mSharedDetached = obsv.Default.Counter("assess_engine_shared_detached_total",
 		"Requests that detached from a shared scan on context cancellation.")
 	mTransferBytes = obsv.Default.Counter("assess_engine_transfer_bytes_total",

@@ -119,7 +119,8 @@ type preparedScan struct {
 func (p *preparedScan) run() (scanState, error) {
 	st := scanState{cells: make(map[string]*aggState)}
 	coord := make(mdm.Coordinate, len(p.q.Group))
-	sc := &morselScratch{}
+	sc := getScratch()
+	defer putScratch(sc)
 	for b := 0; b < p.src.Blocks(); b++ {
 		cols, ok, err := p.src.Block(b, &sc.block)
 		if err != nil {
@@ -134,13 +135,23 @@ func (p *preparedScan) run() (scanState, error) {
 }
 
 // runInto aggregates the block-local row range [lo, hi) into st's table.
+// A backend selection bitmap (cols.Sel, late materialization) replaces
+// the acceptance-vector checks: the backend evaluated the same predicate
+// set row-exactly, and gather-decoded measure slots outside the
+// selection hold garbage, so only selected rows may be read.
 func (p *preparedScan) runInto(st *scanState, coord mdm.Coordinate, cols storage.BlockCols, lo, hi int) {
 	nm := len(p.q.Measures)
 rows:
 	for r := lo; r < hi; r++ {
-		for h, acc := range p.accepts {
-			if acc != nil && !acc[cols.Keys[h][r]] {
-				continue rows
+		if cols.Sel != nil {
+			if cols.SelCount < cols.Rows && !cols.Selected(r) {
+				continue
+			}
+		} else {
+			for h, acc := range p.accepts {
+				if acc != nil && !acc[cols.Keys[h][r]] {
+					continue rows
+				}
 			}
 		}
 		for gi, ref := range p.q.Group {
@@ -262,7 +273,8 @@ func (p *preparedScan) parallelScan(workers, morsel int, work func(w int, sc *mo
 			wg.Add(1)
 			go func(w int) {
 				defer wg.Done()
-				sc := &morselScratch{}
+				sc := getScratch()
+				defer putScratch(sc)
 				n := int64(0)
 				for {
 					lo, hi, ok := cur.claim()
@@ -286,7 +298,8 @@ func (p *preparedScan) parallelScan(workers, morsel int, work func(w int, sc *mo
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			sc := &morselScratch{}
+			sc := getScratch()
+			defer putScratch(sc)
 			n := int64(0)
 			for {
 				b := int(next.Add(1)) - 1
@@ -329,10 +342,10 @@ func (p *preparedScan) runParallel(workers, morsel int) (scanState, error) {
 		parts[w] = scanState{cells: make(map[string]*aggState)}
 	}
 	err := p.parallelScan(workers, morsel, func(w int, sc *morselScratch, cols storage.BlockCols, lo, hi int) {
-		if sc.coord == nil {
+		if len(sc.coord) < len(p.q.Group) {
 			sc.coord = make(mdm.Coordinate, len(p.q.Group))
 		}
-		p.runInto(&parts[w], sc.coord, cols, lo, hi)
+		p.runInto(&parts[w], sc.coord[:len(p.q.Group)], cols, lo, hi)
 	})
 	if err != nil {
 		return scanState{}, err

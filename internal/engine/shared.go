@@ -10,12 +10,20 @@
 // Pruning: a solo scan pushes its predicates into the ScanSource so zone
 // maps can skip whole segments. A shared scan opens one source with the
 // UNION of the queries' column needs and no predicates, then asks the
-// source's PruneProber (when the backend has one) which blocks each
-// query's predicates prune: a block is decoded if ANY live query needs
-// it, and each query skips aggregating blocks its own predicates prune —
-// so per-query results are bit-identical to solo scans, pruning
-// included. Skipping a pruned block cannot perturb a query's first-seen
-// cell order because a prunable block holds no accepted rows.
+// source's PrunePlanner (falling back to per-block PruneProber calls)
+// which blocks each query's predicates prune: a block is decoded if ANY
+// live query needs it, and each query skips aggregating blocks its own
+// predicates prune — so per-query results are bit-identical to solo
+// scans, pruning included. Skipping a pruned block cannot perturb a
+// query's first-seen cell order because a prunable block holds no
+// accepted rows.
+//
+// Row filtering: the union source carries no predicates, so blocks
+// arrive unfiltered (cols.Sel nil). Each predicated query evaluates its
+// acceptance vectors ONCE per decoded block into a selection bitmap
+// (predSel) and the morsel kernels consume the bitmap through the same
+// cols.Sel path late materialization feeds on solo scans; an empty
+// bitmap skips the query for the whole block.
 //
 // Detach: each request carries a context, polled at morsel granularity.
 // A cancelled request leaves the scan with its context error; the pass
@@ -170,6 +178,7 @@ func (e *Engine) SharedScan(fact string, reqs []ScanReq) []ScanResult {
 	rows := src.Rows()
 	mRowsScanned.Add(int64(rows))
 	prober, _ := src.(storage.PruneProber)
+	planner, _ := src.(storage.PrunePlanner)
 	nb := src.Blocks()
 	budget := e.denseKeyBudget()
 	for _, sq := range qs {
@@ -181,10 +190,22 @@ func (e *Engine) SharedScan(fact string, reqs []ScanReq) []ScanResult {
 		} else {
 			mKernelHash.Inc()
 		}
-		if prober != nil && len(sq.predsFrom) > 0 {
-			sq.pruned = make([]bool, nb)
-			for b := range sq.pruned {
-				sq.pruned[b] = prober.PrunedFor(b, sq.predsFrom)
+		if len(sq.predsFrom) > 0 {
+			// Prefer the prepared plan: the predicate set is sorted and
+			// bounded once, then probed per block, instead of re-walking
+			// the raw member lists for every block.
+			switch {
+			case planner != nil:
+				plan := planner.PrunePlan(sq.predsFrom)
+				sq.pruned = make([]bool, nb)
+				for b := range sq.pruned {
+					sq.pruned[b] = plan.Pruned(b)
+				}
+			case prober != nil:
+				sq.pruned = make([]bool, nb)
+				for b := range sq.pruned {
+					sq.pruned[b] = prober.PrunedFor(b, sq.predsFrom)
+				}
 			}
 		}
 	}
@@ -231,7 +252,9 @@ func (e *Engine) sharedSerial(src storage.ScanSource, qs []*sharedQuery, morsel 
 		}
 	}
 	ls := newLevelShare(qs)
-	sc := &morselScratch{}
+	sc := getScratch()
+	defer putScratch(sc)
+	qsel := newQuerySel(qs)
 	live := len(qs)
 	morsels := int64(0)
 	for b := 0; b < src.Blocks() && live > 0; b++ {
@@ -268,11 +291,12 @@ func (e *Engine) sharedSerial(src storage.ScanSource, qs []*sharedQuery, morsel 
 		if !ok {
 			continue
 		}
+		qsel.build(qs, b, cols, func(sq *sharedQuery) bool { return sq.failed() })
 		for lo := 0; lo < cols.Rows; lo += morsel {
 			hi := min(lo+morsel, cols.Rows)
 			var lv [][]int32
-			for _, sq := range qs {
-				if sq.failed() || (sq.pruned != nil && sq.pruned[b]) {
+			for i, sq := range qs {
+				if sq.failed() || (sq.pruned != nil && sq.pruned[b]) || qsel.empty(i) {
 					continue
 				}
 				if err := sq.ctxErr(); err != nil {
@@ -281,9 +305,10 @@ func (e *Engine) sharedSerial(src storage.ScanSource, qs []*sharedQuery, morsel 
 					mSharedDetached.Inc()
 					continue
 				}
+				qcols := qsel.cols(i, cols)
 				switch {
 				case sq.layout == nil:
-					sq.prep.runInto(&sq.hash, sq.coord, cols, lo, hi)
+					sq.prep.runInto(&sq.hash, sq.coord, qcols, lo, hi)
 				case sq.share != nil:
 					// Lazy: pooled columns are mapped once, on the first live
 					// subscriber of the morsel.
@@ -292,7 +317,7 @@ func (e *Engine) sharedSerial(src storage.ScanSource, qs []*sharedQuery, morsel 
 					}
 					sq.prep.denseMorselShared(sq.dense, sq.layout, sc, cols, lo, hi, lv, sq.share)
 				default:
-					sq.prep.denseMorsel(sq.dense, sq.layout, sc, cols, lo, hi)
+					sq.prep.denseMorsel(sq.dense, sq.layout, sc, qcols, lo, hi)
 				}
 			}
 			morsels++
@@ -348,17 +373,19 @@ func (e *Engine) sharedParallel(src storage.ScanSource, qs []*sharedQuery, worke
 		}
 	}
 	ls := newLevelShare(qs)
+	detachedQ := func(sq *sharedQuery) bool { return sq.detached.Load() }
 	// work aggregates one morsel of block b for every live query.
-	work := func(w int, sc *morselScratch, b int, cols storage.BlockCols, lo, hi int) {
+	work := func(w int, sc *morselScratch, qsel *querySel, b int, cols storage.BlockCols, lo, hi int) {
 		var lv [][]int32
-		for _, sq := range qs {
-			if sq.detached.Load() || (sq.pruned != nil && sq.pruned[b]) {
+		for i, sq := range qs {
+			if sq.detached.Load() || (sq.pruned != nil && sq.pruned[b]) || qsel.empty(i) {
 				continue
 			}
 			if err := sq.ctxErr(); err != nil {
 				detach(sq, err)
 				continue
 			}
+			qcols := qsel.cols(i, cols)
 			if sq.layout != nil {
 				if sq.denseParts[w] == nil {
 					sq.denseParts[w] = sq.prep.newDenseState(sq.layout, false)
@@ -370,12 +397,12 @@ func (e *Engine) sharedParallel(src storage.ScanSource, qs []*sharedQuery, worke
 					sq.prep.denseMorselShared(sq.denseParts[w], sq.layout, sc, cols, lo, hi, lv, sq.share)
 					continue
 				}
-				sq.prep.denseMorsel(sq.denseParts[w], sq.layout, sc, cols, lo, hi)
+				sq.prep.denseMorsel(sq.denseParts[w], sq.layout, sc, qcols, lo, hi)
 			} else {
 				if sc.coord == nil || len(sc.coord) < len(sq.prep.q.Group) {
 					sc.coord = make(mdm.Coordinate, maxGroupLen(qs))
 				}
-				sq.prep.runInto(&sq.hashParts[w], sc.coord[:len(sq.prep.q.Group)], cols, lo, hi)
+				sq.prep.runInto(&sq.hashParts[w], sc.coord[:len(sq.prep.q.Group)], qcols, lo, hi)
 			}
 		}
 	}
@@ -401,19 +428,24 @@ func (e *Engine) sharedParallel(src storage.ScanSource, qs []*sharedQuery, worke
 		if err != nil {
 			fail(err)
 		} else if ok {
+			// One block, one bitmap build: every worker reads the same
+			// per-query bitmaps, computed here before the steal loop.
+			qsel := newQuerySel(qs)
+			qsel.build(qs, 0, cols, detachedQ)
 			cur := &morselCursor{morsel: morsel, rows: cols.Rows}
 			for w := 0; w < workers; w++ {
 				wg.Add(1)
 				go func(w int) {
 					defer wg.Done()
-					sc := &morselScratch{}
+					sc := getScratch()
+					defer putScratch(sc)
 					n := int64(0)
 					for liveCnt.Load() > 0 {
 						lo, hi, ok := cur.claim()
 						if !ok {
 							break
 						}
-						work(w, sc, 0, cols, lo, hi)
+						work(w, sc, qsel, 0, cols, lo, hi)
 						n++
 					}
 					morsels.Add(n)
@@ -428,7 +460,9 @@ func (e *Engine) sharedParallel(src storage.ScanSource, qs []*sharedQuery, worke
 			wg.Add(1)
 			go func(w int) {
 				defer wg.Done()
-				sc := &morselScratch{}
+				sc := getScratch()
+				defer putScratch(sc)
+				qsel := newQuerySel(qs)
 				n := int64(0)
 				for scanErr.Load() == nil {
 					sweepCancelled()
@@ -451,8 +485,9 @@ func (e *Engine) sharedParallel(src storage.ScanSource, qs []*sharedQuery, worke
 					if !ok {
 						continue
 					}
+					qsel.build(qs, b, cols, detachedQ)
 					for lo := 0; lo < cols.Rows; lo += morsel {
-						work(w, sc, b, cols, lo, min(lo+morsel, cols.Rows))
+						work(w, sc, qsel, b, cols, lo, min(lo+morsel, cols.Rows))
 						n++
 					}
 				}
@@ -505,6 +540,60 @@ func (e *Engine) sharedParallel(src storage.ScanSource, qs []*sharedQuery, worke
 		})
 		sq.hash = st
 	}
+}
+
+// querySel holds the per-query per-block selection bitmaps of a shared
+// scan (one instance per worker on the multi-block path; one shared
+// read-only instance on the single-block path). Predicated queries get
+// their acceptance vectors evaluated once per decoded block (predSel)
+// and the bitmap rides into the morsel kernels as BlockCols.Sel;
+// cnt[i] == -1 marks query i unpredicated (block passes through
+// unfiltered). A nil *querySel (no predicated query in the batch) makes
+// every method a cheap no-op.
+type querySel struct {
+	sel [][]uint64
+	cnt []int
+}
+
+func newQuerySel(qs []*sharedQuery) *querySel {
+	for _, sq := range qs {
+		if sq.prep.hasPreds() {
+			return &querySel{sel: make([][]uint64, len(qs)), cnt: make([]int, len(qs))}
+		}
+	}
+	return nil
+}
+
+// build evaluates every live predicated query's acceptance vectors over
+// the decoded block b. dead reports queries already out of the scan.
+func (q *querySel) build(qs []*sharedQuery, b int, cols storage.BlockCols, dead func(*sharedQuery) bool) {
+	if q == nil {
+		return
+	}
+	for i, sq := range qs {
+		q.cnt[i] = -1
+		if dead(sq) || (sq.pruned != nil && sq.pruned[b]) || !sq.prep.hasPreds() {
+			continue
+		}
+		q.sel[i], q.cnt[i] = sq.prep.predSel(cols, q.sel[i])
+		if q.cnt[i] == 0 {
+			mSharedQueryBlocksSkipped.Inc()
+		}
+	}
+}
+
+// empty reports whether query i's bitmap proved no row of the current
+// block matches, so the query skips the block outright.
+func (q *querySel) empty(i int) bool { return q != nil && q.cnt[i] == 0 }
+
+// cols returns the block columns query i should aggregate: the decoded
+// block with the query's bitmap attached when one was built.
+func (q *querySel) cols(i int, cols storage.BlockCols) storage.BlockCols {
+	if q == nil || q.cnt[i] < 0 {
+		return cols
+	}
+	cols.Sel, cols.SelCount = q.sel[i], q.cnt[i]
+	return cols
 }
 
 // levelShare pools the leaf→level rollup mapping across the queries of a

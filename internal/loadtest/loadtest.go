@@ -52,11 +52,22 @@ type Target interface {
 type Mix struct {
 	Path       string
 	Statements []string
-	Tenants    []string
+	// Selective statements are drawn with probability Selectivity
+	// instead of the base Statements: narrow single-member predicates
+	// that exercise the store's late-materialization path (predicate-
+	// first evaluation, bitmap skip, sparse gather decode). Zero
+	// Selectivity or an empty Selective list disables the split.
+	Selective   []string
+	Selectivity float64
+	Tenants     []string
 }
 
 func (m Mix) draw(rng *rand.Rand) Request {
-	req := Request{Path: m.Path, Statement: m.Statements[rng.Intn(len(m.Statements))]}
+	stmts := m.Statements
+	if len(m.Selective) > 0 && m.Selectivity > 0 && rng.Float64() < m.Selectivity {
+		stmts = m.Selective
+	}
+	req := Request{Path: m.Path, Statement: stmts[rng.Intn(len(stmts))]}
 	if len(m.Tenants) > 0 {
 		req.Tenant = m.Tenants[rng.Intn(len(m.Tenants))]
 	}
@@ -78,6 +89,13 @@ func DefaultSalesMix() Mix {
 			`with SALES for country = 'Italy' by product get quantity`,
 			`with SALES for country = 'France' by month get quantity`,
 			`with SALES by country, month get quantity`,
+		},
+		// Filtered on but not grouped by, so a segment-store backend
+		// answers these without ever materializing the filter column.
+		Selective: []string{
+			`with SALES for product = 'gouda' by month get quantity`,
+			`with SALES for product = 'chocolate' by country get quantity`,
+			`with SALES for store = 'CoopCity' by month get quantity`,
 		},
 		Tenants: []string{"alpha", "beta", "gamma"},
 	}

@@ -60,7 +60,13 @@ type Report struct {
 // The storage dimension (segment axes) rebuilds both cubes as
 // segment-backed tables in a temp directory with segments far smaller
 // than the fact, so block-at-a-time scans, segment decode, and zone-map
-// pruning must reproduce the resident reference bit-for-bit.
+// pruning must reproduce the resident reference bit-for-bit. The segment
+// axes pin the eager decode path (colstore.Options.Eager); the lazy axes
+// run the same stores in the default late-materialized mode, so
+// code-space predicate evaluation, selection bitmaps, segment skips, and
+// gather decode must also reproduce the reference bit-for-bit — lazy+par
+// layers the morsel-parallel dense kernels on top, consuming backend
+// bitmaps across worker-stolen blocks.
 // The batched axes route every fact scan through the shared-scan
 // batcher (internal/sched): the per-statement pass exercises the
 // single-query delegation, and a second concurrent sweep (see Run)
@@ -81,25 +87,28 @@ var axes = []struct {
 	cache    bool
 	dense    bool
 	segment  bool
+	lazy     bool // segment store in late-materialized (default) mode
 	batched  bool
 	sharded  bool
 }{
-	{"base", false, "", false, false, false, false, false},
-	{"dense", false, "", false, true, false, false, false},
-	{"par", true, "", false, false, false, false, false},
-	{"dense+par", true, "", false, true, false, false, false},
-	{"views", false, "exact", false, true, false, false, false},
-	{"par+views", true, "exact", false, true, false, false, false},
-	{"lattice", false, "lattice", false, false, false, false, false},
-	{"par+lattice", true, "lattice", false, true, false, false, false},
-	{"cache", false, "", true, true, false, false, false},
-	{"cache+par+views", true, "exact", true, true, false, false, false},
-	{"segment", false, "", false, false, true, false, false},
-	{"segment+par", true, "", false, true, true, false, false},
-	{"batched", false, "", false, true, false, true, false},
-	{"batched+segment", true, "", false, false, true, true, false},
-	{"sharded", false, "", false, false, false, false, true},
-	{"sharded+par", true, "", false, true, false, false, true},
+	{"base", false, "", false, false, false, false, false, false},
+	{"dense", false, "", false, true, false, false, false, false},
+	{"par", true, "", false, false, false, false, false, false},
+	{"dense+par", true, "", false, true, false, false, false, false},
+	{"views", false, "exact", false, true, false, false, false, false},
+	{"par+views", true, "exact", false, true, false, false, false, false},
+	{"lattice", false, "lattice", false, false, false, false, false, false},
+	{"par+lattice", true, "lattice", false, true, false, false, false, false},
+	{"cache", false, "", true, true, false, false, false, false},
+	{"cache+par+views", true, "exact", true, true, false, false, false, false},
+	{"segment", false, "", false, false, true, false, false, false},
+	{"segment+par", true, "", false, true, true, false, false, false},
+	{"lazy", false, "", false, false, true, true, false, false},
+	{"lazy+par", true, "", false, true, true, true, false, false},
+	{"batched", false, "", false, true, false, false, true, false},
+	{"batched+segment", true, "", false, false, true, false, true, false},
+	{"sharded", false, "", false, false, false, false, false, true},
+	{"sharded+par", true, "", false, true, false, false, false, true},
 }
 
 // oracleShardCounts rotates the sharded axes' cluster size by seed:
@@ -184,14 +193,15 @@ func checkTrace(root *obsv.Span) string {
 
 // segmentCopy rebuilds a resident fact table as a segment-backed one in
 // a fresh temp directory. Background compaction is disabled so the
-// segment layout is deterministic; the returned cleanup closes the
-// store and removes the directory.
-func segmentCopy(f *storage.FactTable) (*storage.FactTable, func(), error) {
+// segment layout is deterministic; eager pins the pre-late-
+// materialization decode path (false leaves the default lazy mode on).
+// The returned cleanup closes the store and removes the directory.
+func segmentCopy(f *storage.FactTable, eager bool) (*storage.FactTable, func(), error) {
 	dir, err := os.MkdirTemp("", "oracle-seg-")
 	if err != nil {
 		return nil, nil, err
 	}
-	opts := colstore.Options{SegmentRows: oracleSegmentRows, AutoCompactRows: -1}
+	opts := colstore.Options{SegmentRows: oracleSegmentRows, AutoCompactRows: -1, Eager: eager}
 	if err := persist.SaveCubeDir(dir, f, opts); err != nil {
 		os.RemoveAll(dir)
 		return nil, nil, err
@@ -242,16 +252,16 @@ func shardSession(s *core.Session, fact, ext *storage.FactTable, n int, parallel
 	return nil
 }
 
-func buildSession(c *Case, parallel bool, views string, cache, dense, segment, batched bool, shards int) (*core.Session, func(), error) {
+func buildSession(c *Case, parallel bool, views string, cache, dense, segment, lazy, batched bool, shards int) (*core.Session, func(), error) {
 	cleanup := func() {}
 	fact, ext := c.Fact, c.ExtFact
 	if segment {
 		var cf, ce func()
 		var err error
-		if fact, cf, err = segmentCopy(c.Fact); err != nil {
+		if fact, cf, err = segmentCopy(c.Fact, !lazy); err != nil {
 			return nil, cleanup, err
 		}
-		if ext, ce, err = segmentCopy(c.ExtFact); err != nil {
+		if ext, ce, err = segmentCopy(c.ExtFact, !lazy); err != nil {
 			cf()
 			return nil, cleanup, err
 		}
@@ -328,7 +338,7 @@ func Run(seed int64) *Report {
 		if ax.sharded {
 			shards = shardCountFor(seed)
 		}
-		s, cleanup, err := buildSession(c, ax.parallel, ax.views, ax.cache, ax.dense, ax.segment, ax.batched, shards)
+		s, cleanup, err := buildSession(c, ax.parallel, ax.views, ax.cache, ax.dense, ax.segment, ax.lazy, ax.batched, shards)
 		defer cleanup()
 		if err != nil {
 			add("", "setup/"+ax.name, err.Error())

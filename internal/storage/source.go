@@ -8,6 +8,8 @@
 // whose zone maps prove no row can match the scan's predicates.
 package storage
 
+import "math/bits"
+
 // LevelPred describes one scan predicate for zone-map pruning: the
 // accepted member ids at one level of one hierarchy. Pruning treats the
 // predicate as a necessary condition only — a backend may skip a block
@@ -24,10 +26,24 @@ type LevelPred struct {
 type ColSet struct {
 	Keys []bool // per hierarchy
 	Meas []bool // per measure
+	// PredOnly marks key columns needed solely to evaluate the scan's
+	// predicates — filtered on but not grouped by. A backend that
+	// evaluates the full predicate set row-exactly (returns blocks
+	// with Sel non-nil) may leave these columns nil in BlockCols:
+	// once a selection bitmap says which rows survive, no consumer
+	// reads a predicate-only column again. Backends that do not
+	// produce bitmaps must materialize them like any other needed key.
+	PredOnly []bool
 }
 
 // NeedKey reports whether hierarchy h's key column is needed.
 func (c ColSet) NeedKey(h int) bool { return c.Keys == nil || c.Keys[h] }
+
+// PredOnlyKey reports whether hierarchy h's key column is needed only
+// for predicate evaluation (see PredOnly).
+func (c ColSet) PredOnlyKey(h int) bool {
+	return c.PredOnly != nil && h < len(c.PredOnly) && c.PredOnly[h]
+}
 
 // NeedMeas reports whether measure m's column is needed.
 func (c ColSet) NeedMeas(m int) bool { return c.Meas == nil || c.Meas[m] }
@@ -40,7 +56,21 @@ type BlockCols struct {
 	Keys [][]int32
 	Meas [][]float64
 	Rows int
+	// Sel, when non-nil, is a little-endian row-selection bitmap of Rows
+	// bits: the backend already evaluated the scan's full predicate set
+	// row-exactly (late materialization), and consumers must visit set
+	// rows only — unselected slots of gather-decoded measure columns hold
+	// garbage. Sel == nil means the backend did no row-level filtering
+	// and the engine filters on decoded codes as usual.
+	Sel []uint64
+	// SelCount is the number of set bits in Sel (meaningless when Sel is
+	// nil). SelCount == Rows means every row matched.
+	SelCount int
 }
+
+// Selected reports whether row r passed the backend's predicate
+// evaluation; callers check Sel != nil first.
+func (b BlockCols) Selected(r int) bool { return b.Sel[r>>6]>>(uint(r)&63)&1 != 0 }
 
 // BlockScratch is per-worker reusable decode memory. Each concurrent
 // consumer of a ScanSource must use its own scratch; the returned
@@ -50,6 +80,8 @@ type BlockScratch struct {
 	Meas [][]float64
 	// Buf stages compressed bytes for pread-backed readers.
 	Buf []byte
+	// Sel is the selection-bitmap buffer for late-materializing backends.
+	Sel []uint64
 }
 
 // KeyBuf returns scratch key column h with capacity for n rows.
@@ -62,6 +94,58 @@ func (sc *BlockScratch) KeyBuf(h, cols, n int) []int32 {
 	}
 	sc.Keys[h] = sc.Keys[h][:n]
 	return sc.Keys[h]
+}
+
+// SelBuf returns the scratch selection bitmap sized for n rows, zeroed.
+func (sc *BlockScratch) SelBuf(n int) []uint64 {
+	words := (n + 63) >> 6
+	if cap(sc.Sel) < words {
+		sc.Sel = make([]uint64, words)
+	}
+	sc.Sel = sc.Sel[:words]
+	for i := range sc.Sel {
+		sc.Sel[i] = 0
+	}
+	return sc.Sel
+}
+
+// AppendSelIndices appends the indices of the bits set in sel within
+// [lo, hi) to dst and returns it. Engines use it to turn a backend
+// selection bitmap into the row-index selection vectors their kernels
+// consume, morsel by morsel.
+func AppendSelIndices(dst []int, sel []uint64, lo, hi int) []int {
+	for w := lo >> 6; w <= (hi-1)>>6; w++ {
+		word := sel[w]
+		base := w << 6
+		if base < lo {
+			word &= ^uint64(0) << (uint(lo) & 63)
+		}
+		if base+64 > hi {
+			word &= ^uint64(0) >> (uint(base+64-hi) & 63)
+		}
+		for word != 0 {
+			dst = append(dst, base+bits.TrailingZeros64(word))
+			word &= word - 1
+		}
+	}
+	return dst
+}
+
+// CountSel returns the number of set bits in sel within [lo, hi).
+func CountSel(sel []uint64, lo, hi int) int {
+	n := 0
+	for w := lo >> 6; w <= (hi-1)>>6; w++ {
+		word := sel[w]
+		base := w << 6
+		if base < lo {
+			word &= ^uint64(0) << (uint(lo) & 63)
+		}
+		if base+64 > hi {
+			word &= ^uint64(0) >> (uint(base+64-hi) & 63)
+		}
+		n += bits.OnesCount64(word)
+	}
+	return n
 }
 
 // MeasBuf returns scratch measure column m with capacity for n rows.
@@ -108,6 +192,22 @@ type PruneProber interface {
 	// Snapshot pruning): false negatives are fine, false positives are
 	// not.
 	PrunedFor(b int, preds []LevelPred) bool
+}
+
+// PrunePlan is a prepared, reusable prune probe for one predicate set:
+// member sets are sorted and min-maxed once, then every block test is a
+// couple of comparisons plus a binary search. Same necessary-condition
+// contract as PruneProber.
+type PrunePlan interface {
+	Pruned(b int) bool
+}
+
+// PrunePlanner is an optional ScanSource capability alongside
+// PruneProber: it prepares a predicate set once for probing many blocks.
+// SharedScan prefers it over PrunedFor, which re-derives the member sets
+// on every call.
+type PrunePlanner interface {
+	PrunePlan(preds []LevelPred) PrunePlan
 }
 
 // SegmentBackend is the disk-resident columnar backend of a FactTable,

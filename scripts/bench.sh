@@ -8,6 +8,7 @@
 #   COUNT=1 scripts/bench.sh    # quicker smoke run
 #   OUT=/tmp/bench.json scripts/bench.sh  # write elsewhere (e.g. to compare)
 #   scripts/bench.sh check BenchmarkAssessCold   # regression gate vs baseline
+#   scripts/bench.sh allocs BenchmarkSelectiveColdScan  # allocation gate
 #
 # Compare two snapshots with: go run golang.org/x/perf/cmd/benchstat (if
 # available) or scripts/bench.sh plus any JSON diff; each record carries
@@ -25,6 +26,12 @@
 # within-iteration ratio that is host-speed independent) and fails when
 # the best reported value falls below <min>:
 #   scripts/bench.sh ratio BenchmarkSharedScanSpeedup speedup 2.0
+#
+# `allocs <BenchmarkName>` reruns with -benchmem and fails when the best
+# (minimum) allocs/op exceeds the baseline's best by more than
+# BENCH_ALLOC_PCT percent (default 20). Allocation counts barely vary
+# across hosts, so this gate is much tighter than the ns/op one — it
+# catches scratch-reuse regressions that wall-clock noise would hide.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -33,6 +40,46 @@ OUT="${OUT:-BENCH_seed.json}"
 BENCHTIME="${BENCHTIME:-1x}"
 BASELINE="${BASELINE:-BENCH_seed.json}"
 BENCH_CHECK_PCT="${BENCH_CHECK_PCT:-50}"
+BENCH_ALLOC_PCT="${BENCH_ALLOC_PCT:-20}"
+
+if [[ "${1:-}" == "allocs" ]]; then
+    name="${2:?usage: scripts/bench.sh allocs <BenchmarkName>}"
+    raw="$(go test -run '^$' -bench "^${name}\$" -benchtime "$BENCHTIME" -count "$COUNT" -benchmem ./... 2>&1 | grep -E '^Benchmark')"
+    RAW="$raw" python3 - "$BASELINE" "$name" "$BENCH_ALLOC_PCT" <<'EOF'
+import json, os, sys
+
+baseline_path, name, pct = sys.argv[1], sys.argv[2], float(sys.argv[3])
+
+def matches(full):
+    return full.split("-")[0] == name
+
+with open(baseline_path) as f:
+    base_vals = [r["allocs_per_op"] for r in json.load(f)
+                 if matches(r["name"]) and "allocs_per_op" in r]
+base = min(base_vals) if base_vals else None
+
+cur_vals = []
+for line in os.environ["RAW"].splitlines():
+    parts = line.split()
+    if parts and matches(parts[0]):
+        for value, unit in zip(parts[2::2], parts[3::2]):
+            if unit == "allocs/op":
+                cur_vals.append(float(value))
+cur = min(cur_vals) if cur_vals else None
+if base is None:
+    sys.exit(f"allocs: {name} has no allocs_per_op in {baseline_path} "
+             "(regenerate with scripts/bench.sh)")
+if cur is None:
+    sys.exit(f"allocs: {name} produced no allocs/op samples")
+limit = base * (1 + pct / 100.0)
+status = "ok" if cur <= limit else "REGRESSION"
+print(f"{name}: baseline {base:.0f} allocs/op, current {cur:.0f} allocs/op "
+      f"(limit {limit:.0f}, +{pct:.0f}%) -> {status}")
+if cur > limit:
+    sys.exit(1)
+EOF
+    exit 0
+fi
 
 if [[ "${1:-}" == "check" ]]; then
     name="${2:?usage: scripts/bench.sh check <BenchmarkName>}"
@@ -108,10 +155,11 @@ fi
 # -benchtime=1x: the paper-replication benchmarks are macro-benchmarks
 # (full experiment tables); one iteration per -count repetition keeps the
 # suite minutes-scale while -count=5 still yields a spread.
-raw="$(go test -run '^$' -bench . -benchtime "$BENCHTIME" -count "$COUNT" ./... 2>&1 | grep -E '^Benchmark')"
+raw="$(go test -run '^$' -bench . -benchtime "$BENCHTIME" -count "$COUNT" -benchmem ./... 2>&1 | grep -E '^Benchmark')"
 
 # Render the raw `go test -bench` lines as a JSON array of
-# {name, iterations, ns_per_op, extras...} records.
+# {name, iterations, ns_per_op, B_per_op, allocs_per_op, extras...}
+# records (-benchmem supplies the allocation columns).
 RAW="$raw" python3 - "$OUT" <<'EOF'
 import json, os, sys
 

@@ -15,11 +15,14 @@
 #   ADMIT_SLOTS   admission execution slots (default 16; must exceed the
 #                 batch fan-in or admission serializes away coalescing)
 #   ADDR          listen address (default 127.0.0.1:18321)
+#   SELECTIVITY   fraction of narrow-predicate statements in the mix
+#                 (default 0.5; exercises late materialization)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 ADDR="${ADDR:-127.0.0.1:18321}"
+SELECTIVITY="${SELECTIVITY:-0.5}"
 BATCH_WINDOW="${BATCH_WINDOW:-500us}"
 MAX_QUEUE="${MAX_QUEUE:-256}"
 ADMIT_SLOTS="${ADMIT_SLOTS:-16}"
@@ -65,11 +68,11 @@ curl -fsS "http://$ADDR/healthz" >/dev/null
 
 echo
 echo "== closed loop (workers back-to-back; capacity scaling)"
-"$bin/loadgen" -url "http://$ADDR" -mode closed -workers "$WORKERS" -per-worker "$PER_WORKER"
+"$bin/loadgen" -url "http://$ADDR" -mode closed -workers "$WORKERS" -per-worker "$PER_WORKER" -selectivity "$SELECTIVITY"
 
 echo
 echo "== open loop (Poisson arrivals; latency under offered load)"
-"$bin/loadgen" -url "http://$ADDR" -mode open -rates "$RATES" -duration "$DURATION"
+"$bin/loadgen" -url "http://$ADDR" -mode open -rates "$RATES" -duration "$DURATION" -selectivity "$SELECTIVITY"
 
 echo
 echo "== scheduler counters"
@@ -104,7 +107,7 @@ curl -fsS "http://$ADDR/healthz" >/dev/null
 # -targets round-robins the generator across coordinator handles (here
 # the same coordinator twice, doubling per-target concurrency).
 "$bin/loadgen" -targets "http://$ADDR,http://$ADDR" \
-    -mode closed -workers "$WORKERS" -per-worker "$PER_WORKER"
+    -mode closed -workers "$WORKERS" -per-worker "$PER_WORKER" -selectivity "$SELECTIVITY"
 
 echo
 echo "== shard coordinator counters"
